@@ -1,0 +1,52 @@
+// Ablation (paper §IV-B-1): SABRE's redundancy-elimination policies.
+//
+// Runs Avis with (a) both policies, (b) no sensor-instance symmetry,
+// (c) no found-bug pruning, under the same budget, and compares unsafe
+// conditions found, distinct bugs found, and scheduler pruning statistics.
+#include <iostream>
+
+#include "common.h"
+#include "core/sabre.h"
+
+using namespace avis;
+
+int main() {
+  std::cout << "== Ablation: SABRE redundancy elimination ==\n";
+  std::cout << "(ArduPilot personality, fence workload, 2h-equivalent budget)\n\n";
+
+  struct Config {
+    const char* name;
+    bool symmetry;
+    bool found_bug;
+  };
+  const Config configs[] = {
+      {"SABRE (both policies)", true, true},
+      {"no instance symmetry", false, true},
+      {"no found-bug pruning", true, false},
+      {"no pruning at all", false, false},
+  };
+
+  util::TextTable t({"configuration", "simulations", "unsafe #", "distinct bugs",
+                     "pruned (sym)", "pruned (bug)", "pruned (dup)"});
+  for (const Config& config : configs) {
+    core::Checker checker(fw::Personality::kArduPilotLike,
+                          workload::WorkloadId::kFenceMission,
+                          fw::BugRegistry::current_code_base());
+    const core::MonitorModel& model = checker.model();
+    core::SabreConfig sabre_config;
+    sabre_config.symmetry_pruning = config.symmetry;
+    sabre_config.found_bug_pruning = config.found_bug;
+    core::SabreScheduler sabre(core::SimulationHarness::iris_suite(),
+                               model.golden_transitions(), sabre_config);
+    core::BudgetClock budget = core::BudgetClock::two_hours();
+    const auto report = checker.run(sabre, budget);
+    t.add(config.name, report.experiments, report.unsafe_count(),
+          static_cast<int>(report.bug_first_found.size()), sabre.pruned_by_symmetry(),
+          sabre.pruned_by_found_bug(), sabre.pruned_as_duplicate());
+  }
+  t.render(std::cout);
+  std::cout << "\nBoth policies spend the budget on role-distinct, not-yet-buggy scenarios;\n"
+               "dropping either spends simulations on redundant states and finds fewer\n"
+               "distinct bugs in the same budget.\n";
+  return 0;
+}

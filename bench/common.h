@@ -1,0 +1,81 @@
+// Shared driver for the evaluation benches (paper §VI).
+//
+// Every table bench runs one or more of the four approaches — Avis (SABRE),
+// Stratified BFI, BFI, Random — against a (personality, workload) pair for a
+// two-hour-equivalent budget and aggregates the unsafe conditions found.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/bfi.h"
+#include "baselines/random_injection.h"
+#include "baselines/stratified_bfi.h"
+#include "core/checker.h"
+#include "core/sabre.h"
+#include "util/table.h"
+
+namespace avis::bench {
+
+enum class Approach { kAvis = 0, kStratifiedBfi = 1, kBfi = 2, kRandom = 3 };
+
+inline const char* to_string(Approach a) {
+  switch (a) {
+    case Approach::kAvis: return "Avis";
+    case Approach::kStratifiedBfi: return "Strat. BFI";
+    case Approach::kBfi: return "BFI";
+    case Approach::kRandom: return "Random";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<core::InjectionStrategy> make_strategy(
+    Approach approach, const core::MonitorModel& model,
+    const baselines::NaiveBayesModel& bayes, std::uint64_t seed) {
+  const auto suite = core::SimulationHarness::iris_suite();
+  switch (approach) {
+    case Approach::kAvis:
+      return std::make_unique<core::SabreScheduler>(suite, model.golden_transitions());
+    case Approach::kStratifiedBfi:
+      return std::make_unique<baselines::StratifiedBfi>(suite, model.golden_transitions(),
+                                                        bayes);
+    case Approach::kBfi: {
+      baselines::ModeTimeline timeline(model.golden_transitions());
+      return std::make_unique<baselines::BfiChecker>(suite, bayes, std::move(timeline), seed);
+    }
+    case Approach::kRandom:
+      return std::make_unique<baselines::RandomInjection>(
+          suite, model.profiling_duration_ms(), seed);
+  }
+  return nullptr;
+}
+
+struct CellResult {
+  core::CheckerReport report;
+  fw::Personality personality;
+  workload::WorkloadId workload;
+};
+
+// Run one approach for one (personality, workload) cell under the paper's
+// per-workload budget.
+inline CellResult run_cell(Approach approach, fw::Personality personality,
+                           workload::WorkloadId workload, const fw::BugRegistry& bugs,
+                           sim::SimTimeMs budget_ms = 7200 * 1000,
+                           std::uint64_t seed = 100) {
+  static baselines::NaiveBayesModel bayes(baselines::default_training_corpus());
+  core::Checker checker(personality, workload, bugs, seed);
+  const core::MonitorModel& model = checker.model();
+  auto strategy = make_strategy(approach, model, bayes, seed + 7);
+  core::BudgetClock budget(budget_ms);
+  CellResult cell{checker.run(*strategy, budget), personality, workload};
+  return cell;
+}
+
+// The two default evaluation workloads (paper §V-A).
+inline std::vector<workload::WorkloadId> evaluation_workloads() {
+  return {workload::WorkloadId::kBoxManual, workload::WorkloadId::kFenceMission};
+}
+
+}  // namespace avis::bench

@@ -1,0 +1,129 @@
+// Figure 5 (paper §IV-B): the order in which DFS, BFS, and SABRE explore the
+// fault space of a two-sensor (GPS, barometer) vehicle over a five-step
+// workload with mode transitions at t1, t2 and t4.
+//
+// Reproduces the paper's walkthrough: SABRE visits the transition-aligned
+// scenarios — including the dissimilar ones at t4 — before either classical
+// strategy has left the neighbourhood of its starting corner.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/budget.h"
+#include "core/sabre.h"
+#include "sensors/sensor_models.h"
+
+using namespace avis;
+
+namespace {
+
+std::string describe(const core::FaultPlan& plan) {
+  // Clean failures latch: a sensor failed at t_k stays failed at t>k, so the
+  // printed set at each step is the union of failures started by then.
+  std::string out = "<";
+  for (int t = 1; t <= 5; ++t) {
+    if (t > 1) out += ", ";
+    std::string cell;
+    for (const auto& e : plan.events) {
+      if (e.time_ms <= t) {
+        if (!cell.empty()) cell += "+";
+        cell += e.sensor.type == sensors::SensorType::kGps ? "GPS" : "Baro";
+      }
+    }
+    out += cell.empty() ? "$" : cell;
+  }
+  return out + ">";
+}
+
+// Enumerate classical depth-first order: lexicographic over per-step subsets
+// starting from the last step (the paper's DFS example fails sensors at t5
+// first).
+std::vector<core::FaultPlan> dfs_order(int limit) {
+  std::vector<core::FaultPlan> plans;
+  const sensors::SensorId gps{sensors::SensorType::kGps, 0};
+  const sensors::SensorId baro{sensors::SensorType::kBarometer, 0};
+  // Subsets per step in DFS column order: {}, {GPS}, {Baro}, {GPS,Baro}.
+  // A "latched" fault persists to later steps, so enumerate fail-start
+  // choices per sensor: start time in {none, 5, 4, 3, 2, 1} — DFS explores
+  // late start times first.
+  for (int gps_start : {0, 5, 4, 3, 2, 1}) {
+    for (int baro_start : {0, 5, 4, 3, 2, 1}) {
+      if (gps_start == 0 && baro_start == 0) continue;
+      core::FaultPlan plan;
+      if (gps_start) plan.add(gps_start, gps);
+      if (baro_start) plan.add(baro_start, baro);
+      plans.push_back(plan);
+      if (static_cast<int>(plans.size()) >= limit) return plans;
+    }
+  }
+  return plans;
+}
+
+std::vector<core::FaultPlan> bfs_order(int limit) {
+  std::vector<core::FaultPlan> plans;
+  const sensors::SensorId gps{sensors::SensorType::kGps, 0};
+  const sensors::SensorId baro{sensors::SensorType::kBarometer, 0};
+  // BFS explores across time: every single-sensor start time first, then
+  // combinations, earliest starts first.
+  for (int start = 1; start <= 5; ++start) {
+    core::FaultPlan p;
+    p.add(start, gps);
+    plans.push_back(p);
+    core::FaultPlan q;
+    q.add(start, baro);
+    plans.push_back(q);
+    core::FaultPlan r;
+    r.add(start, gps);
+    r.add(start, baro);
+    plans.push_back(r);
+  }
+  if (static_cast<int>(plans.size()) > limit) plans.resize(limit);
+  return plans;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kShow = 9;
+  std::printf("== Figure 5: fault-space exploration order ==\n");
+  std::printf("two sensors (GPS, Baro), five time-steps, transitions at t1, t2, t4\n\n");
+
+  std::printf("Depth-first search (first %d executions):\n", kShow);
+  for (const auto& plan : dfs_order(kShow)) std::printf("  %s\n", describe(plan).c_str());
+
+  std::printf("\nBreadth-first search (first %d executions):\n", kShow);
+  for (const auto& plan : bfs_order(kShow)) std::printf("  %s\n", describe(plan).c_str());
+
+  // SABRE on the same toy space: transitions at t1, t2, t4; full power-set
+  // batches reproduce Algorithm 1's printed order.
+  sensors::SuiteConfig suite;
+  suite.gyroscopes = 0;
+  suite.accelerometers = 0;
+  suite.barometers = 1;
+  suite.gpses = 1;
+  suite.compasses = 0;
+  suite.batteries = 0;
+  std::vector<core::ModeTransition> transitions{
+      {1, 0x0400, "takeoff"}, {2, 0x0500, "auto"}, {4, 0x0900, "land"}};
+  core::SabreConfig config;
+  config.full_powerset_batches = true;
+  config.offset_step_ms = 1;
+  config.max_offsets = 2;
+  core::SabreScheduler sabre(suite, transitions, config);
+
+  std::printf("\nSABRE (first %d executions):\n", kShow);
+  core::BudgetClock budget(1000000);
+  for (int i = 0; i < kShow; ++i) {
+    auto plan = sabre.next(budget);
+    if (!plan) break;
+    std::printf("  %s\n", describe(*plan).c_str());
+    // All toy runs are bug-free with one mode transition left to explore.
+    core::ExperimentResult ok;
+    ok.workload_passed = true;
+    sabre.feedback(*plan, ok);
+  }
+  std::printf(
+      "\nNote how SABRE reaches the dissimilar t4 scenarios within the first batch-set\n"
+      "while DFS is still permuting t5/t4 starts and BFS is still at t1/t2.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Microbenchmarks (google-benchmark): throughput of the pieces the checker
+// loop leans on. The paper's test throughput depends on simulation speed;
+// these quantify this implementation's costs.
+#include <benchmark/benchmark.h>
+
+#include "core/checker.h"
+#include "core/sabre.h"
+#include "fw/firmware.h"
+#include "hinj/messages.h"
+#include "mavlink/codec.h"
+#include "sim/simulator.h"
+
+using namespace avis;
+
+static void BM_SimulatorStep(benchmark::State& state) {
+  sim::Simulator simulator(sim::Environment{}, sim::QuadcopterParams{}, 1);
+  sim::MotorCommands hover;
+  for (double& v : hover.value) v = 0.497;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.step(hover));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorStep);
+
+static void BM_FullFirmwareStep(benchmark::State& state) {
+  util::Rng seeds(7);
+  sensors::SensorSuite suite(core::SimulationHarness::iris_suite(), seeds);
+  hinj::NullDirector director;
+  hinj::Server server(director);
+  hinj::Client client(server);
+  mavlink::Channel channel;
+  fw::SensorBus bus(suite, client);
+  sim::Environment env;
+  fw::Firmware firmware(fw::FirmwareConfig::ardupilot(), bus, client, channel.vehicle(), env);
+  sim::Simulator simulator(env, sim::QuadcopterParams{}, 1);
+  sim::SimTimeMs now = 0;
+  for (auto _ : state) {
+    const auto motors = firmware.step(++now, simulator.state());
+    simulator.step(motors);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullFirmwareStep);
+
+static void BM_HinjRoundTrip(benchmark::State& state) {
+  hinj::NullDirector director;
+  hinj::Server server(director);
+  hinj::Client client(server);
+  const sensors::SensorId id{sensors::SensorType::kGyroscope, 0};
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.sensor_read(id, ++t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HinjRoundTrip);
+
+static void BM_MavlinkRoundTrip(benchmark::State& state) {
+  mavlink::GlobalPositionInt gp;
+  gp.position = {40.0, -83.0, 220.0};
+  gp.velocity_ned = {1.0, 2.0, -0.5};
+  std::uint8_t seq = 0;
+  for (auto _ : state) {
+    auto bytes = mavlink::pack(gp, seq++, 1, 1);
+    benchmark::DoNotOptimize(mavlink::unpack(bytes));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MavlinkRoundTrip);
+
+static void BM_StateDistance(benchmark::State& state) {
+  // Calibrate once on the quick auto workload.
+  static core::Checker checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto,
+                               fw::BugRegistry::current_code_base());
+  const core::MonitorModel& model = checker.model();
+  const core::StateSample a = model.profiling_state(0, 5000);
+  const core::StateSample b = model.profiling_state(1, 15000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.state_distance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateDistance);
+
+static void BM_SabreNext(benchmark::State& state) {
+  std::vector<core::ModeTransition> transitions{
+      {1000, 0x0400, "takeoff"}, {9000, 0x0501, "auto-wp1"}, {15000, 0x0900, "land"}};
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::SabreScheduler sabre(core::SimulationHarness::iris_suite(), transitions);
+    core::BudgetClock budget(3600 * 1000);
+    state.ResumeTiming();
+    for (int i = 0; i < 50; ++i) {
+      auto plan = sabre.next(budget);
+      if (!plan) break;
+      core::ExperimentResult ok;
+      ok.workload_passed = true;
+      sabre.feedback(*plan, ok);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_SabreNext);
+
+BENCHMARK_MAIN();

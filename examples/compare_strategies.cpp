@@ -1,0 +1,47 @@
+// Head-to-head strategy comparison on one configuration (a miniature
+// Table III): Avis vs Stratified BFI vs BFI vs Random on the ArduPilot-like
+// firmware with the fence workload, 30-minute-equivalent budget each.
+#include <iostream>
+
+#include "baselines/bfi.h"
+#include "baselines/random_injection.h"
+#include "baselines/stratified_bfi.h"
+#include "core/checker.h"
+#include "core/sabre.h"
+#include "util/table.h"
+
+using namespace avis;
+
+int main() {
+  std::cout << "== strategy comparison (ArduPilot-like, fence workload, 30 min budget) ==\n\n";
+
+  core::Checker checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kFenceMission,
+                        fw::BugRegistry::current_code_base());
+  const core::MonitorModel& model = checker.model();
+  baselines::NaiveBayesModel bayes(baselines::default_training_corpus());
+  const auto suite = core::SimulationHarness::iris_suite();
+
+  util::TextTable table({"strategy", "sims", "labels", "unsafe #", "distinct bugs"});
+  auto run = [&](core::InjectionStrategy& strategy) {
+    core::BudgetClock budget(30 * 60 * 1000);
+    const auto report = checker.run(strategy, budget);
+    table.add(strategy.name(), report.experiments, report.labels, report.unsafe_count(),
+              static_cast<int>(report.bug_first_found.size()));
+  };
+
+  core::SabreScheduler avis_strategy(suite, model.golden_transitions());
+  run(avis_strategy);
+  baselines::StratifiedBfi sbfi(suite, model.golden_transitions(), bayes);
+  run(sbfi);
+  baselines::BfiChecker bfi(suite, bayes,
+                            baselines::ModeTimeline(model.golden_transitions()), 7);
+  run(bfi);
+  baselines::RandomInjection random(suite, model.profiling_duration_ms(), 7);
+  run(random);
+
+  table.render(std::cout);
+  std::cout << "\nAvis reaches the mode-transition windows first; Stratified BFI skips the\n"
+               "windows its training data never covered; BFI burns the budget labeling;\n"
+               "Random needs luck to land inside a window.\n";
+  return 0;
+}

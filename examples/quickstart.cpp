@@ -1,0 +1,59 @@
+// Quickstart: profile a workload, run Avis (SABRE) for a small budget, and
+// print every unsafe condition found.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "core/checker.h"
+#include "core/sabre.h"
+#include "util/table.h"
+
+int main() {
+  using namespace avis;
+
+  // Check the ArduPilot-like firmware, as shipped (Table II bug population),
+  // on the fence/waypoint workload.
+  core::Checker checker(fw::Personality::kArduPilotLike,
+                        workload::WorkloadId::kFenceMission,
+                        fw::BugRegistry::current_code_base());
+
+  std::cout << "Profiling golden runs...\n";
+  const core::MonitorModel& model = checker.model();
+  std::cout << "  mission duration: " << model.profiling_duration_ms() / 1000.0 << " s, tau="
+            << model.tau() << ", modes=" << model.mode_graph().node_count()
+            << ", D=" << model.mode_graph().diameter() << "\n";
+  std::cout << "  golden transitions:";
+  for (const auto& t : model.golden_transitions()) {
+    std::cout << " " << t.mode_name << "@" << t.time_ms / 1000.0 << "s";
+  }
+  std::cout << "\n\n";
+
+  core::SabreScheduler sabre(core::SimulationHarness::iris_suite(),
+                             model.golden_transitions());
+
+  // A 30-minute-equivalent budget keeps the quickstart fast.
+  core::BudgetClock budget(30 * 60 * 1000);
+  const core::CheckerReport report = checker.run(sabre, budget);
+
+  std::cout << "Ran " << report.experiments << " simulations ("
+            << report.budget_used_ms / 1000.0 << "s simulated)\n";
+  std::cout << "Unsafe conditions found: " << report.unsafe_count() << "\n\n";
+
+  util::TextTable table({"#", "fault plan", "violation", "mode", "bugs"});
+  int index = 0;
+  for (const auto& record : report.unsafe) {
+    std::string bugs;
+    for (fw::BugId id : record.fired_bugs) {
+      if (!bugs.empty()) bugs += ", ";
+      bugs += fw::bug_info(id).report_name;
+    }
+    table.add(++index, record.plan.to_string(),
+              std::string(core::to_string(record.violation.type)) + " @" +
+                  std::to_string(record.violation.time_ms / 1000) + "s",
+              fw::CompositeMode::from_id(record.violation.mode_id).name(), bugs);
+  }
+  table.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "baselines/bayes_model.h"
+
+namespace avis::baselines {
+
+namespace {
+void add(std::vector<Incident>& corpus, sensors::SensorType sensor, fw::ModeBucket bucket,
+         bool unsafe, int count) {
+  for (int i = 0; i < count; ++i) corpus.push_back({sensor, bucket, unsafe});
+}
+}  // namespace
+
+std::vector<Incident> default_training_corpus() {
+  using sensors::SensorType;
+  using fw::ModeBucket;
+  std::vector<Incident> corpus;
+
+  // Main-flight-mode incidents dominate the record (paper §VI-B: BFI "is
+  // more likely to trigger unsafe conditions that occur in the main flight
+  // mode, especially if unsafe conditions have occurred in the past").
+  add(corpus, SensorType::kCompass, ModeBucket::kWaypoint, true, 14);
+  add(corpus, SensorType::kAccelerometer, ModeBucket::kWaypoint, true, 12);
+  add(corpus, SensorType::kGyroscope, ModeBucket::kWaypoint, true, 11);
+  add(corpus, SensorType::kCompass, ModeBucket::kManual, true, 10);
+  add(corpus, SensorType::kAccelerometer, ModeBucket::kManual, true, 9);
+  add(corpus, SensorType::kGyroscope, ModeBucket::kManual, true, 8);
+
+  // A few takeoff incidents exist — enough for the model to rate IMU
+  // failures at takeoff as risky (Stratified BFI does find PX4-17057 and
+  // APM-16021), but nothing for compass/baro there.
+  add(corpus, SensorType::kGyroscope, ModeBucket::kTakeoff, true, 4);
+  add(corpus, SensorType::kAccelerometer, ModeBucket::kTakeoff, true, 3);
+
+  // Safe (handled) reports across the board teach the model that most
+  // injections are survivable; GPS, barometer, battery and landing-phase
+  // reports are almost exclusively benign in the record.
+  add(corpus, SensorType::kGps, ModeBucket::kWaypoint, false, 16);
+  add(corpus, SensorType::kGps, ModeBucket::kManual, false, 12);
+  add(corpus, SensorType::kGps, ModeBucket::kTakeoff, false, 8);
+  add(corpus, SensorType::kGps, ModeBucket::kLand, false, 8);
+  add(corpus, SensorType::kBarometer, ModeBucket::kWaypoint, false, 12);
+  add(corpus, SensorType::kBarometer, ModeBucket::kTakeoff, false, 9);
+  add(corpus, SensorType::kBarometer, ModeBucket::kLand, false, 7);
+  add(corpus, SensorType::kBattery, ModeBucket::kWaypoint, false, 10);
+  add(corpus, SensorType::kBattery, ModeBucket::kManual, false, 8);
+  add(corpus, SensorType::kCompass, ModeBucket::kTakeoff, false, 10);
+  add(corpus, SensorType::kCompass, ModeBucket::kLand, false, 6);
+  add(corpus, SensorType::kAccelerometer, ModeBucket::kLand, false, 9);
+  add(corpus, SensorType::kGyroscope, ModeBucket::kLand, false, 8);
+  add(corpus, SensorType::kAccelerometer, ModeBucket::kTakeoff, false, 2);
+  add(corpus, SensorType::kGyroscope, ModeBucket::kTakeoff, false, 2);
+  add(corpus, SensorType::kCompass, ModeBucket::kWaypoint, false, 4);
+  add(corpus, SensorType::kCompass, ModeBucket::kManual, false, 3);
+  add(corpus, SensorType::kAccelerometer, ModeBucket::kWaypoint, false, 5);
+  add(corpus, SensorType::kGyroscope, ModeBucket::kWaypoint, false, 5);
+  add(corpus, SensorType::kAccelerometer, ModeBucket::kManual, false, 4);
+  add(corpus, SensorType::kGyroscope, ModeBucket::kManual, false, 4);
+
+  return corpus;
+}
+
+}  // namespace avis::baselines

@@ -1,0 +1,93 @@
+// The Bayesian injection-site model used by BFI and Stratified BFI (paper
+// §VI, after Jha et al., DSN'19).
+//
+// A naive-Bayes classifier over two features of an injection site: the
+// failed sensor's type and the flight phase (Table IV's mode bucket) at the
+// injection time. It is trained on a corpus of historical incident reports.
+// The corpus models the paper's observation that BFI's training data is
+// dominated by unsafe conditions "in the main flight mode": waypoint and
+// manual cruising incidents are well represented, takeoff incidents are
+// rare, and landing/GPS/barometer/battery incidents are essentially absent.
+// That skew is exactly why BFI-family checkers miss the bugs in Table II's
+// pre-flight and landing windows, and why they cannot anticipate the
+// two-fault PX4-13291 ("having not seen the effects of joint failures in
+// the training data, the model is unable to predict this outcome").
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "fw/modes.h"
+#include "sensors/sensor_types.h"
+
+namespace avis::baselines {
+
+struct Incident {
+  sensors::SensorType sensor;
+  fw::ModeBucket bucket;
+  bool unsafe = false;  // did the incident end in an unsafe condition?
+};
+
+// The synthetic "historical" corpus. Counts are per (sensor, bucket); the
+// shape follows the paper's discussion in §VI-A/B.
+std::vector<Incident> default_training_corpus();
+
+class NaiveBayesModel {
+ public:
+  explicit NaiveBayesModel(const std::vector<Incident>& corpus) {
+    for (const auto& incident : corpus) {
+      auto& cell = counts_[p_index(incident.sensor, incident.bucket)];
+      if (incident.unsafe) {
+        cell.unsafe += 1;
+        ++total_unsafe_;
+      } else {
+        cell.safe += 1;
+        ++total_safe_;
+      }
+    }
+  }
+
+  // P(unsafe | sensor, bucket): Beta-smoothed per-cell posterior with a
+  // pessimistic prior — an injection context the training data never covered
+  // is assumed handled, which is precisely the model's blind spot the paper
+  // exploits ("having not seen the effects ... the model is unable to
+  // predict this outcome"). For multi-sensor failure sets callers take the
+  // max over members; joint failures beyond that are invisible to the model.
+  double p_unsafe(sensors::SensorType sensor, fw::ModeBucket bucket) const {
+    const auto& cell = counts_[p_index(sensor, bucket)];
+    return (cell.unsafe + kPriorUnsafe) / (cell.unsafe + cell.safe + kPriorUnsafe + kPriorSafe);
+  }
+
+  // A set's score is the mean of its members': the model has no joint-
+  // failure training data (the paper's PX4-13291 lesson), so an untrained
+  // member drags a mixed set below the run threshold rather than riding
+  // along with a trained partner.
+  template <typename SensorRange>
+  double p_unsafe_set(const SensorRange& sensors_in_set, fw::ModeBucket bucket) const {
+    double sum = 0.0;
+    int count = 0;
+    for (const auto& id : sensors_in_set) {
+      sum += p_unsafe(id.type, bucket);
+      ++count;
+    }
+    return count > 0 ? sum / count : 0.0;
+  }
+
+ private:
+  struct Cell {
+    int unsafe = 0;
+    int safe = 0;
+  };
+  static constexpr double kPriorUnsafe = 0.3;
+  static constexpr double kPriorSafe = 1.7;
+
+  static std::size_t p_index(sensors::SensorType sensor, fw::ModeBucket bucket) {
+    return static_cast<std::size_t>(sensor) * 4 + static_cast<std::size_t>(bucket);
+  }
+
+  std::array<Cell, 24> counts_{};
+  int total_unsafe_ = 0;
+  int total_safe_ = 0;
+};
+
+}  // namespace avis::baselines

@@ -1,0 +1,62 @@
+// Random fault injection (paper §VI, Table I row "Rnd").
+//
+// "Random fault injection chose fault injection sites from all sensor
+// readings with equal probability. It also chose failure scenarios for
+// simulation randomly." — uniformly random timestamps over the mission and
+// uniformly random instance subsets (no symmetry folding, no transition
+// awareness, no model).
+#pragma once
+
+#include <unordered_set>
+
+#include "core/strategy.h"
+#include "sensors/sensor_models.h"
+#include "util/rng.h"
+
+namespace avis::baselines {
+
+class RandomInjection final : public core::InjectionStrategy {
+ public:
+  RandomInjection(sensors::SuiteConfig suite, sim::SimTimeMs mission_duration_ms,
+                  std::uint64_t seed)
+      : suite_(suite), duration_ms_(mission_duration_ms), rng_(seed) {
+    for (sensors::SensorType t : sensors::kAllSensorTypes) {
+      for (int i = 0; i < suite_.count(t); ++i) {
+        all_ids_.push_back({t, static_cast<std::uint8_t>(i)});
+      }
+    }
+  }
+
+  std::optional<core::FaultPlan> next(core::BudgetClock& budget) override {
+    if (budget.exhausted()) return std::nullopt;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      core::FaultPlan plan;
+      // Mostly single failures, sometimes multi — a geometric size pick.
+      int size = 1;
+      while (size < static_cast<int>(all_ids_.size()) && rng_.chance(0.3)) ++size;
+      std::unordered_set<std::size_t> chosen;
+      for (int k = 0; k < size; ++k) {
+        chosen.insert(static_cast<std::size_t>(rng_.next_below(all_ids_.size())));
+      }
+      for (std::size_t index : chosen) {
+        const auto t = static_cast<sim::SimTimeMs>(
+            rng_.next_below(static_cast<std::uint64_t>(duration_ms_)));
+        plan.add(t, all_ids_[index]);
+      }
+      if (explored_.insert(plan.signature()).second) return plan;
+    }
+    return std::nullopt;  // space effectively saturated
+  }
+
+  void feedback(const core::FaultPlan&, const core::ExperimentResult&) override {}
+  const char* name() const override { return "Random"; }
+
+ private:
+  sensors::SuiteConfig suite_;
+  sim::SimTimeMs duration_ms_;
+  util::Rng rng_;
+  std::vector<sensors::SensorId> all_ids_;
+  std::unordered_set<std::string> explored_;
+};
+
+}  // namespace avis::baselines

@@ -1,0 +1,69 @@
+// Stratified BFI (paper §VI, Table I): BFI's Bayesian model gating SABRE's
+// transition-stratified exploration order.
+//
+// "We also implemented an improved version of BFI called Stratified BFI that
+// uses SABRE to explore injection candidates using BFI's algorithm. While
+// Stratified BFI improved upon the state of the art, it ... did not
+// exhaustively target the critical periods where the UAV transitioned
+// between operating modes": every SABRE-proposed scenario still pays the
+// model's labeling cost and only model-approved scenarios are simulated, so
+// windows the training data never covered (pre-flight, landing, GPS/baro/
+// battery failures) are skipped.
+#pragma once
+
+#include "baselines/bayes_model.h"
+#include "baselines/bfi.h"
+#include "core/sabre.h"
+#include "core/strategy.h"
+
+namespace avis::baselines {
+
+class StratifiedBfi final : public core::InjectionStrategy {
+ public:
+  StratifiedBfi(sensors::SuiteConfig suite,
+                std::vector<core::ModeTransition> golden_transitions,
+                const NaiveBayesModel& model, double run_threshold = 0.45,
+                core::SabreConfig sabre_config = {})
+      : sabre_(suite, golden_transitions, sabre_config),
+        model_(&model),
+        timeline_(golden_transitions),
+        run_threshold_(run_threshold) {}
+
+  std::optional<core::FaultPlan> next(core::BudgetClock& budget) override {
+    while (!budget.exhausted()) {
+      auto plan = sabre_.next(budget);
+      if (!plan) return std::nullopt;
+      budget.charge_label();
+      // Score the newest injection in the plan (the site SABRE just added).
+      const auto& newest = *std::max_element(
+          plan->events.begin(), plan->events.end(),
+          [](const core::FaultEvent& a, const core::FaultEvent& b) {
+            return a.time_ms < b.time_ms;
+          });
+      std::vector<sensors::SensorId> newest_set;
+      for (const auto& e : plan->events) {
+        if (e.time_ms == newest.time_ms) newest_set.push_back(e.sensor);
+      }
+      const double p = model_->p_unsafe_set(newest_set, timeline_.bucket_at(newest.time_ms));
+      if (p >= run_threshold_) return plan;
+      // Below threshold: never simulated. Tell SABRE the scenario is closed
+      // (no transitions to re-enqueue) and move on.
+      sabre_.feedback(*plan, core::ExperimentResult{});
+    }
+    return std::nullopt;
+  }
+
+  void feedback(const core::FaultPlan& plan, const core::ExperimentResult& result) override {
+    sabre_.feedback(plan, result);
+  }
+
+  const char* name() const override { return "Stratified BFI"; }
+
+ private:
+  core::SabreScheduler sabre_;
+  const NaiveBayesModel* model_;
+  ModeTimeline timeline_;
+  double run_threshold_;
+};
+
+}  // namespace avis::baselines

@@ -1,0 +1,111 @@
+// Sensor-instance symmetry (paper §IV-B-1, Fig. 6).
+//
+// "When handling sensor failures, the UAV's behavior depends on the role of
+// the failed sensors instead of which instances fail." A canonical failure
+// set per type is therefore (fail primary?, how many backups), expanded to
+// concrete instances as primary = #0 and backups = #1..#b. For a type with
+// N instances this reduces the N x (2^N - 1) instance subsets to 2N - 1
+// role-distinct ones.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sensors/sensor_models.h"
+#include "sensors/sensor_types.h"
+
+namespace avis::core {
+
+// One type's canonical contribution to a failure set.
+struct TypeFailure {
+  sensors::SensorType type = sensors::SensorType::kGyroscope;
+  bool primary = false;
+  int backups = 0;
+
+  int size() const { return (primary ? 1 : 0) + backups; }
+
+  std::vector<sensors::SensorId> instances() const {
+    std::vector<sensors::SensorId> ids;
+    if (primary) ids.push_back({type, 0});
+    for (int b = 1; b <= backups; ++b) {
+      ids.push_back({type, static_cast<std::uint8_t>(b)});
+    }
+    return ids;
+  }
+};
+
+// Number of role-distinct non-empty failure sets for one type with N
+// instances: 2N - 1 (paper §IV-B-1).
+inline int canonical_count(int instances) { return instances > 0 ? 2 * instances - 1 : 0; }
+
+// Number of non-empty instance subsets the symmetry policy replaces. The
+// paper quotes N x (2^N - 1) for its running example (N = 3 gives 21).
+inline long long unreduced_count(int instances) {
+  return instances > 0 ? static_cast<long long>(instances) * ((1LL << instances) - 1) : 0;
+}
+
+// Enumerate every canonical failure set of exactly `size` concrete failures
+// across the suite, in deterministic order. Callers receive the concrete
+// SensorIds (primary first).
+inline std::vector<std::vector<sensors::SensorId>> canonical_sets_of_size(
+    const sensors::SuiteConfig& suite, int size) {
+  std::vector<std::vector<sensors::SensorId>> out;
+  std::vector<TypeFailure> current;
+
+  std::function<void(std::size_t, int)> recurse = [&](std::size_t type_index, int remaining) {
+    if (remaining == 0) {
+      std::vector<sensors::SensorId> ids;
+      for (const auto& tf : current) {
+        auto inst = tf.instances();
+        ids.insert(ids.end(), inst.begin(), inst.end());
+      }
+      out.push_back(std::move(ids));
+      return;
+    }
+    if (type_index >= sensors::kAllSensorTypes.size()) return;
+    const sensors::SensorType type = sensors::kAllSensorTypes[type_index];
+    const int count = suite.count(type);
+    // Option 1: this type contributes nothing.
+    recurse(type_index + 1, remaining);
+    // Option 2: every role-distinct non-empty contribution that fits.
+    for (int primary = 0; primary <= (count > 0 ? 1 : 0); ++primary) {
+      for (int backups = 0; backups <= count - 1; ++backups) {
+        if (primary + backups == 0 || primary + backups > remaining) continue;
+        current.push_back({type, primary != 0, backups});
+        recurse(type_index + 1, remaining - primary - backups);
+        current.pop_back();
+      }
+    }
+  };
+  recurse(0, size);
+  return out;
+}
+
+// All instance subsets of one type of the given size — the unreduced space,
+// used by the no-symmetry ablation and the Fig. 6 bench.
+inline std::vector<std::vector<sensors::SensorId>> all_instance_sets_of_size(
+    const sensors::SuiteConfig& suite, int size) {
+  std::vector<sensors::SensorId> all;
+  for (sensors::SensorType t : sensors::kAllSensorTypes) {
+    for (int i = 0; i < suite.count(t); ++i) {
+      all.push_back({t, static_cast<std::uint8_t>(i)});
+    }
+  }
+  std::vector<std::vector<sensors::SensorId>> out;
+  std::vector<sensors::SensorId> current;
+  std::function<void(std::size_t, int)> recurse = [&](std::size_t index, int remaining) {
+    if (remaining == 0) {
+      out.push_back(current);
+      return;
+    }
+    if (index >= all.size()) return;
+    recurse(index + 1, remaining);
+    current.push_back(all[index]);
+    recurse(index + 1, remaining - 1);
+    current.pop_back();
+  };
+  recurse(0, size);
+  return out;
+}
+
+}  // namespace avis::core

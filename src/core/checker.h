@@ -1,0 +1,132 @@
+// The checker loop: drives one search strategy against one (firmware
+// personality, workload) pair under a budget, collecting every unsafe
+// condition found. This is the outer loop all of Tables II-V run through.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/budget.h"
+#include "core/harness.h"
+#include "core/invariant_monitor.h"
+#include "core/strategy.h"
+
+namespace avis::core {
+
+struct UnsafeRecord {
+  FaultPlan plan;
+  Violation violation;
+  std::vector<fw::BugId> fired_bugs;
+  std::vector<ModeTransition> transitions;
+  std::uint64_t seed = 0;
+  int experiment_index = 0;  // 1-based simulation count when found
+};
+
+struct CheckerReport {
+  std::string strategy_name;
+  int experiments = 0;
+  int labels = 0;
+  sim::SimTimeMs budget_used_ms = 0;
+  std::vector<UnsafeRecord> unsafe;
+  // Simulation count at which each seeded bug first manifested.
+  std::map<fw::BugId, int> bug_first_found;
+
+  int unsafe_count() const { return static_cast<int>(unsafe.size()); }
+
+  // Table IV groups unsafe scenarios by the operating mode at the *newest
+  // injection* (the site the search chose), not the mode the violation
+  // later manifested in — a landing-phase crash caused by a waypoint-window
+  // fault counts toward Waypoint.
+  std::array<int, 4> unsafe_by_bucket() const {
+    std::array<int, 4> buckets{};
+    for (const auto& record : unsafe) {
+      sim::SimTimeMs newest = 0;
+      for (const auto& e : record.plan.events) newest = std::max(newest, e.time_ms);
+      std::uint16_t mode_id = 0;
+      for (const auto& t : record.transitions) {
+        if (t.time_ms > newest) break;
+        mode_id = t.mode_id;
+      }
+      const fw::ModeBucket bucket = fw::bucket_of(fw::CompositeMode::from_id(mode_id).mode);
+      buckets[static_cast<std::size_t>(bucket)] += 1;
+    }
+    return buckets;
+  }
+
+  bool found_bug(fw::BugId id) const { return bug_first_found.contains(id); }
+};
+
+class Checker {
+ public:
+  Checker(fw::Personality personality, workload::WorkloadId workload, fw::BugRegistry bugs,
+          std::uint64_t seed_base = 100)
+      : personality_(personality), workload_(workload), bugs_(std::move(bugs)),
+        seed_base_(seed_base) {}
+
+  // Profiling runs + monitor calibration happen on first use and are reused
+  // across strategies so comparisons share the same model.
+  const MonitorModel& model() {
+    if (!model_) {
+      model_ = harness_.profile(personality_, workload_, bugs_, /*runs=*/3, seed_base_);
+    }
+    return *model_;
+  }
+
+  CheckerReport run(InjectionStrategy& strategy, BudgetClock& budget) {
+    const MonitorModel& monitor = model();
+    CheckerReport report;
+    report.strategy_name = strategy.name();
+    while (!budget.exhausted()) {
+      auto plan = strategy.next(budget);
+      if (!plan) break;
+      ExperimentSpec spec;
+      spec.personality = personality_;
+      spec.workload = workload_;
+      spec.bugs = bugs_;
+      spec.plan = *plan;
+      // Test runs reuse the golden run's seed: on this deterministic
+      // substrate a run then differs from the golden run only through the
+      // injected faults, which keeps Eq. 1 free of seed-variance noise (the
+      // paper absorbs that noise into tau instead).
+      spec.seed = seed_base_;
+      spec.max_duration_ms = monitor.profiling_duration_ms() + 45000;
+      const ExperimentResult result = harness_.run(spec, &monitor);
+      budget.charge_experiment(result.duration_ms);
+      ++report.experiments;
+      strategy.feedback(*plan, result);
+      if (result.unsafe()) {
+        UnsafeRecord record;
+        record.plan = *plan;
+        record.violation = *result.violation;
+        record.fired_bugs = result.fired_bugs;
+        record.transitions = result.transitions;
+        record.seed = spec.seed;
+        record.experiment_index = report.experiments;
+        for (fw::BugId id : result.fired_bugs) {
+          report.bug_first_found.try_emplace(id, report.experiments);
+        }
+        report.unsafe.push_back(std::move(record));
+      }
+    }
+    report.labels = budget.labels();
+    report.budget_used_ms = budget.used_ms();
+    return report;
+  }
+
+  fw::Personality personality() const { return personality_; }
+  workload::WorkloadId workload() const { return workload_; }
+  const fw::BugRegistry& bugs() const { return bugs_; }
+  SimulationHarness& harness() { return harness_; }
+
+ private:
+  fw::Personality personality_;
+  workload::WorkloadId workload_;
+  fw::BugRegistry bugs_;
+  std::uint64_t seed_base_;
+  SimulationHarness harness_;
+  std::optional<MonitorModel> model_;
+};
+
+}  // namespace avis::core

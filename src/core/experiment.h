@@ -1,0 +1,96 @@
+// Experiment specification and result types shared by the harness, the
+// invariant monitor, and every search strategy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+#include "fw/bugs.h"
+#include "fw/modes.h"
+#include "core/fault_plan.h"
+#include "geo/vec3.h"
+#include "sim/vehicle_state.h"
+#include "workload/default_workloads.h"
+
+namespace avis::core {
+
+// One entry in the mode trace the engine records through hinj.
+struct ModeTransition {
+  sim::SimTimeMs time_ms = 0;
+  std::uint16_t mode_id = 0;
+  std::string mode_name;
+};
+
+// The paper's state tuple (P, alpha, M) sampled along a run (§IV-C),
+// plus the physical flags the safety rule needs.
+struct StateSample {
+  sim::SimTimeMs time_ms = 0;
+  geo::Vec3 position;
+  geo::Vec3 acceleration;
+  std::uint16_t mode_id = 0;
+  bool on_ground = false;
+  bool armed = false;
+};
+
+inline constexpr sim::SimTimeMs kSamplePeriodMs = 100;  // 10 Hz monitor rate
+
+enum class ViolationType : std::uint8_t {
+  kCrash,          // physical collision (safety rule)
+  kFirmwareDead,   // firmware process aborted (safety rule)
+  kLiveliness,     // Eq. 1: state deviates from every profiling run
+  kFlyAway,        // hard backstop: left the profiled flight volume
+};
+
+inline const char* to_string(ViolationType v) {
+  switch (v) {
+    case ViolationType::kCrash: return "crash";
+    case ViolationType::kFirmwareDead: return "firmware-dead";
+    case ViolationType::kLiveliness: return "liveliness";
+    case ViolationType::kFlyAway: return "fly-away";
+  }
+  return "?";
+}
+
+struct Violation {
+  ViolationType type = ViolationType::kLiveliness;
+  sim::SimTimeMs time_ms = 0;
+  std::uint16_t mode_id = 0;  // composite mode at violation time
+  std::string details;
+
+  fw::ModeBucket bucket() const {
+    return fw::bucket_of(fw::CompositeMode::from_id(mode_id).mode);
+  }
+};
+
+struct ExperimentSpec {
+  fw::Personality personality = fw::Personality::kArduPilotLike;
+  workload::WorkloadId workload = workload::WorkloadId::kAuto;
+  // Custom workloads built with the framework plug in here; when set it
+  // overrides `workload`.
+  std::function<std::unique_ptr<workload::Workload>()> workload_factory;
+  fw::BugRegistry bugs = fw::BugRegistry::current_code_base();
+  FaultPlan plan;
+  std::uint64_t seed = 1;
+  sim::SimTimeMs max_duration_ms = 150000;
+  bool stop_on_violation = true;
+};
+
+struct ExperimentResult {
+  bool workload_passed = false;
+  std::optional<Violation> violation;
+  std::vector<ModeTransition> transitions;
+  std::vector<StateSample> trace;  // sampled at kSamplePeriodMs
+  std::vector<fw::BugId> fired_bugs;
+  sim::SimTimeMs duration_ms = 0;
+  sim::CrashCause crash_cause = sim::CrashCause::kNone;
+
+  bool unsafe() const { return violation.has_value(); }
+};
+
+}  // namespace avis::core

@@ -1,0 +1,90 @@
+// Fault plans: the unit of work for every search strategy.
+//
+// A plan is a set of (timestamp, sensor instance) clean-failure injections
+// (paper §V-B: "a fault injection scenario as a set of tuples (Timestamp,
+// Fault)"). Plans are value types with a canonical signature used for the
+// scheduler's already-explored hash-set, and a role signature that folds
+// together instance-symmetric plans (§IV-B's sensor instance symmetry).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sensors/sensor_types.h"
+#include "sim/simulator.h"
+
+namespace avis::core {
+
+struct FaultEvent {
+  sim::SimTimeMs time_ms = 0;
+  sensors::SensorId sensor;
+
+  constexpr bool operator==(const FaultEvent&) const = default;
+  constexpr auto operator<=>(const FaultEvent&) const = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  void add(sim::SimTimeMs time_ms, sensors::SensorId sensor) {
+    events.push_back({time_ms, sensor});
+    normalize();
+  }
+
+  void normalize() {
+    std::sort(events.begin(), events.end());
+    events.erase(std::unique(events.begin(), events.end()), events.end());
+  }
+
+  bool empty() const { return events.empty(); }
+  std::size_t size() const { return events.size(); }
+
+  // Exact identity: timestamps + concrete instances.
+  std::string signature() const {
+    std::ostringstream os;
+    for (const auto& e : events) {
+      os << e.time_ms << ":" << static_cast<int>(e.sensor.type) << "."
+         << static_cast<int>(e.sensor.instance) << ";";
+    }
+    return os.str();
+  }
+
+  // Instance-symmetric identity: per timestamp and type, only the role
+  // multiset matters (primary yes/no + number of backups). Two plans that
+  // fail different backup instances of the same type at the same times have
+  // equal role signatures and only one of them is simulated.
+  std::string role_signature() const {
+    // (time, type) -> (primary_failed, backup_count)
+    std::map<std::pair<sim::SimTimeMs, sensors::SensorType>, std::pair<bool, int>> roles;
+    for (const auto& e : events) {
+      auto& slot = roles[{e.time_ms, e.sensor.type}];
+      if (e.sensor.role() == sensors::SensorRole::kPrimary) {
+        slot.first = true;
+      } else {
+        slot.second += 1;
+      }
+    }
+    std::ostringstream os;
+    for (const auto& [key, value] : roles) {
+      os << key.first << ":" << static_cast<int>(key.second) << ":" << (value.first ? "P" : "-")
+         << value.second << ";";
+    }
+    return os.str();
+  }
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os << "{";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (i) os << ", ";
+      os << events[i].sensor.to_string() << "@" << events[i].time_ms << "ms";
+    }
+    os << "}";
+    return os.str();
+  }
+};
+
+}  // namespace avis::core

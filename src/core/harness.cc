@@ -1,0 +1,152 @@
+#include "core/harness.h"
+
+#include "util/checked.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace avis::core {
+
+namespace {
+// The workload (ground station) is pumped at 20 ms — a realistic GCS loop
+// rate, and far slower than the 1 kHz firmware loop.
+constexpr sim::SimTimeMs kWorkloadPeriodMs = 20;
+// After the workload passes or fails, let the vehicle settle briefly so
+// late-manifesting violations (e.g. ground impact) are still observed.
+constexpr sim::SimTimeMs kGraceMs = 4000;
+}  // namespace
+
+ExperimentResult SimulationHarness::run(const ExperimentSpec& spec,
+                                        const MonitorModel* monitor_model) const {
+  ScheduledDirector director(spec.plan);
+  return run_with_director(spec, director, monitor_model);
+}
+
+ExperimentResult SimulationHarness::run_with_director(const ExperimentSpec& spec,
+                                                      hinj::FaultDirector& custom_director,
+                                                      const MonitorModel* monitor_model) const {
+  util::Rng seed_source(spec.seed);
+
+  sim::Environment env;  // default: flat field, no wind, no obstacles
+  sim::Simulator simulator(env, sim::QuadcopterParams{}, seed_source.next_u64());
+
+  util::Rng sensor_seeds = seed_source.fork(1);
+  sensors::SensorSuite suite(iris_suite(), sensor_seeds);
+
+  RecordingDirector director(custom_director);
+  hinj::Server hinj_server(director);
+  hinj::Client hinj_client(hinj_server);
+
+  mavlink::Channel channel;
+  fw::SensorBus bus(suite, hinj_client);
+
+  fw::FirmwareConfig fw_config = spec.personality == fw::Personality::kArduPilotLike
+                                     ? fw::FirmwareConfig::ardupilot()
+                                     : fw::FirmwareConfig::px4();
+  fw_config.bugs = spec.bugs;
+  fw::Firmware firmware(fw_config, bus, hinj_client, channel.vehicle(),
+                        simulator.environment());
+
+  auto workload_ptr =
+      spec.workload_factory ? spec.workload_factory() : workload::make_workload(spec.workload);
+  util::expects(workload_ptr != nullptr, "unknown workload id");
+  workload::GcsContext gcs(channel.gcs(), simulator.environment().frame());
+
+  std::optional<MonitorSession> monitor;
+  if (monitor_model != nullptr) monitor.emplace(*monitor_model);
+
+  ExperimentResult result;
+  bool firmware_dead = false;
+  sim::SimTimeMs workload_done_at = -1;
+
+  for (sim::SimTimeMs now = 0; now < spec.max_duration_ms; ++now) {
+    // Step 1: the workload runs until it yields back to the harness.
+    if (now % kWorkloadPeriodMs == 0 && !firmware_dead) {
+      gcs.pump(now);
+      const workload::WorkloadStatus ws = workload_ptr->step(gcs);
+      if (ws != workload::WorkloadStatus::kRunning && workload_done_at < 0) {
+        workload_done_at = now;
+        result.workload_passed = ws == workload::WorkloadStatus::kPassed;
+      }
+    }
+
+    // Steps 3-5: firmware reads (instrumented) sensors and commands motors.
+    sim::MotorCommands motors;
+    if (!firmware_dead) {
+      try {
+        motors = firmware.step(now, simulator.state());
+      } catch (const util::InvariantError& err) {
+        firmware_dead = true;
+        util::log_warn() << "firmware aborted: " << err.what();
+      }
+    }
+
+    // Steps 2 & 6: the simulator advances the physical world.
+    simulator.step(motors);
+
+    if (step_hook_) step_hook_(simulator.now_ms(), simulator.state(), firmware);
+
+    // Sample the state tuple at the monitor rate.
+    if (now % kSamplePeriodMs == 0) {
+      StateSample sample;
+      sample.time_ms = now;
+      sample.position = simulator.state().position;
+      sample.acceleration = simulator.state().acceleration;
+      sample.mode_id = firmware.composite_mode().id();
+      sample.on_ground = simulator.state().on_ground;
+      sample.armed = firmware.armed();
+      result.trace.push_back(sample);
+
+      if (monitor) {
+        const bool workload_failed =
+            workload_done_at >= 0 && workload_ptr->status() == workload::WorkloadStatus::kFailed;
+        const auto violation =
+            monitor->on_sample(sample, simulator.state().crashed, simulator.last_crash(),
+                               firmware_dead, workload_failed);
+        if (violation && !result.violation) {
+          result.violation = violation;
+          if (spec.stop_on_violation) {
+            result.duration_ms = now + 1;
+            break;
+          }
+        }
+      }
+    }
+
+    // End conditions: workload finished (plus grace), or vehicle crashed and
+    // the wreck has been recorded for a little while.
+    if (workload_done_at >= 0 && now - workload_done_at >= kGraceMs) {
+      result.duration_ms = now + 1;
+      break;
+    }
+    if (simulator.state().crashed && workload_done_at < 0) {
+      workload_done_at = now;  // nothing more will happen; start grace
+      result.workload_passed = false;
+    }
+  }
+
+  if (result.duration_ms == 0) result.duration_ms = spec.max_duration_ms;
+  result.transitions = director.transitions();
+  result.fired_bugs = firmware.fired_bugs();
+  result.crash_cause = simulator.last_crash();
+  return result;
+}
+
+MonitorModel SimulationHarness::profile(fw::Personality personality,
+                                        workload::WorkloadId workload,
+                                        const fw::BugRegistry& bugs, int runs,
+                                        std::uint64_t seed_base) const {
+  std::vector<ExperimentResult> profiling;
+  for (int i = 0; i < runs; ++i) {
+    ExperimentSpec spec;
+    spec.personality = personality;
+    spec.workload = workload;
+    spec.bugs = bugs;
+    spec.seed = seed_base + static_cast<std::uint64_t>(i);
+    profiling.push_back(run(spec, nullptr));
+    util::expects(profiling.back().workload_passed,
+                  "profiling run did not complete its workload");
+  }
+  return MonitorModel::calibrate(std::move(profiling));
+}
+
+}  // namespace avis::core

@@ -1,0 +1,122 @@
+// The simulation harness: wires simulator, sensors, hinj, firmware, MAVLink
+// and workload into one experiment (the full loop of the paper's Fig. 7).
+//
+// "At the start of each test, Avis provisions a new instance of the
+// simulator and firmware" — run() builds everything from scratch, making an
+// experiment a pure function of its spec.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/experiment.h"
+#include "core/invariant_monitor.h"
+#include "fw/firmware.h"
+#include "hinj/hinj.h"
+#include "sensors/sensor_models.h"
+#include "sim/simulator.h"
+#include "workload/default_workloads.h"
+
+namespace avis::core {
+
+// Engine-side fault director: injects the plan's failures at their
+// scheduled timestamps.
+class ScheduledDirector final : public hinj::FaultDirector {
+ public:
+  explicit ScheduledDirector(const FaultPlan& plan) : plan_(plan) {}
+
+  bool should_fail(const sensors::SensorId& sensor, std::int64_t time_ms) override {
+    for (const auto& event : plan_.events) {
+      if (event.sensor == sensor && time_ms >= event.time_ms) return true;
+    }
+    return false;
+  }
+
+  void on_mode_update(std::uint16_t, const std::string&, std::int64_t) override {}
+
+ private:
+  FaultPlan plan_;
+};
+
+// Wraps any director and records the mode trace and heartbeats the firmware
+// reports through hinj; the harness always interposes one of these so every
+// experiment result carries its transition list.
+class RecordingDirector final : public hinj::FaultDirector {
+ public:
+  explicit RecordingDirector(hinj::FaultDirector& inner) : inner_(&inner) {}
+
+  bool should_fail(const sensors::SensorId& sensor, std::int64_t time_ms) override {
+    return inner_->should_fail(sensor, time_ms);
+  }
+
+  void on_mode_update(std::uint16_t mode_id, const std::string& mode_name,
+                      std::int64_t time_ms) override {
+    transitions_.push_back({time_ms, mode_id, mode_name});
+    current_mode_ = mode_id;
+    inner_->on_mode_update(mode_id, mode_name, time_ms);
+  }
+
+  void on_heartbeat(std::int64_t time_ms) override {
+    last_heartbeat_ms_ = time_ms;
+    inner_->on_heartbeat(time_ms);
+  }
+
+  const std::vector<ModeTransition>& transitions() const { return transitions_; }
+  std::uint16_t current_mode() const { return current_mode_; }
+  std::int64_t last_heartbeat_ms() const { return last_heartbeat_ms_; }
+
+ private:
+  hinj::FaultDirector* inner_;
+  std::vector<ModeTransition> transitions_;
+  std::uint16_t current_mode_ = 0;
+  std::int64_t last_heartbeat_ms_ = 0;
+};
+
+class SimulationHarness {
+ public:
+  SimulationHarness() = default;
+
+  // The vehicle's sensor complement (paper §VI: the 3DR Iris / Pixhawk
+  // stack): dual-redundant IMU (gyro + accel), triple-redundant compass
+  // (the paper's Fig. 6 example), single baro/GPS/battery. Search
+  // strategies must enumerate over this.
+  static sensors::SuiteConfig iris_suite() {
+    sensors::SuiteConfig config;
+    config.gyroscopes = 2;
+    config.accelerometers = 2;
+    config.barometers = 1;
+    config.gpses = 1;
+    config.compasses = 3;
+    config.batteries = 1;
+    return config;
+  }
+
+  // Run one experiment. If `monitor_model` is non-null the invariant monitor
+  // runs alongside and, when spec.stop_on_violation, ends the run at the
+  // first violation. Profiling runs pass nullptr.
+  ExperimentResult run(const ExperimentSpec& spec,
+                       const MonitorModel* monitor_model = nullptr) const;
+
+  // Same, but with a caller-supplied fault director (the replayer injects
+  // relative to observed mode transitions rather than absolute timestamps).
+  ExperimentResult run_with_director(const ExperimentSpec& spec,
+                                     hinj::FaultDirector& director,
+                                     const MonitorModel* monitor_model) const;
+
+  // Convenience: N fault-free profiling runs with distinct seeds, then
+  // monitor calibration (paper: "We assume runs without sensor failures are
+  // correct").
+  MonitorModel profile(fw::Personality personality, workload::WorkloadId workload,
+                       const fw::BugRegistry& bugs, int runs = 3,
+                       std::uint64_t seed_base = 1) const;
+
+  // Per-run step hook for benches that need full-rate traces (Fig. 9/10).
+  using StepHook = std::function<void(sim::SimTimeMs, const sim::VehicleState&,
+                                      const fw::Firmware&)>;
+  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+
+ private:
+  StepHook step_hook_;
+};
+
+}  // namespace avis::core

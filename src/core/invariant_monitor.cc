@@ -1,0 +1,227 @@
+#include "core/invariant_monitor.h"
+
+#include <algorithm>
+
+#include "util/checked.h"
+#include "util/log.h"
+
+namespace avis::core {
+
+namespace {
+// Safe-mode progress checks look this far back in the sampled history.
+constexpr sim::SimTimeMs kProgressWindowMs = 4000;
+constexpr std::size_t kProgressWindowSamples = kProgressWindowMs / kSamplePeriodMs;
+// Fly-away backstop margin beyond the profiled flight volume.
+constexpr double kFlyAwayMarginM = 25.0;
+// Eq. 1 must hold for this many consecutive samples (0.6 s) to count.
+constexpr int kEq1PersistenceSamples = 6;
+}  // namespace
+
+MonitorModel MonitorModel::calibrate(std::vector<ExperimentResult> profiling_runs) {
+  util::expects(!profiling_runs.empty(), "monitor calibration needs profiling runs");
+  MonitorModel m;
+  m.golden_ = profiling_runs.front();
+  m.golden_transitions_ = m.golden_.transitions;
+
+  std::vector<std::vector<ModeTransition>> transition_sets;
+  for (auto& run : profiling_runs) {
+    util::expects(!run.trace.empty(), "profiling run has an empty trace");
+    transition_sets.push_back(run.transitions);
+    m.traces_.push_back(std::move(run.trace));
+  }
+  m.graph_ = ModeGraph::from_profiling(transition_sets);
+
+  // Pad all traces to the longest duration by repeating the last state.
+  std::size_t max_len = 0;
+  for (const auto& t : m.traces_) max_len = std::max(max_len, t.size());
+  for (auto& t : m.traces_) {
+    while (t.size() < max_len) {
+      StateSample s = t.back();
+      s.time_ms += kSamplePeriodMs;
+      t.push_back(s);
+    }
+  }
+  m.duration_ms_ = static_cast<sim::SimTimeMs>(max_len) * kSamplePeriodMs;
+
+  // P-bar and A-bar: the largest pairwise position/acceleration distances at
+  // equal time offsets; floors keep the normalization sane when profiling
+  // runs are nearly identical.
+  double p_bar = 0.0;
+  double a_bar = 0.0;
+  for (std::size_t i = 0; i < m.traces_.size(); ++i) {
+    for (std::size_t j = i + 1; j < m.traces_.size(); ++j) {
+      for (std::size_t k = 0; k < max_len; ++k) {
+        p_bar = std::max(p_bar, geo::euclidean_distance(m.traces_[i][k].position,
+                                                        m.traces_[j][k].position));
+        a_bar = std::max(a_bar, geo::euclidean_distance(m.traces_[i][k].acceleration,
+                                                        m.traces_[j][k].acceleration));
+      }
+    }
+  }
+  m.p_bar_ = std::max(p_bar, 0.75);
+  m.a_bar_ = std::max(a_bar, 0.75);
+
+  // tau: the largest state distance between any two profiling runs at the
+  // same offset.
+  double tau = 0.0;
+  for (std::size_t i = 0; i < m.traces_.size(); ++i) {
+    for (std::size_t j = i + 1; j < m.traces_.size(); ++j) {
+      for (std::size_t k = 0; k < max_len; ++k) {
+        tau = std::max(tau, m.state_distance(m.traces_[i][k], m.traces_[j][k]));
+      }
+    }
+  }
+  // With a single profiling run there is no pairwise spread; fall back to a
+  // conservative fraction of the normalization scale.
+  m.tau_ = m.traces_.size() > 1 ? tau : 0.5 * m.graph_.diameter();
+
+  for (const auto& trace : m.traces_) {
+    for (const auto& s : trace) {
+      m.max_home_distance_ = std::max(m.max_home_distance_, s.position.norm());
+    }
+  }
+  util::log_info() << "monitor calibrated: tau=" << m.tau_ << " P=" << m.p_bar_
+                   << " A=" << m.a_bar_ << " D=" << m.graph_.diameter()
+                   << " modes=" << m.graph_.node_count();
+  return m;
+}
+
+const StateSample& MonitorModel::profiling_state(std::size_t run, sim::SimTimeMs t) const {
+  const auto& trace = traces_[run];
+  std::size_t index = static_cast<std::size_t>(t / kSamplePeriodMs);
+  if (index >= trace.size()) index = trace.size() - 1;
+  return trace[index];
+}
+
+double MonitorModel::state_distance(const StateSample& a, const StateSample& b) const {
+  const double d_len = static_cast<double>(graph_.diameter());
+  const double dp = geo::euclidean_distance(a.position, b.position) * d_len / p_bar_;
+  const double da = geo::euclidean_distance(a.acceleration, b.acceleration) * d_len / a_bar_;
+  const double dm = static_cast<double>(graph_.distance(a.mode_id, b.mode_id));
+  return std::sqrt(dp * dp + da * da + dm * dm);
+}
+
+bool MonitorModel::liveliness_violated(const StateSample& s) const {
+  for (std::size_t i = 0; i < traces_.size(); ++i) {
+    if (state_distance(s, profiling_state(i, s.time_ms)) <= tau_) return false;
+  }
+  return true;
+}
+
+std::optional<Violation> MonitorSession::on_sample(const StateSample& sample, bool crashed,
+                                                   sim::CrashCause crash_cause,
+                                                   bool firmware_dead, bool workload_failed) {
+  if (violation_) return violation_;
+  history_.push_back(sample);
+
+  // Mission progress lost entirely (workload timed out / was rejected): a
+  // liveliness violation unless the vehicle reached a safe state.
+  if (workload_failed && !p_safe_mode_ok(sample)) {
+    violation_ = Violation{ViolationType::kLiveliness, sample.time_ms, sample.mode_id,
+                           "mission stopped making progress (workload failed)"};
+    return violation_;
+  }
+
+  // Safety first.
+  if (firmware_dead) {
+    violation_ = Violation{ViolationType::kFirmwareDead, sample.time_ms, sample.mode_id,
+                           "firmware process aborted"};
+    return violation_;
+  }
+  if (crashed) {
+    violation_ = Violation{ViolationType::kCrash, sample.time_ms, sample.mode_id,
+                           std::string("collision: ") + sim::to_string(crash_cause)};
+    return violation_;
+  }
+
+  // Fly-away backstop: outside the profiled flight volume entirely. Safe
+  // modes that are demonstrably making progress (e.g. a no-position landing
+  // that drifted while descending) are exempt, like Eq. 1.
+  if (sample.position.norm() > model_->max_home_distance() + kFlyAwayMarginM &&
+      !p_safe_mode_ok(sample)) {
+    violation_ = Violation{ViolationType::kFlyAway, sample.time_ms, sample.mode_id,
+                           "left profiled flight volume"};
+    return violation_;
+  }
+
+  // Liveliness (Eq. 1), with the safe-mode exemption and a short
+  // persistence filter.
+  if (model_->liveliness_violated(sample) && !p_safe_mode_ok(sample)) {
+    if (consecutive_eq1_ == 0) {
+      eq1_started_ms_ = sample.time_ms;
+      eq1_mode_ = sample.mode_id;
+    }
+    ++consecutive_eq1_;
+    if (consecutive_eq1_ >= kEq1PersistenceSamples) {
+      violation_ = Violation{ViolationType::kLiveliness, eq1_started_ms_, eq1_mode_,
+                             "state diverged from all profiling runs (Eq. 1)"};
+      return violation_;
+    }
+  } else {
+    consecutive_eq1_ = 0;
+  }
+  return std::nullopt;
+}
+
+bool MonitorSession::p_safe_mode_ok(const StateSample& sample) {
+  const fw::Mode mode = fw::CompositeMode::from_id(sample.mode_id).mode;
+
+  // Disarmed on the ground (pre-arm refusal or mission already completed):
+  // stationary is safe.
+  if (mode == fw::Mode::kPreFlight) {
+    return !sample.armed && sample.on_ground;
+  }
+
+  // Landing modes must descend (or already be down). Two trends are
+  // accepted: net descent over the full window, or steady descent over the
+  // last 1.5 s (a landing engaged mid-climb carries upward momentum briefly,
+  // which the long window would misread as "not landing").
+  if (mode == fw::Mode::kLand || mode == fw::Mode::kEmergencyLand) {
+    if (sample.on_ground) return true;
+    if (history_.size() < kProgressWindowSamples) return true;  // grace period
+    const StateSample& past = history_[history_.size() - kProgressWindowSamples];
+    if (fw::CompositeMode::from_id(past.mode_id).mode != mode) return true;  // just entered
+    const double altitude_now = -sample.position.z;
+    const double altitude_then = -past.position.z;
+    constexpr std::size_t kShortSamples = 15;  // 1.5 s
+    const StateSample& recent = history_[history_.size() - kShortSamples];
+    const double altitude_recent = -recent.position.z;
+    // Long window: a degraded-sensor descent can oscillate for seconds, but
+    // net progress over 8 s still distinguishes it from a genuine stall.
+    constexpr std::size_t kLongSamples = 80;
+    bool long_window_descending = false;
+    if (history_.size() >= kLongSamples) {
+      const StateSample& old = history_[history_.size() - kLongSamples];
+      if (fw::CompositeMode::from_id(old.mode_id).mode == mode) {
+        long_window_descending = (-old.position.z) - altitude_now > 0.6;
+      }
+    }
+    const bool descending = altitude_then - altitude_now > 0.4 ||
+                            altitude_recent - altitude_now > 0.25 || long_window_descending;
+    if (!descending) {
+      util::log_debug() << "land progress failed at t=" << sample.time_ms
+                        << "ms alt_then=" << altitude_then << " alt_now=" << altitude_now;
+    }
+    return descending;
+  }
+
+  // Return-to-launch must make progress toward home (its supplied invariant,
+  // per the paper's example of a safe mode).
+  if (mode == fw::Mode::kReturnToLaunch) {
+    if (history_.size() < kProgressWindowSamples) return true;
+    const StateSample& past = history_[history_.size() - kProgressWindowSamples];
+    if (fw::CompositeMode::from_id(past.mode_id).mode != mode) return true;
+    constexpr std::size_t kShortSamples = 15;
+    const StateSample& recent = history_[history_.size() - kShortSamples];
+    const double home_then = std::hypot(past.position.x, past.position.y);
+    const double home_recent = std::hypot(recent.position.x, recent.position.y);
+    const double home_now = std::hypot(sample.position.x, sample.position.y);
+    const double climb = (-sample.position.z) - (-past.position.z);
+    return home_then - home_now > 0.4 || home_recent - home_now > 0.25 ||
+           climb > 0.4;  // returning or climbing out
+  }
+
+  return false;  // every other mode is bound by Eq. 1
+}
+
+}  // namespace avis::core

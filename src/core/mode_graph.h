@@ -1,0 +1,100 @@
+// The mode graph (paper §IV-C).
+//
+// "A mode graph is a directed graph, where each node represents a mode and
+// each edge represents a mode-change event. The mode graph is constructed
+// from the observed transitions between modes in the profiling runs." The
+// distance between modes is the shortest-path length; D is the longest such
+// distance, used to normalize the position/acceleration components of the
+// state distance.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace avis::core {
+
+class ModeGraph {
+ public:
+  ModeGraph() = default;
+
+  // Build from observed transitions across all profiling runs. The starting
+  // mode of each run is a node even if it never transitions.
+  static ModeGraph from_profiling(const std::vector<std::vector<ModeTransition>>& runs) {
+    ModeGraph g;
+    for (const auto& run : runs) {
+      std::uint16_t prev_valid = 0;
+      bool have_prev = false;
+      for (const auto& t : run) {
+        g.nodes_.insert(t.mode_id);
+        if (have_prev && prev_valid != t.mode_id) {
+          g.edges_[prev_valid].insert(t.mode_id);
+        }
+        prev_valid = t.mode_id;
+        have_prev = true;
+      }
+    }
+    g.p_compute_distances();
+    return g;
+  }
+
+  bool contains(std::uint16_t mode) const { return nodes_.contains(mode); }
+
+  // Shortest directed path length between modes; modes outside the graph or
+  // unreachable pairs score the maximum distance D (the test run is doing
+  // something no profiling run ever did).
+  int distance(std::uint16_t from, std::uint16_t to) const {
+    if (from == to) return 0;
+    const auto it = dist_.find({from, to});
+    if (it == dist_.end()) return diameter_;
+    return it->second;
+  }
+
+  // D: the longest shortest-path in the graph (paper's normalization scale).
+  int diameter() const { return diameter_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const {
+    std::size_t n = 0;
+    for (const auto& [from, tos] : edges_) n += tos.size();
+    return n;
+  }
+
+ private:
+  void p_compute_distances() {
+    diameter_ = 1;
+    for (std::uint16_t src : nodes_) {
+      std::map<std::uint16_t, int> dist;
+      std::deque<std::uint16_t> queue{src};
+      dist[src] = 0;
+      while (!queue.empty()) {
+        const std::uint16_t u = queue.front();
+        queue.pop_front();
+        const auto it = edges_.find(u);
+        if (it == edges_.end()) continue;
+        for (std::uint16_t v : it->second) {
+          if (dist.contains(v)) continue;
+          dist[v] = dist[u] + 1;
+          queue.push_back(v);
+        }
+      }
+      for (const auto& [node, d] : dist) {
+        if (d > 0) {
+          dist_[{src, node}] = d;
+          diameter_ = std::max(diameter_, d);
+        }
+      }
+    }
+  }
+
+  std::set<std::uint16_t> nodes_;
+  std::map<std::uint16_t, std::set<std::uint16_t>> edges_;
+  std::map<std::pair<std::uint16_t, std::uint16_t>, int> dist_;
+  int diameter_ = 1;
+};
+
+}  // namespace avis::core

@@ -1,0 +1,112 @@
+// Bug replay (paper §IV-D).
+//
+// "Avis records the failures that it injects... To reconstruct the unsafe
+// condition, Avis re-executes the mission, injecting the same faults at the
+// same time offsets from mode transitions. Even in the presence of minor
+// non-determinism this technique is successful since failures are injected
+// at the same time relative to the modes they affect."
+//
+// Each fault event is anchored to the k-th occurrence of the composite mode
+// it was injected under; on replay, the director watches live mode updates
+// and arms the event when its anchor re-occurs.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/harness.h"
+#include "hinj/hinj.h"
+
+namespace avis::core {
+
+struct AnchoredFault {
+  std::uint16_t anchor_mode_id = 0;  // composite mode the fault was injected in
+  int anchor_occurrence = 0;         // which occurrence of that mode (0-based)
+  sim::SimTimeMs delta_ms = 0;       // offset from the mode-entry time
+  sensors::SensorId sensor;
+};
+
+struct ReplayRecord {
+  ExperimentSpec spec;                  // original experiment (plan kept for reference)
+  std::vector<AnchoredFault> anchored;  // plan re-expressed relative to modes
+};
+
+// Build a replay record from an unsafe run's plan and observed transitions.
+inline ReplayRecord make_replay_record(const ExperimentSpec& spec,
+                                       const std::vector<ModeTransition>& transitions) {
+  ReplayRecord record;
+  record.spec = spec;
+  std::map<std::uint16_t, int> occurrence_so_far;
+  // Walk transitions in order, tracking the active mode; attribute each
+  // fault to the mode interval containing it.
+  for (const auto& event : spec.plan.events) {
+    const ModeTransition* anchor = nullptr;
+    int anchor_occurrence = 0;
+    std::map<std::uint16_t, int> counts;
+    for (const auto& t : transitions) {
+      if (t.time_ms > event.time_ms) break;
+      anchor = &t;
+      anchor_occurrence = counts[t.mode_id]++;
+    }
+    AnchoredFault fault;
+    fault.sensor = event.sensor;
+    if (anchor != nullptr) {
+      fault.anchor_mode_id = anchor->mode_id;
+      fault.anchor_occurrence = anchor_occurrence;
+      fault.delta_ms = event.time_ms - anchor->time_ms;
+    } else {
+      fault.anchor_mode_id = 0;
+      fault.anchor_occurrence = 0;
+      fault.delta_ms = event.time_ms;
+    }
+    record.anchored.push_back(fault);
+  }
+  return record;
+}
+
+// Director that injects anchored faults as their anchors re-occur.
+class ReplayDirector final : public hinj::FaultDirector {
+ public:
+  explicit ReplayDirector(std::vector<AnchoredFault> faults) : faults_(std::move(faults)) {
+    armed_at_.assign(faults_.size(), -1);
+  }
+
+  void on_mode_update(std::uint16_t mode_id, const std::string&, std::int64_t time_ms) override {
+    const int occurrence = occurrences_[mode_id]++;
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+      if (armed_at_[i] < 0 && faults_[i].anchor_mode_id == mode_id &&
+          faults_[i].anchor_occurrence == occurrence) {
+        armed_at_[i] = time_ms + faults_[i].delta_ms;
+      }
+    }
+  }
+
+  bool should_fail(const sensors::SensorId& sensor, std::int64_t time_ms) override {
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+      if (armed_at_[i] >= 0 && time_ms >= armed_at_[i] && faults_[i].sensor == sensor) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<AnchoredFault> faults_;
+  std::vector<std::int64_t> armed_at_;
+  std::map<std::uint16_t, int> occurrences_;
+};
+
+// Re-execute a recorded unsafe run. Returns the replayed result; callers
+// check that the violation reproduces.
+inline ExperimentResult replay(const SimulationHarness& harness, const ReplayRecord& record,
+                               const MonitorModel& model, std::uint64_t seed_override = 0) {
+  ExperimentSpec spec = record.spec;
+  spec.plan = {};  // faults come from the replay director instead
+  if (seed_override != 0) spec.seed = seed_override;
+  ReplayDirector director(record.anchored);
+  return harness.run_with_director(spec, director, &model);
+}
+
+}  // namespace avis::core

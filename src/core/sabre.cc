@@ -1,0 +1,254 @@
+#include "core/sabre.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace avis::core {
+
+std::string role_signature_of_set(const std::vector<sensors::SensorId>& set) {
+  std::map<sensors::SensorType, std::pair<bool, int>> roles;
+  for (const auto& id : set) {
+    auto& slot = roles[id.type];
+    if (id.role() == sensors::SensorRole::kPrimary) {
+      slot.first = true;
+    } else {
+      slot.second += 1;
+    }
+  }
+  std::ostringstream os;
+  for (const auto& [type, value] : roles) {
+    os << static_cast<int>(type) << ":" << (value.first ? "P" : "-") << value.second << ";";
+  }
+  return os.str();
+}
+
+SabreScheduler::SabreScheduler(sensors::SuiteConfig suite,
+                               std::vector<ModeTransition> golden_transitions,
+                               SabreConfig config)
+    : suite_(suite), config_(config) {
+  // Line 1: seed the queue with the profiling run's mode transitions.
+  for (const auto& t : golden_transitions) {
+    queue_.push_back(QueueEntry{t.time_ms, FaultPlan{}, 0, 0});
+  }
+}
+
+bool SabreScheduler::p_superset_of_seen_bug(sim::SimTimeMs timestamp,
+                                            const std::string& sig) const {
+  for (const auto& [bug_time, bug_sig] : seen_bugs_) {
+    if (bug_time != timestamp) continue;
+    bool subset = true;
+    std::istringstream tokens(bug_sig);
+    std::string token;
+    while (std::getline(tokens, token, ';')) {
+      if (token.empty()) continue;
+      if (sig.find(token + ";") == std::string::npos) {
+        subset = false;
+        break;
+      }
+    }
+    if (subset) return true;
+  }
+  return false;
+}
+
+bool SabreScheduler::p_can_prune(sim::SimTimeMs timestamp,
+                                 const std::vector<sensors::SensorId>& set,
+                                 const FaultPlan& base) {
+  // Found-bug pruning: skip supersets of a set that already triggered a bug
+  // at this timestamp.
+  if (config_.found_bug_pruning &&
+      p_superset_of_seen_bug(timestamp, role_signature_of_set(set))) {
+    ++pruned_found_bug_;
+    return true;
+  }
+
+  // Duplicate elimination (§V-B-2): never simulate a scenario whose
+  // (instance- or role-level) signature has been run before.
+  FaultPlan candidate = base;
+  for (const auto& id : set) candidate.add(timestamp, id);
+  const std::string sig =
+      config_.symmetry_pruning ? candidate.role_signature() : candidate.signature();
+  if (explored_.contains(sig)) {
+    ++pruned_duplicate_;
+    return true;
+  }
+  return false;
+}
+
+void SabreScheduler::p_emit(sim::SimTimeMs timestamp, const FaultPlan& base,
+                            const std::vector<sensors::SensorId>& set) {
+  FaultPlan plan = base;
+  for (const auto& id : set) plan.add(timestamp, id);
+  const std::string sig =
+      config_.symmetry_pruning ? plan.role_signature() : plan.signature();
+  explored_.insert(sig);
+  batch_.push_back(plan);
+  pending_.push_back(Pending{plan, timestamp, role_signature_of_set(set)});
+}
+
+void SabreScheduler::p_expand_primary(const QueueEntry& entry) {
+  if (entry.timestamp >= 0) {
+    if (config_.full_powerset_batches) {
+      // Fig. 5 / Algorithm-1-as-printed mode: the whole power set at this
+      // timestamp, in size order.
+      for (int size = 1; size <= config_.max_plan_events; ++size) {
+        if (static_cast<int>(entry.base.size()) + size > config_.max_plan_events) break;
+        const auto sets = config_.symmetry_pruning ? canonical_sets_of_size(suite_, size)
+                                                   : all_instance_sets_of_size(suite_, size);
+        for (const auto& set : sets) {
+          if (!p_can_prune(entry.timestamp, set, entry.base)) {
+            p_emit(entry.timestamp, entry.base, set);
+          }
+        }
+      }
+    } else {
+      // Singleton stratum at this timestamp; larger sets go to the
+      // secondary queue.
+      const auto sets = config_.symmetry_pruning ? canonical_sets_of_size(suite_, 1)
+                                                 : all_instance_sets_of_size(suite_, 1);
+      for (const auto& set : sets) {
+        if (!p_can_prune(entry.timestamp, set, entry.base)) {
+          p_emit(entry.timestamp, entry.base, set);
+        }
+      }
+      if (config_.max_set_size >= 2 &&
+          static_cast<int>(entry.base.size()) + 2 <= config_.max_plan_events) {
+        pair_queue_.push_back(PairEntry{entry.timestamp, entry.base, 2, 0});
+      }
+    }
+  }
+
+  // Line 20: crawl the transition's neighbourhood (both directions — the
+  // critical window straddles the transition).
+  if (config_.full_powerset_batches) {
+    if (entry.offset_k < config_.max_offsets) {
+      queue_.push_back(QueueEntry{entry.timestamp + config_.offset_step_ms, entry.base, +1,
+                                  entry.offset_k + 1});
+    }
+    return;
+  }
+  if (entry.direction == 0) {
+    queue_.push_back(
+        QueueEntry{entry.timestamp + config_.offset_step_ms, entry.base, +1, 1});
+    if (entry.timestamp - config_.offset_step_ms >= 0) {
+      queue_.push_back(
+          QueueEntry{entry.timestamp - config_.offset_step_ms, entry.base, -1, 1});
+    }
+  } else if (entry.offset_k < config_.max_offsets) {
+    const sim::SimTimeMs next_t =
+        entry.timestamp + entry.direction * config_.offset_step_ms;
+    if (next_t >= 0) {
+      queue_.push_back(QueueEntry{next_t, entry.base, entry.direction, entry.offset_k + 1});
+    }
+  }
+}
+
+void SabreScheduler::p_expand_pairs(PairEntry entry) {
+  if (static_cast<int>(entry.base.size()) + entry.size > config_.max_plan_events) return;
+  const auto sets = config_.symmetry_pruning
+                        ? canonical_sets_of_size(suite_, entry.size)
+                        : all_instance_sets_of_size(suite_, entry.size);
+  int emitted = 0;
+  while (entry.cursor < sets.size() && emitted < config_.pair_chunk) {
+    const auto& set = sets[entry.cursor++];
+    if (!p_can_prune(entry.timestamp, set, entry.base)) {
+      p_emit(entry.timestamp, entry.base, set);
+      ++emitted;
+    }
+  }
+  if (entry.cursor < sets.size()) {
+    pair_queue_.push_back(entry);  // continuation
+  } else if (entry.size < config_.max_set_size &&
+             static_cast<int>(entry.base.size()) + entry.size + 1 <=
+                 config_.max_plan_events) {
+    pair_queue_.push_back(PairEntry{entry.timestamp, entry.base, entry.size + 1, 0});
+  }
+}
+
+std::optional<FaultPlan> SabreScheduler::next(BudgetClock& budget) {
+  if (budget.exhausted()) return std::nullopt;
+  while (batch_.empty() && (!queue_.empty() || !pair_queue_.empty())) {
+    const bool pairs_due = !pair_queue_.empty() &&
+                           (queue_.empty() || batches_since_pairs_ >= config_.pair_interleave);
+    if (pairs_due) {
+      batches_since_pairs_ = 0;
+      PairEntry entry = pair_queue_.front();
+      pair_queue_.pop_front();
+      p_expand_pairs(std::move(entry));
+    } else {
+      ++batches_since_pairs_;
+      const QueueEntry entry = queue_.front();
+      queue_.pop_front();
+      p_expand_primary(entry);
+    }
+  }
+  if (batch_.empty()) return std::nullopt;
+  // Re-check found-bug pruning at proposal time: a bug found since this
+  // batch was built (Algorithm 1 evaluates CanPrune per scenario) may have
+  // made queued supersets redundant.
+  while (!batch_.empty()) {
+    FaultPlan plan = batch_.front();
+    batch_.pop_front();
+    auto pending_it = pending_.end();
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->plan.signature() == plan.signature()) {
+        pending_it = it;
+        break;
+      }
+    }
+    if (config_.found_bug_pruning && pending_it != pending_.end() &&
+        p_superset_of_seen_bug(pending_it->timestamp, pending_it->role_sig)) {
+      ++pruned_found_bug_;
+      pending_.erase(pending_it);
+      continue;
+    }
+    return plan;
+  }
+  return next(budget);  // batch drained by pruning: expand more
+}
+
+void SabreScheduler::feedback(const FaultPlan& plan, const ExperimentResult& result) {
+  Pending pending;
+  bool found = false;
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->plan.signature() == plan.signature()) {
+      pending = *it;
+      pending_.erase(it);
+      found = true;
+      break;
+    }
+  }
+  if (!found) return;
+
+  if (result.unsafe()) {
+    // Line 17: remember the triggering (timestamp, set) for pruning.
+    seen_bugs_.insert({pending.timestamp, pending.role_sig});
+    return;
+  }
+
+  // Lines 11-14: a bug-free run contributes its own transitions, carrying
+  // the accumulated failures. Only transitions after the newest injection
+  // expose new program contexts (a failure already handled before a
+  // transition re-creates the same state at it). These go to the queue
+  // front so multi-fault chains (e.g. PX4-13291's GPS-then-battery) are
+  // reached within the budget; the cap keeps the frontier from exploding.
+  if (plan.size() >= 2) return;  // depth limit for the augmented frontier
+  if (static_cast<int>(plan.size()) + 1 > config_.max_plan_events) return;
+  // Augmented entries join the primary queue in FIFO order, exactly as
+  // Algorithm 1 enqueues a bug-free run's transitions: the first handled
+  // failure's follow-up contexts are explored within tens of simulations,
+  // which is how the paper's Avis reaches PX4-13291's GPS-then-battery
+  // chain quickly. They run their singleton stratum but do not crawl.
+  int enqueued = 0;
+  for (const auto& t : result.transitions) {
+    if (t.time_ms <= pending.timestamp) continue;
+    if (enqueued >= 2) break;
+    queue_.push_back(QueueEntry{t.time_ms, plan, +1, config_.max_offsets});
+    ++enqueued;
+  }
+}
+
+}  // namespace avis::core

@@ -1,0 +1,31 @@
+// Search-strategy interface.
+//
+// Avis (SABRE), Random, BFI, and Stratified BFI all drive the same checker
+// loop: propose a fault plan, observe the experiment result. Strategies may
+// charge the budget themselves (BFI's model labels cost 10 s each); the
+// checker charges experiment durations.
+#pragma once
+
+#include <optional>
+
+#include "core/budget.h"
+#include "core/experiment.h"
+#include "core/fault_plan.h"
+
+namespace avis::core {
+
+class InjectionStrategy {
+ public:
+  virtual ~InjectionStrategy() = default;
+
+  // Propose the next fault plan. May consume budget (model labeling); must
+  // return nullopt when out of candidates or when the budget is exhausted.
+  virtual std::optional<FaultPlan> next(BudgetClock& budget) = 0;
+
+  // Result of simulating the proposed plan.
+  virtual void feedback(const FaultPlan& plan, const ExperimentResult& result) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace avis::core

@@ -1,0 +1,140 @@
+// Seeded sensor-bug registry.
+//
+// The paper evaluates Avis against two bug populations:
+//  * Table II: 10 previously-unknown bugs present in the then-current
+//    ArduPilot/PX4 code bases. Here they are enabled by default — our
+//    firmware *is* the "current code base".
+//  * Table V: 5 previously-known (already fixed) bugs that the authors
+//    re-inserted. Here they are disabled by default and re-inserted by the
+//    Table V bench via BugRegistry::enable().
+//
+// Each bug models what the paper found: failure-handling logic whose context
+// check is missing or too narrow for a specific operating-mode window. The
+// registry also carries the metadata (symptom, sensor, window) the benches
+// print, and firmware code records which bugs actually fired so benches can
+// attribute unsafe conditions to root causes. The search strategies never
+// read any of this — they only observe modes and inject failures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "fw/modes.h"
+#include "sensors/sensor_types.h"
+
+namespace avis::fw {
+
+enum class BugId : std::uint8_t {
+  // Table II — previously unknown, enabled by default.
+  kApm16020 = 0,   // Fly-away,  GPS,    Takeoff -> Auto
+  kApm16021 = 1,   // Crash,     Accel,  Takeoff -> Waypoint 1
+  kApm16027 = 2,   // Fly-away,  Baro,   Pre-flight -> Takeoff
+  kApm16967 = 3,   // Crash,     Compass, Waypoint 1 -> Waypoint 2
+  kApm16682 = 4,   // Crash,     Accel,  RTL -> Land (Fig. 1's bug)
+  kApm16953 = 5,   // Crash,     Gyro,   RTL -> Land
+  kPx417046 = 6,   // Fly-away,  Gyro,   Waypoint 3 -> RTL
+  kPx417057 = 7,   // Crash,     Gyro,   Pre-flight -> Takeoff
+  kPx417192 = 8,   // Takeoff failure, Compass, Pre-flight -> Takeoff
+  kPx417181 = 9,   // Takeoff failure, Baro,    Pre-flight -> Takeoff
+  // Table V — previously known, re-inserted on demand.
+  kApm4455 = 10,   // Baro failure mid-climb mis-sets climb rate
+  kApm4679 = 11,   // GPS glitch handler re-enters LAND from LAND
+  kApm5428 = 12,   // Compass failure during yaw align drops heading lock
+  kApm9349 = 13,   // Accel clip during waypoint turn corrupts velocity
+  kPx413291 = 14,  // Battery failsafe without local position (two-fault bug)
+};
+
+inline constexpr std::array<BugId, 15> kAllBugs{
+    BugId::kApm16020, BugId::kApm16021, BugId::kApm16027, BugId::kApm16967, BugId::kApm16682,
+    BugId::kApm16953, BugId::kPx417046, BugId::kPx417057, BugId::kPx417192, BugId::kPx417181,
+    BugId::kApm4455,  BugId::kApm4679,  BugId::kApm5428,  BugId::kApm9349,  BugId::kPx413291,
+};
+
+enum class BugSymptom : std::uint8_t { kCrash, kFlyAway, kTakeoffFailure };
+
+inline const char* to_string(BugSymptom s) {
+  switch (s) {
+    case BugSymptom::kCrash: return "Crash";
+    case BugSymptom::kFlyAway: return "Fly Away";
+    case BugSymptom::kTakeoffFailure: return "Takeoff Failure";
+  }
+  return "?";
+}
+
+struct BugInfo {
+  BugId id;
+  const char* report_name;
+  Personality personality;
+  BugSymptom symptom;
+  sensors::SensorType sensor;
+  const char* window;  // human-readable failure-starting-moment, per Table II
+  bool known;          // true => Table V population
+};
+
+inline const BugInfo& bug_info(BugId id) {
+  static const std::array<BugInfo, 15> kInfos{{
+      {BugId::kApm16020, "APM-16020", Personality::kArduPilotLike, BugSymptom::kFlyAway,
+       sensors::SensorType::kGps, "Takeoff -> Autopilot", false},
+      {BugId::kApm16021, "APM-16021", Personality::kArduPilotLike, BugSymptom::kCrash,
+       sensors::SensorType::kAccelerometer, "Takeoff -> Waypoint 1", false},
+      {BugId::kApm16027, "APM-16027", Personality::kArduPilotLike, BugSymptom::kFlyAway,
+       sensors::SensorType::kBarometer, "Pre-Flight -> Takeoff", false},
+      {BugId::kApm16967, "APM-16967", Personality::kArduPilotLike, BugSymptom::kCrash,
+       sensors::SensorType::kCompass, "Waypoint 1 -> Waypoint 2", false},
+      {BugId::kApm16682, "APM-16682", Personality::kArduPilotLike, BugSymptom::kCrash,
+       sensors::SensorType::kAccelerometer, "Return To Launch -> Land", false},
+      {BugId::kApm16953, "APM-16953", Personality::kArduPilotLike, BugSymptom::kCrash,
+       sensors::SensorType::kGyroscope, "Return To Launch -> Land", false},
+      {BugId::kPx417046, "PX4-17046", Personality::kPx4Like, BugSymptom::kFlyAway,
+       sensors::SensorType::kGyroscope, "Waypoint 3 -> Return To Launch", false},
+      {BugId::kPx417057, "PX4-17057", Personality::kPx4Like, BugSymptom::kCrash,
+       sensors::SensorType::kGyroscope, "Pre-Flight -> Takeoff", false},
+      {BugId::kPx417192, "PX4-17192", Personality::kPx4Like, BugSymptom::kTakeoffFailure,
+       sensors::SensorType::kCompass, "Pre-Flight -> Takeoff", false},
+      {BugId::kPx417181, "PX4-17181", Personality::kPx4Like, BugSymptom::kTakeoffFailure,
+       sensors::SensorType::kBarometer, "Pre-Flight -> Takeoff", false},
+      {BugId::kApm4455, "APM-4455", Personality::kArduPilotLike, BugSymptom::kCrash,
+       sensors::SensorType::kBarometer, "Climb (any)", true},
+      {BugId::kApm4679, "APM-4679", Personality::kArduPilotLike, BugSymptom::kFlyAway,
+       sensors::SensorType::kGps, "Land (any)", true},
+      {BugId::kApm5428, "APM-5428", Personality::kArduPilotLike, BugSymptom::kCrash,
+       sensors::SensorType::kCompass, "Takeoff yaw-align", true},
+      {BugId::kApm9349, "APM-9349", Personality::kArduPilotLike, BugSymptom::kCrash,
+       sensors::SensorType::kAccelerometer, "Waypoint turn", true},
+      {BugId::kPx413291, "PX4-13291", Personality::kPx4Like, BugSymptom::kFlyAway,
+       sensors::SensorType::kBattery, "GPS loss then battery failsafe", true},
+  }};
+  return kInfos[static_cast<std::size_t>(id)];
+}
+
+class BugRegistry {
+ public:
+  // Default population: the Table II "current code base" bugs.
+  static BugRegistry current_code_base() {
+    BugRegistry r;
+    for (BugId id : kAllBugs) {
+      if (!bug_info(id).known) r.enable(id);
+    }
+    return r;
+  }
+
+  // No bugs at all; used to validate that golden firmware is safe.
+  static BugRegistry patched() { return BugRegistry{}; }
+
+  void enable(BugId id) { enabled_.insert(id); }
+  void disable(BugId id) { enabled_.erase(id); }
+  bool enabled(BugId id) const { return enabled_.contains(id); }
+
+  std::vector<BugId> enabled_bugs() const {
+    std::vector<BugId> v(enabled_.begin(), enabled_.end());
+    return v;
+  }
+
+ private:
+  std::unordered_set<BugId> enabled_;
+};
+
+}  // namespace avis::fw

@@ -1,0 +1,69 @@
+// Firmware configuration: personality, control gains, speeds, failsafe
+// parameters. Defaults are tuned for the Iris-class dynamics in src/sim and
+// are shared by both personalities; personalities differ in mode naming,
+// failsafe *policy*, and which seeded bugs apply to them.
+#pragma once
+
+#include "fw/bugs.h"
+#include "fw/modes.h"
+
+namespace avis::fw {
+
+struct ControlGains {
+  // Position -> velocity (P) and velocity -> acceleration (P + damping).
+  double pos_p = 0.95;
+  double vel_p = 1.4;
+  double vel_d = 0.0;
+  double max_speed_xy = 6.0;       // m/s
+  double max_accel_xy = 4.0;       // m/s^2
+  double max_tilt_rad = 0.42;      // ~24 degrees
+  // Vertical.
+  double alt_p = 1.4;
+  double climb_p = 2.2;
+  double max_climb = 3.2;          // m/s
+  double max_descent = 1.6;        // m/s
+  // Attitude: angle -> rate (P), rate -> torque (PID). The rate-loop gain
+  // must stay well under the motor-lag pole (1/20 ms = 50/s) or the
+  // airframe oscillates: 0.03 cmd/(rad/s) * 260 (rad/s^2)/cmd ~= 8/s.
+  double att_p = 4.5;
+  double rate_p = 0.03;
+  double rate_i = 0.012;
+  double rate_d = 0.0012;
+  double max_rate = 3.0;           // rad/s
+  double yaw_p = 2.5;
+  double yaw_rate_p = 0.04;
+};
+
+struct FailsafeConfig {
+  double battery_low_fraction = 0.15;
+  double rtl_altitude = 15.0;       // climb-to altitude for return-to-launch
+  double land_speed = 0.75;         // m/s final descent
+  double land_speed_fast = 3.2;     // m/s descent above 10 m (LAND_SPEED_HIGH)
+  // How long (ms) after total loss of a sensor family the failsafe reacts;
+  // real firmware debounces health flags.
+  int health_debounce_ms = 150;
+};
+
+struct FirmwareConfig {
+  Personality personality = Personality::kArduPilotLike;
+  ControlGains gains;
+  FailsafeConfig failsafe;
+  double takeoff_climb_rate = 2.5;  // m/s
+  double waypoint_accept_radius = 2.0;  // m
+  double takeoff_accept_error = 0.35;   // m from target altitude
+  BugRegistry bugs = BugRegistry::current_code_base();
+
+  static FirmwareConfig ardupilot() {
+    FirmwareConfig c;
+    c.personality = Personality::kArduPilotLike;
+    return c;
+  }
+
+  static FirmwareConfig px4() {
+    FirmwareConfig c;
+    c.personality = Personality::kPx4Like;
+    return c;
+  }
+};
+
+}  // namespace avis::fw

@@ -1,0 +1,89 @@
+// Mission storage and the vehicle side of the MAVLink mission-upload
+// transaction (paper §V-A: the vehicle drives the transfer by requesting
+// each item after receiving the count).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/geodesy.h"
+#include "mavlink/messages.h"
+#include "sim/environment.h"
+#include "util/checked.h"
+
+namespace avis::fw {
+
+class MissionManager {
+ public:
+  enum class TransferPhase { kIdle, kReceiving };
+
+  // --- Vehicle-side upload state machine ------------------------------
+  // Returns messages to send back to the GCS.
+  std::vector<mavlink::Message> on_mission_count(const mavlink::MissionCount& count) {
+    pending_.assign(count.count, mavlink::MissionItem{});
+    received_ = 0;
+    phase_ = TransferPhase::kReceiving;
+    if (count.count == 0) {
+      phase_ = TransferPhase::kIdle;
+      items_.clear();
+      return {mavlink::MissionAck{mavlink::MissionResult::kAccepted}};
+    }
+    return {mavlink::MissionRequest{0}};
+  }
+
+  std::vector<mavlink::Message> on_mission_item(const mavlink::MissionItem& item) {
+    if (phase_ != TransferPhase::kReceiving || item.seq != received_) {
+      return {mavlink::MissionAck{mavlink::MissionResult::kInvalidSequence}};
+    }
+    pending_[item.seq] = item;
+    ++received_;
+    if (received_ < pending_.size()) {
+      return {mavlink::MissionRequest{static_cast<std::uint16_t>(received_)}};
+    }
+    items_ = pending_;
+    current_ = 0;
+    phase_ = TransferPhase::kIdle;
+    return {mavlink::MissionAck{mavlink::MissionResult::kAccepted}};
+  }
+
+  // --- Mission execution ----------------------------------------------
+  bool has_mission() const { return !items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t current_index() const { return current_; }
+
+  const mavlink::MissionItem* current() const {
+    return current_ < items_.size() ? &items_[current_] : nullptr;
+  }
+
+  // Advance to the next item; returns false when the mission is complete.
+  bool advance() {
+    if (current_ + 1 < items_.size()) {
+      ++current_;
+      return true;
+    }
+    current_ = items_.size();
+    return false;
+  }
+
+  void restart() { current_ = 0; }
+
+  // --- Geofence ----------------------------------------------------------
+  void set_fence(const sim::Fence& fence) { fence_ = fence; }
+  void clear_fence() { fence_.reset(); }
+  const std::optional<sim::Fence>& fence() const { return fence_; }
+
+  bool fence_violated(const geo::Vec3& local_pos) const {
+    return fence_ && fence_->violates(local_pos);
+  }
+
+ private:
+  std::vector<mavlink::MissionItem> items_;
+  std::vector<mavlink::MissionItem> pending_;
+  std::size_t received_ = 0;
+  std::size_t current_ = 0;
+  TransferPhase phase_ = TransferPhase::kIdle;
+  std::optional<sim::Fence> fence_;
+};
+
+}  // namespace avis::fw

@@ -1,0 +1,149 @@
+// Operating modes (paper §II).
+//
+// "An operating mode encompasses all code execution associated with a pilot
+// command." The firmware exposes a canonical mode set; each personality
+// (ArduPilot-like, PX4-like) maps canonical modes to its own names, mirroring
+// how ArduPilot's STABILIZE/AUTO/RTL/LAND and PX4's MANUAL/AUTO_MISSION/
+// AUTO_RTL/AUTO_LAND cover the same flight operations.
+//
+// Within AUTO, the firmware reports the current mission leg as a sub-mode
+// ("auto-wp1", "auto-wp2", ...). These legs are the mode-transition points
+// SABRE keys on — Table II's failure windows ("Waypoint 1 -> Waypoint 2")
+// are transitions between such legs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace avis::fw {
+
+enum class Mode : std::uint8_t {
+  kPreFlight = 0,     // disarmed, on ground
+  kStabilize = 1,     // manual attitude control
+  kAltHold = 2,       // manual with altitude hold
+  kPositionHold = 3,  // manual with full position hold (workload 1's mode)
+  kTakeoff = 4,
+  kAuto = 5,          // waypoint mission
+  kGuided = 6,        // fly to commanded target
+  kLoiter = 7,
+  kReturnToLaunch = 8,
+  kLand = 9,
+  kEmergencyLand = 10,  // failsafe descent without position control
+};
+
+inline const char* canonical_name(Mode m) {
+  switch (m) {
+    case Mode::kPreFlight: return "preflight";
+    case Mode::kStabilize: return "stabilize";
+    case Mode::kAltHold: return "alt-hold";
+    case Mode::kPositionHold: return "position-hold";
+    case Mode::kTakeoff: return "takeoff";
+    case Mode::kAuto: return "auto";
+    case Mode::kGuided: return "guided";
+    case Mode::kLoiter: return "loiter";
+    case Mode::kReturnToLaunch: return "rtl";
+    case Mode::kLand: return "land";
+    case Mode::kEmergencyLand: return "emergency-land";
+  }
+  return "?";
+}
+
+enum class Personality : std::uint8_t { kArduPilotLike = 0, kPx4Like = 1 };
+
+inline const char* to_string(Personality p) {
+  return p == Personality::kArduPilotLike ? "ArduPilot" : "PX4";
+}
+
+// Personality-flavoured mode name, as it would appear in telemetry logs.
+inline std::string personality_mode_name(Personality p, Mode m) {
+  if (p == Personality::kArduPilotLike) {
+    switch (m) {
+      case Mode::kPreFlight: return "DISARMED";
+      case Mode::kStabilize: return "STABILIZE";
+      case Mode::kAltHold: return "ALT_HOLD";
+      case Mode::kPositionHold: return "POSHOLD";
+      case Mode::kTakeoff: return "TAKEOFF";
+      case Mode::kAuto: return "AUTO";
+      case Mode::kGuided: return "GUIDED";
+      case Mode::kLoiter: return "LOITER";
+      case Mode::kReturnToLaunch: return "RTL";
+      case Mode::kLand: return "LAND";
+      case Mode::kEmergencyLand: return "LAND_EMERGENCY";
+    }
+  } else {
+    switch (m) {
+      case Mode::kPreFlight: return "STANDBY";
+      case Mode::kStabilize: return "MANUAL";
+      case Mode::kAltHold: return "ALTCTL";
+      case Mode::kPositionHold: return "POSCTL";
+      case Mode::kTakeoff: return "AUTO_TAKEOFF";
+      case Mode::kAuto: return "AUTO_MISSION";
+      case Mode::kGuided: return "OFFBOARD";
+      case Mode::kLoiter: return "AUTO_LOITER";
+      case Mode::kReturnToLaunch: return "AUTO_RTL";
+      case Mode::kLand: return "AUTO_LAND";
+      case Mode::kEmergencyLand: return "DESCEND";
+    }
+  }
+  return "?";
+}
+
+// Composite mode id reported through hinj: top byte is the mode, low byte a
+// sub-mode (the current mission leg inside AUTO, otherwise 0). The engine
+// treats distinct composite ids as distinct states in the mode graph.
+struct CompositeMode {
+  Mode mode = Mode::kPreFlight;
+  std::uint8_t submode = 0;
+
+  std::uint16_t id() const {
+    return static_cast<std::uint16_t>((static_cast<std::uint16_t>(mode) << 8) | submode);
+  }
+
+  static CompositeMode from_id(std::uint16_t id) {
+    return {static_cast<Mode>(id >> 8), static_cast<std::uint8_t>(id & 0xff)};
+  }
+
+  std::string name() const {
+    std::string n = canonical_name(mode);
+    if (mode == Mode::kAuto && submode > 0) n += "-wp" + std::to_string(submode);
+    return n;
+  }
+
+  constexpr bool operator==(const CompositeMode&) const = default;
+};
+
+// Table IV buckets unsafe scenarios into four coarse flight phases.
+enum class ModeBucket : std::uint8_t { kTakeoff = 0, kManual = 1, kWaypoint = 2, kLand = 3 };
+
+inline const char* to_string(ModeBucket b) {
+  switch (b) {
+    case ModeBucket::kTakeoff: return "Takeoff";
+    case ModeBucket::kManual: return "Manual";
+    case ModeBucket::kWaypoint: return "Waypoint";
+    case ModeBucket::kLand: return "Land";
+  }
+  return "?";
+}
+
+inline ModeBucket bucket_of(Mode m) {
+  switch (m) {
+    case Mode::kPreFlight:
+    case Mode::kTakeoff:
+      return ModeBucket::kTakeoff;
+    case Mode::kStabilize:
+    case Mode::kAltHold:
+    case Mode::kPositionHold:
+    case Mode::kLoiter:
+      return ModeBucket::kManual;
+    case Mode::kAuto:
+    case Mode::kGuided:
+    case Mode::kReturnToLaunch:
+      return ModeBucket::kWaypoint;
+    case Mode::kLand:
+    case Mode::kEmergencyLand:
+      return ModeBucket::kLand;
+  }
+  return ModeBucket::kManual;
+}
+
+}  // namespace avis::fw

@@ -1,0 +1,74 @@
+// Attitude representation and kinematics.
+//
+// The quadcopter model uses Z-Y-X (yaw-pitch-roll) Euler angles. A full
+// quaternion implementation is unnecessary: the workloads never command
+// attitudes near the pitch singularity, and Euler angles keep the firmware
+// controllers (which are PID loops on roll/pitch/yaw errors, as in
+// ArduPilot's AC_AttitudeControl) directly comparable to the real thing.
+#pragma once
+
+#include <cmath>
+
+#include "geo/vec3.h"
+
+namespace avis::geo {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+// Wrap an angle to (-pi, pi].
+inline double wrap_angle(double a) {
+  while (a > kPi) a -= 2.0 * kPi;
+  while (a <= -kPi) a += 2.0 * kPi;
+  return a;
+}
+
+inline double deg_to_rad(double d) { return d * kPi / 180.0; }
+inline double rad_to_deg(double r) { return r * 180.0 / kPi; }
+
+struct Attitude {
+  double roll = 0.0;   // rotation about body x, radians
+  double pitch = 0.0;  // rotation about body y, radians
+  double yaw = 0.0;    // rotation about body z (heading), radians
+
+  constexpr bool operator==(const Attitude&) const = default;
+
+  // Rotate a body-frame vector into the world (NED) frame.
+  Vec3 body_to_world(const Vec3& v) const {
+    const double cr = std::cos(roll), sr = std::sin(roll);
+    const double cp = std::cos(pitch), sp = std::sin(pitch);
+    const double cy = std::cos(yaw), sy = std::sin(yaw);
+    return {
+        v.x * (cy * cp) + v.y * (cy * sp * sr - sy * cr) + v.z * (cy * sp * cr + sy * sr),
+        v.x * (sy * cp) + v.y * (sy * sp * sr + cy * cr) + v.z * (sy * sp * cr - cy * sr),
+        v.x * (-sp) + v.y * (cp * sr) + v.z * (cp * cr),
+    };
+  }
+
+  // Rotate a world-frame vector into the body frame (transpose of the above).
+  Vec3 world_to_body(const Vec3& v) const {
+    const double cr = std::cos(roll), sr = std::sin(roll);
+    const double cp = std::cos(pitch), sp = std::sin(pitch);
+    const double cy = std::cos(yaw), sy = std::sin(yaw);
+    return {
+        v.x * (cy * cp) + v.y * (sy * cp) + v.z * (-sp),
+        v.x * (cy * sp * sr - sy * cr) + v.y * (sy * sp * sr + cy * cr) + v.z * (cp * sr),
+        v.x * (cy * sp * cr + sy * sr) + v.y * (sy * sp * cr - cy * sr) + v.z * (cp * cr),
+    };
+  }
+
+  // Integrate body angular rates over dt (small-angle Euler kinematics).
+  void integrate_rates(const Vec3& body_rates, double dt) {
+    const double cr = std::cos(roll), sr = std::sin(roll);
+    const double cp = std::cos(pitch);
+    const double tp = std::tan(pitch);
+    roll = wrap_angle(roll + dt * (body_rates.x + sr * tp * body_rates.y + cr * tp * body_rates.z));
+    pitch = wrap_angle(pitch + dt * (cr * body_rates.y - sr * body_rates.z));
+    const double cp_safe = std::abs(cp) < 1e-6 ? 1e-6 : cp;
+    yaw = wrap_angle(yaw + dt * ((sr / cp_safe) * body_rates.y + (cr / cp_safe) * body_rates.z));
+  }
+
+  // Total tilt away from level, radians.
+  double tilt() const { return std::sqrt(roll * roll + pitch * pitch); }
+};
+
+}  // namespace avis::geo

@@ -1,0 +1,62 @@
+// Geodetic <-> local tangent-plane conversion.
+//
+// The MAVLink mission protocol carries waypoints as (latitude, longitude,
+// altitude); the simulator and controllers work in a local NED frame whose
+// origin is the home (launch) position. The flat-earth approximation is
+// accurate to centimetres over the <100 m missions the workloads fly.
+#pragma once
+
+#include <cmath>
+
+#include "geo/vec3.h"
+
+namespace avis::geo {
+
+struct GeoPoint {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+  double altitude_m = 0.0;  // above mean sea level
+
+  constexpr bool operator==(const GeoPoint&) const = default;
+};
+
+inline constexpr double kEarthRadiusM = 6371000.0;
+
+// Local frame anchored at a home point. NED convention: x north, y east,
+// z down (so z = -altitude-above-home).
+class LocalFrame {
+ public:
+  LocalFrame() = default;
+  explicit LocalFrame(const GeoPoint& home) : home_(home) {}
+
+  const GeoPoint& home() const { return home_; }
+
+  Vec3 to_local(const GeoPoint& p) const {
+    const double lat0 = p_deg_to_rad(home_.latitude_deg);
+    const double dlat = p_deg_to_rad(p.latitude_deg - home_.latitude_deg);
+    const double dlon = p_deg_to_rad(p.longitude_deg - home_.longitude_deg);
+    return {
+        dlat * kEarthRadiusM,
+        dlon * kEarthRadiusM * std::cos(lat0),
+        -(p.altitude_m - home_.altitude_m),
+    };
+  }
+
+  GeoPoint to_geodetic(const Vec3& local) const {
+    const double lat0 = p_deg_to_rad(home_.latitude_deg);
+    GeoPoint p;
+    p.latitude_deg = home_.latitude_deg + p_rad_to_deg(local.x / kEarthRadiusM);
+    p.longitude_deg =
+        home_.longitude_deg + p_rad_to_deg(local.y / (kEarthRadiusM * std::cos(lat0)));
+    p.altitude_m = home_.altitude_m - local.z;
+    return p;
+  }
+
+ private:
+  static double p_deg_to_rad(double d) { return d * 3.14159265358979323846 / 180.0; }
+  static double p_rad_to_deg(double r) { return r * 180.0 / 3.14159265358979323846; }
+
+  GeoPoint home_;
+};
+
+}  // namespace avis::geo

@@ -1,0 +1,77 @@
+// 3-vector used for position, velocity, acceleration and angular quantities.
+//
+// The invariant monitor's state-distance metric (paper §IV-C) is built on
+// Euclidean distances between these.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace avis::geo {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const = default;
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm_sq() const { return dot(*this); }
+
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+
+  // Component-wise clamp to [-limit, limit].
+  Vec3 clamped(double limit) const {
+    auto c = [limit](double v) { return v > limit ? limit : (v < -limit ? -limit : v); };
+    return {c(x), c(y), c(z)};
+  }
+};
+
+inline Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+// Euclidean distance d_e from the paper (§IV-C).
+inline double euclidean_distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace avis::geo

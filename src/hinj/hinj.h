@@ -1,0 +1,117 @@
+// libhinj: the Hardware-fault INJection instrumentation layer (paper §V-B).
+//
+// Two halves:
+//  * Client — linked into the firmware. Drivers call sensor_read() from
+//    their read() procedures; the mode-set call site calls update_mode().
+//    The client serializes these into protocol messages.
+//  * Server — owned by the engine. Decodes messages, forwards them to a
+//    FaultDirector (the scheduler in Avis; a no-op in golden runs), and
+//    returns the fail/pass decision.
+//
+// Keeping the serialized boundary means the firmware cannot observe anything
+// about the engine except the per-read decision — the same isolation the
+// paper gets from its RPC.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hinj/messages.h"
+#include "sensors/sensor_types.h"
+#include "util/checked.h"
+
+namespace avis::hinj {
+
+// Engine-side policy: which reads to fail, plus visibility into mode
+// transitions and heartbeats.
+class FaultDirector {
+ public:
+  virtual ~FaultDirector() = default;
+
+  // Return true to fail this read (the instance latches failed afterwards).
+  virtual bool should_fail(const sensors::SensorId& sensor, std::int64_t time_ms) = 0;
+
+  virtual void on_mode_update(std::uint16_t mode_id, const std::string& mode_name,
+                              std::int64_t time_ms) = 0;
+
+  virtual void on_heartbeat(std::int64_t time_ms) { (void)time_ms; }
+};
+
+// A director that never injects; golden/profiling runs use this.
+class NullDirector final : public FaultDirector {
+ public:
+  bool should_fail(const sensors::SensorId&, std::int64_t) override { return false; }
+  void on_mode_update(std::uint16_t, const std::string&, std::int64_t) override {}
+};
+
+// Engine side: decode frames, dispatch, encode responses.
+class Server {
+ public:
+  explicit Server(FaultDirector& director) : director_(&director) {}
+
+  // Handles one frame; returns the response frame if the message warrants
+  // one (only ReadRequest does).
+  std::vector<std::uint8_t> handle(const std::vector<std::uint8_t>& frame) {
+    const Message msg = decode(frame);
+    if (const auto* req = std::get_if<ReadRequest>(&msg)) {
+      ReadResponse resp;
+      resp.fail = director_->should_fail(req->sensor, req->time_ms);
+      return encode(resp);
+    }
+    if (const auto* mode = std::get_if<ModeUpdate>(&msg)) {
+      director_->on_mode_update(mode->mode_id, mode->mode_name, mode->time_ms);
+      return {};
+    }
+    if (const auto* hb = std::get_if<Heartbeat>(&msg)) {
+      director_->on_heartbeat(hb->time_ms);
+      return {};
+    }
+    throw WireError("unexpected message direction");
+  }
+
+  void set_director(FaultDirector& director) { director_ = &director; }
+
+ private:
+  FaultDirector* director_;
+};
+
+// Firmware side. The instrumented call sites are:
+//   * every sensor driver's read(): `if (hinj.sensor_read(id, now)) -> fail`
+//   * the mode controller's set_mode(): `hinj.update_mode(...)`
+class Client {
+ public:
+  explicit Client(Server& server) : server_(&server) {}
+
+  // Returns true if the engine directs this read to fail.
+  bool sensor_read(const sensors::SensorId& sensor, std::int64_t time_ms) {
+    ReadRequest req;
+    req.time_ms = time_ms;
+    req.sensor = sensor;
+    const auto reply = server_->handle(encode(req));
+    util::expects(!reply.empty(), "hinj read request must produce a response");
+    const Message msg = decode(reply);
+    const auto* resp = std::get_if<ReadResponse>(&msg);
+    util::expects(resp != nullptr, "hinj read response has wrong type");
+    return resp->fail;
+  }
+
+  void update_mode(std::uint16_t mode_id, const std::string& mode_name, std::int64_t time_ms) {
+    ModeUpdate m;
+    m.time_ms = time_ms;
+    m.mode_id = mode_id;
+    m.mode_name = mode_name;
+    server_->handle(encode(m));
+  }
+
+  void heartbeat(std::int64_t time_ms) {
+    Heartbeat h;
+    h.time_ms = time_ms;
+    server_->handle(encode(h));
+  }
+
+ private:
+  Server* server_;
+};
+
+}  // namespace avis::hinj

@@ -1,0 +1,105 @@
+// hinj protocol messages (paper §V-B).
+//
+// libhinj reports two things to the engine — mode transitions (via
+// hinj_update_mode, inserted at the firmware's single mode-set call site)
+// and sensor reads (via the call inserted into each driver's read()) — and
+// receives one thing back: the scheduler's per-read fail/pass decision.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "hinj/wire.h"
+#include "sensors/sensor_types.h"
+
+namespace avis::hinj {
+
+enum class MessageType : std::uint8_t {
+  kModeUpdate = 1,
+  kReadRequest = 2,
+  kReadResponse = 3,
+  kHeartbeat = 4,
+};
+
+// Firmware -> engine: the vehicle's operating mode changed.
+struct ModeUpdate {
+  std::int64_t time_ms = 0;
+  std::uint16_t mode_id = 0;
+  std::string mode_name;
+};
+
+// Firmware -> engine: a sensor driver is about to complete a read().
+struct ReadRequest {
+  std::int64_t time_ms = 0;
+  sensors::SensorId sensor;
+};
+
+// Engine -> firmware: the scheduler's decision for that read.
+struct ReadResponse {
+  bool fail = false;
+};
+
+// Firmware -> engine: liveness signal; the invariant monitor detects a dead
+// firmware process by missing heartbeats.
+struct Heartbeat {
+  std::int64_t time_ms = 0;
+};
+
+using Message = std::variant<ModeUpdate, ReadRequest, ReadResponse, Heartbeat>;
+
+inline std::vector<std::uint8_t> encode(const Message& msg) {
+  ByteWriter w;
+  if (const auto* m = std::get_if<ModeUpdate>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::kModeUpdate));
+    w.i64(m->time_ms);
+    w.u16(m->mode_id);
+    w.str(m->mode_name);
+  } else if (const auto* r = std::get_if<ReadRequest>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::kReadRequest));
+    w.i64(r->time_ms);
+    w.u8(static_cast<std::uint8_t>(r->sensor.type));
+    w.u8(r->sensor.instance);
+  } else if (const auto* resp = std::get_if<ReadResponse>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::kReadResponse));
+    w.u8(resp->fail ? 1 : 0);
+  } else if (const auto* h = std::get_if<Heartbeat>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::kHeartbeat));
+    w.i64(h->time_ms);
+  }
+  return w.take();
+}
+
+inline Message decode(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const auto type = static_cast<MessageType>(r.u8());
+  switch (type) {
+    case MessageType::kModeUpdate: {
+      ModeUpdate m;
+      m.time_ms = r.i64();
+      m.mode_id = r.u16();
+      m.mode_name = r.str();
+      return m;
+    }
+    case MessageType::kReadRequest: {
+      ReadRequest req;
+      req.time_ms = r.i64();
+      req.sensor.type = static_cast<sensors::SensorType>(r.u8());
+      req.sensor.instance = r.u8();
+      return req;
+    }
+    case MessageType::kReadResponse: {
+      ReadResponse resp;
+      resp.fail = r.u8() != 0;
+      return resp;
+    }
+    case MessageType::kHeartbeat: {
+      Heartbeat h;
+      h.time_ms = r.i64();
+      return h;
+    }
+  }
+  throw WireError("unknown hinj message type");
+}
+
+}  // namespace avis::hinj

@@ -1,0 +1,13 @@
+// hinj protocol byte encoding. The codec itself lives in util/bytes.h; this
+// header pins the names the hinj message layer uses.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace avis::hinj {
+
+using WireError = util::WireError;
+using ByteWriter = util::ByteWriter;
+using ByteReader = util::ByteReader;
+
+}  // namespace avis::hinj

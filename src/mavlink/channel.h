@@ -1,0 +1,80 @@
+// In-memory duplex link between the ground-control station (workload) and
+// the vehicle. Messages cross the link as encoded frames — each endpoint
+// only sees bytes, mirroring the UDP link to SITL in the paper's setup.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "mavlink/codec.h"
+#include "mavlink/messages.h"
+
+namespace avis::mavlink {
+
+class Channel;
+
+// One side of the link. Endpoint identity feeds the frame header.
+class Endpoint {
+ public:
+  Endpoint(Channel& channel, bool is_vehicle, std::uint8_t system_id)
+      : channel_(&channel), is_vehicle_(is_vehicle), system_id_(system_id) {}
+
+  void send(const Message& m);
+  std::optional<Message> receive();
+  bool has_pending() const;
+
+ private:
+  Channel* channel_;
+  bool is_vehicle_;
+  std::uint8_t system_id_;
+  std::uint8_t next_seq_ = 0;
+};
+
+class Channel {
+ public:
+  Channel() : gcs_(*this, false, 255), vehicle_(*this, true, 1) {}
+
+  Endpoint& gcs() { return gcs_; }
+  Endpoint& vehicle() { return vehicle_; }
+
+  // Frames in flight, per direction.
+  std::deque<std::vector<std::uint8_t>> to_vehicle;
+  std::deque<std::vector<std::uint8_t>> to_gcs;
+
+  // Drop all in-flight traffic (used when a test run is torn down).
+  void clear() {
+    to_vehicle.clear();
+    to_gcs.clear();
+  }
+
+ private:
+  Endpoint gcs_;
+  Endpoint vehicle_;
+};
+
+inline void Endpoint::send(const Message& m) {
+  auto frame = pack(m, next_seq_++, system_id_, 1);
+  if (is_vehicle_) {
+    channel_->to_gcs.push_back(std::move(frame));
+  } else {
+    channel_->to_vehicle.push_back(std::move(frame));
+  }
+}
+
+inline std::optional<Message> Endpoint::receive() {
+  auto& queue = is_vehicle_ ? channel_->to_vehicle : channel_->to_gcs;
+  while (!queue.empty()) {
+    const auto bytes = std::move(queue.front());
+    queue.pop_front();
+    if (auto msg = unpack(bytes)) return msg;  // corrupted frames are dropped
+  }
+  return std::nullopt;
+}
+
+inline bool Endpoint::has_pending() const {
+  return !(is_vehicle_ ? channel_->to_vehicle : channel_->to_gcs).empty();
+}
+
+}  // namespace avis::mavlink

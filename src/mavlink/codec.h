@@ -1,0 +1,93 @@
+// MAVLink v1-style framing: STX, length, sequence, system/component ids,
+// message id, payload, X.25 CRC-16. The checksum algorithm is the real
+// MAVLink one (CRC-16/MCRF4XX) so corrupted-frame tests exercise authentic
+// behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mavlink/messages.h"
+#include "util/bytes.h"
+
+namespace avis::mavlink {
+
+inline constexpr std::uint8_t kStx = 0xFE;
+
+struct Frame {
+  std::uint8_t seq = 0;
+  std::uint8_t system_id = 0;
+  std::uint8_t component_id = 0;
+  MsgId msg_id = MsgId::kHeartbeat;
+  std::vector<std::uint8_t> payload;
+};
+
+// CRC-16/MCRF4XX as used by MAVLink (x25 checksum, init 0xffff).
+inline std::uint16_t crc_x25(const std::uint8_t* data, std::size_t len,
+                             std::uint16_t crc = 0xffff) {
+  for (std::size_t i = 0; i < len; ++i) {
+    std::uint8_t tmp = data[i] ^ static_cast<std::uint8_t>(crc & 0xff);
+    tmp ^= static_cast<std::uint8_t>(tmp << 4);
+    crc = static_cast<std::uint16_t>((crc >> 8) ^ (tmp << 8) ^ (tmp << 3) ^ (tmp >> 4));
+  }
+  return crc;
+}
+
+// Serializes a frame to wire bytes.
+inline std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  std::vector<std::uint8_t> out;
+  out.push_back(kStx);
+  out.push_back(static_cast<std::uint8_t>(f.payload.size() & 0xff));
+  out.push_back(static_cast<std::uint8_t>(f.payload.size() >> 8));
+  out.push_back(f.seq);
+  out.push_back(f.system_id);
+  out.push_back(f.component_id);
+  out.push_back(static_cast<std::uint8_t>(f.msg_id));
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  // CRC over everything after STX.
+  const std::uint16_t crc = crc_x25(out.data() + 1, out.size() - 1);
+  out.push_back(static_cast<std::uint8_t>(crc & 0xff));
+  out.push_back(static_cast<std::uint8_t>(crc >> 8));
+  return out;
+}
+
+// Parses wire bytes back into a frame. Returns nullopt on any corruption
+// (bad STX, truncation, CRC mismatch).
+inline std::optional<Frame> decode_frame(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 9 || bytes[0] != kStx) return std::nullopt;
+  const std::size_t payload_len =
+      static_cast<std::size_t>(bytes[1]) | (static_cast<std::size_t>(bytes[2]) << 8);
+  if (bytes.size() != 9 + payload_len) return std::nullopt;
+  const std::uint16_t wire_crc = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(bytes[bytes.size() - 2]) |
+      (static_cast<std::uint16_t>(bytes[bytes.size() - 1]) << 8));
+  if (crc_x25(bytes.data() + 1, bytes.size() - 3) != wire_crc) return std::nullopt;
+  Frame f;
+  f.seq = bytes[3];
+  f.system_id = bytes[4];
+  f.component_id = bytes[5];
+  f.msg_id = static_cast<MsgId>(bytes[6]);
+  f.payload.assign(bytes.begin() + 7, bytes.end() - 2);
+  return f;
+}
+
+// Convenience: full message -> frame bytes and back.
+inline std::vector<std::uint8_t> pack(const Message& m, std::uint8_t seq, std::uint8_t sys,
+                                      std::uint8_t comp) {
+  Frame f;
+  f.seq = seq;
+  f.system_id = sys;
+  f.component_id = comp;
+  f.msg_id = message_id(m);
+  f.payload = encode_payload(m);
+  return encode_frame(f);
+}
+
+inline std::optional<Message> unpack(const std::vector<std::uint8_t>& bytes) {
+  const auto frame = decode_frame(bytes);
+  if (!frame) return std::nullopt;
+  return decode_payload(frame->msg_id, frame->payload);
+}
+
+}  // namespace avis::mavlink

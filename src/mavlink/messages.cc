@@ -1,0 +1,220 @@
+#include "mavlink/messages.h"
+
+namespace avis::mavlink {
+
+namespace {
+
+void put_geo(util::ByteWriter& w, const geo::GeoPoint& p) {
+  w.f64(p.latitude_deg);
+  w.f64(p.longitude_deg);
+  w.f64(p.altitude_m);
+}
+
+geo::GeoPoint get_geo(util::ByteReader& r) {
+  geo::GeoPoint p;
+  p.latitude_deg = r.f64();
+  p.longitude_deg = r.f64();
+  p.altitude_m = r.f64();
+  return p;
+}
+
+void put_vec(util::ByteWriter& w, const geo::Vec3& v) {
+  w.f64(v.x);
+  w.f64(v.y);
+  w.f64(v.z);
+}
+
+geo::Vec3 get_vec(util::ByteReader& r) {
+  geo::Vec3 v;
+  v.x = r.f64();
+  v.y = r.f64();
+  v.z = r.f64();
+  return v;
+}
+
+}  // namespace
+
+MsgId message_id(const Message& m) {
+  struct Visitor {
+    MsgId operator()(const Heartbeat&) const { return MsgId::kHeartbeat; }
+    MsgId operator()(const SetMode&) const { return MsgId::kSetMode; }
+    MsgId operator()(const GlobalPositionInt&) const { return MsgId::kGlobalPositionInt; }
+    MsgId operator()(const MissionItem&) const { return MsgId::kMissionItem; }
+    MsgId operator()(const MissionRequest&) const { return MsgId::kMissionRequest; }
+    MsgId operator()(const MissionCurrent&) const { return MsgId::kMissionCurrent; }
+    MsgId operator()(const MissionCount&) const { return MsgId::kMissionCount; }
+    MsgId operator()(const MissionItemReached&) const { return MsgId::kMissionItemReached; }
+    MsgId operator()(const MissionAck&) const { return MsgId::kMissionAck; }
+    MsgId operator()(const RcOverride&) const { return MsgId::kRcOverride; }
+    MsgId operator()(const CommandLong&) const { return MsgId::kCommandLong; }
+    MsgId operator()(const CommandAck&) const { return MsgId::kCommandAck; }
+    MsgId operator()(const FenceEnable&) const { return MsgId::kFenceEnable; }
+    MsgId operator()(const StatusText&) const { return MsgId::kStatusText; }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+std::vector<std::uint8_t> encode_payload(const Message& m) {
+  util::ByteWriter w;
+  if (const auto* hb = std::get_if<Heartbeat>(&m)) {
+    w.u8(hb->system_status);
+    w.u32(hb->custom_mode);
+    w.u8(hb->armed ? 1 : 0);
+  } else if (const auto* sm = std::get_if<SetMode>(&m)) {
+    w.u32(sm->custom_mode);
+  } else if (const auto* gp = std::get_if<GlobalPositionInt>(&m)) {
+    w.i64(gp->time_ms);
+    put_geo(w, gp->position);
+    w.f64(gp->relative_alt_m);
+    put_vec(w, gp->velocity_ned);
+    w.f64(gp->heading_rad);
+  } else if (const auto* mi = std::get_if<MissionItem>(&m)) {
+    w.u16(mi->seq);
+    w.u16(static_cast<std::uint16_t>(mi->command));
+    w.f64(mi->param1);
+    put_geo(w, mi->position);
+  } else if (const auto* mr = std::get_if<MissionRequest>(&m)) {
+    w.u16(mr->seq);
+  } else if (const auto* mc = std::get_if<MissionCurrent>(&m)) {
+    w.u16(mc->seq);
+  } else if (const auto* cnt = std::get_if<MissionCount>(&m)) {
+    w.u16(cnt->count);
+  } else if (const auto* mir = std::get_if<MissionItemReached>(&m)) {
+    w.u16(mir->seq);
+  } else if (const auto* ack = std::get_if<MissionAck>(&m)) {
+    w.u8(static_cast<std::uint8_t>(ack->result));
+  } else if (const auto* rc = std::get_if<RcOverride>(&m)) {
+    w.f64(rc->roll);
+    w.f64(rc->pitch);
+    w.f64(rc->throttle);
+    w.f64(rc->yaw);
+  } else if (const auto* cl = std::get_if<CommandLong>(&m)) {
+    w.u16(static_cast<std::uint16_t>(cl->command));
+    w.f64(cl->param1);
+    w.f64(cl->param2);
+    w.f64(cl->param3);
+    w.f64(cl->param4);
+    w.f64(cl->param5);
+    w.f64(cl->param6);
+    w.f64(cl->param7);
+  } else if (const auto* ca = std::get_if<CommandAck>(&m)) {
+    w.u16(static_cast<std::uint16_t>(ca->command));
+    w.u8(static_cast<std::uint8_t>(ca->result));
+  } else if (const auto* fe = std::get_if<FenceEnable>(&m)) {
+    w.u8(fe->enable ? 1 : 0);
+    w.f64(fe->min_north);
+    w.f64(fe->max_north);
+    w.f64(fe->min_east);
+    w.f64(fe->max_east);
+    w.f64(fe->max_altitude);
+  } else if (const auto* st = std::get_if<StatusText>(&m)) {
+    w.u8(st->severity);
+    w.str(st->text);
+  }
+  return w.take();
+}
+
+Message decode_payload(MsgId id, const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  switch (id) {
+    case MsgId::kHeartbeat: {
+      Heartbeat hb;
+      hb.system_status = r.u8();
+      hb.custom_mode = r.u32();
+      hb.armed = r.u8() != 0;
+      return hb;
+    }
+    case MsgId::kSetMode: {
+      SetMode sm;
+      sm.custom_mode = r.u32();
+      return sm;
+    }
+    case MsgId::kGlobalPositionInt: {
+      GlobalPositionInt gp;
+      gp.time_ms = r.i64();
+      gp.position = get_geo(r);
+      gp.relative_alt_m = r.f64();
+      gp.velocity_ned = get_vec(r);
+      gp.heading_rad = r.f64();
+      return gp;
+    }
+    case MsgId::kMissionItem: {
+      MissionItem mi;
+      mi.seq = r.u16();
+      mi.command = static_cast<Command>(r.u16());
+      mi.param1 = r.f64();
+      mi.position = get_geo(r);
+      return mi;
+    }
+    case MsgId::kMissionRequest: {
+      MissionRequest mr;
+      mr.seq = r.u16();
+      return mr;
+    }
+    case MsgId::kMissionCurrent: {
+      MissionCurrent mc;
+      mc.seq = r.u16();
+      return mc;
+    }
+    case MsgId::kMissionCount: {
+      MissionCount c;
+      c.count = r.u16();
+      return c;
+    }
+    case MsgId::kMissionItemReached: {
+      MissionItemReached mir;
+      mir.seq = r.u16();
+      return mir;
+    }
+    case MsgId::kMissionAck: {
+      MissionAck ack;
+      ack.result = static_cast<MissionResult>(r.u8());
+      return ack;
+    }
+    case MsgId::kRcOverride: {
+      RcOverride rc;
+      rc.roll = r.f64();
+      rc.pitch = r.f64();
+      rc.throttle = r.f64();
+      rc.yaw = r.f64();
+      return rc;
+    }
+    case MsgId::kCommandLong: {
+      CommandLong cl;
+      cl.command = static_cast<Command>(r.u16());
+      cl.param1 = r.f64();
+      cl.param2 = r.f64();
+      cl.param3 = r.f64();
+      cl.param4 = r.f64();
+      cl.param5 = r.f64();
+      cl.param6 = r.f64();
+      cl.param7 = r.f64();
+      return cl;
+    }
+    case MsgId::kCommandAck: {
+      CommandAck ca;
+      ca.command = static_cast<Command>(r.u16());
+      ca.result = static_cast<CommandResult>(r.u8());
+      return ca;
+    }
+    case MsgId::kFenceEnable: {
+      FenceEnable fe;
+      fe.enable = r.u8() != 0;
+      fe.min_north = r.f64();
+      fe.max_north = r.f64();
+      fe.min_east = r.f64();
+      fe.max_east = r.f64();
+      fe.max_altitude = r.f64();
+      return fe;
+    }
+    case MsgId::kStatusText: {
+      StatusText st;
+      st.severity = r.u8();
+      st.text = r.str();
+      return st;
+    }
+  }
+  throw util::WireError("unknown mavlink message id");
+}
+
+}  // namespace avis::mavlink

@@ -1,0 +1,145 @@
+// MAVLink-like message set (paper §IV-A, §V-A).
+//
+// The subset needed by the workload framework and the firmware: heartbeats,
+// long commands (arm/takeoff/land/RTL/mode), the mission-upload handshake
+// (COUNT -> REQUEST xN -> ACK, vehicle-driven, which is the deadlock hazard
+// the framework exists to hide), telemetry, and status text. Message ids
+// follow the real MAVLink common dialect where one exists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "geo/geodesy.h"
+#include "util/bytes.h"
+
+namespace avis::mavlink {
+
+enum class MsgId : std::uint8_t {
+  kHeartbeat = 0,
+  kSetMode = 11,
+  kGlobalPositionInt = 33,
+  kMissionItem = 39,
+  kMissionRequest = 40,
+  kMissionCurrent = 42,
+  kMissionCount = 44,
+  kMissionItemReached = 46,
+  kMissionAck = 47,
+  kRcOverride = 70,
+  kCommandLong = 76,
+  kCommandAck = 77,
+  kFenceEnable = 161,   // dialect-specific in real MAVLink; fixed id here
+  kStatusText = 253,
+};
+
+// MAV_CMD subset.
+enum class Command : std::uint16_t {
+  kNavWaypoint = 16,
+  kNavReturnToLaunch = 20,
+  kNavLand = 21,
+  kNavTakeoff = 22,
+  kDoSetMode = 176,
+  kComponentArmDisarm = 400,
+};
+
+enum class CommandResult : std::uint8_t { kAccepted = 0, kDenied = 2, kFailed = 4 };
+
+struct Heartbeat {
+  std::uint8_t system_status = 0;  // MAV_STATE: 3 standby, 4 active, 6 emergency
+  std::uint32_t custom_mode = 0;   // firmware-specific mode id
+  bool armed = false;
+};
+
+struct SetMode {
+  std::uint32_t custom_mode = 0;
+};
+
+struct GlobalPositionInt {
+  std::int64_t time_ms = 0;
+  geo::GeoPoint position;
+  double relative_alt_m = 0.0;
+  geo::Vec3 velocity_ned;
+  double heading_rad = 0.0;
+};
+
+struct MissionItem {
+  std::uint16_t seq = 0;
+  Command command = Command::kNavWaypoint;
+  double param1 = 0.0;  // e.g. hold time / min pitch
+  geo::GeoPoint position;
+};
+
+struct MissionRequest {
+  std::uint16_t seq = 0;
+};
+
+struct MissionCurrent {
+  std::uint16_t seq = 0;
+};
+
+struct MissionCount {
+  std::uint16_t count = 0;
+};
+
+struct MissionItemReached {
+  std::uint16_t seq = 0;
+};
+
+enum class MissionResult : std::uint8_t { kAccepted = 0, kError = 1, kInvalidSequence = 13 };
+
+struct MissionAck {
+  MissionResult result = MissionResult::kAccepted;
+};
+
+// Pilot stick input (RC_CHANNELS_OVERRIDE analogue), normalized to [-1, 1].
+// The manual box workload flies with these; manual modes map them to
+// velocity / yaw-rate demands.
+struct RcOverride {
+  double roll = 0.0;      // + = right
+  double pitch = 0.0;     // + = forward
+  double throttle = 0.0;  // + = climb
+  double yaw = 0.0;       // + = clockwise yaw rate
+};
+
+struct CommandLong {
+  Command command = Command::kNavWaypoint;
+  double param1 = 0.0;
+  double param2 = 0.0;
+  double param3 = 0.0;
+  double param4 = 0.0;
+  double param5 = 0.0;  // latitude by MAVLink convention
+  double param6 = 0.0;  // longitude
+  double param7 = 0.0;  // altitude
+};
+
+struct CommandAck {
+  Command command = Command::kNavWaypoint;
+  CommandResult result = CommandResult::kAccepted;
+};
+
+struct FenceEnable {
+  bool enable = false;
+  double min_north = 0.0;
+  double max_north = 0.0;
+  double min_east = 0.0;
+  double max_east = 0.0;
+  double max_altitude = 0.0;
+};
+
+struct StatusText {
+  std::uint8_t severity = 6;  // MAV_SEVERITY_INFO
+  std::string text;
+};
+
+using Message =
+    std::variant<Heartbeat, SetMode, GlobalPositionInt, MissionItem, MissionRequest,
+                 MissionCurrent, MissionCount, MissionItemReached, MissionAck, RcOverride,
+                 CommandLong, CommandAck, FenceEnable, StatusText>;
+
+MsgId message_id(const Message& m);
+std::vector<std::uint8_t> encode_payload(const Message& m);
+Message decode_payload(MsgId id, const std::vector<std::uint8_t>& payload);
+
+}  // namespace avis::mavlink

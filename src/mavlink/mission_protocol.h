@@ -1,0 +1,67 @@
+// Ground-control-station side of the MAVLink mission-upload transaction.
+//
+// Paper §V-A: "to upload new missions the ground-control station first
+// communicates the number of mission items to the vehicle and then waits for
+// the vehicle to request each item". Because the vehicle drives the
+// transaction, a naive GCS that blocks on requests can deadlock against a
+// model checker that is itself synchronizing the vehicle — so this state
+// machine is strictly non-blocking: pump() consumes whatever arrived and
+// sends at most what was asked for.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mavlink/channel.h"
+#include "mavlink/messages.h"
+#include "util/checked.h"
+
+namespace avis::mavlink {
+
+class MissionUploader {
+ public:
+  enum class Phase { kIdle, kAwaitingRequests, kDone, kFailed };
+
+  explicit MissionUploader(Endpoint& gcs) : gcs_(&gcs) {}
+
+  // Begin a new upload. Any in-progress transaction is abandoned.
+  void start(std::vector<MissionItem> items) {
+    items_ = std::move(items);
+    for (std::uint16_t i = 0; i < items_.size(); ++i) items_[i].seq = i;
+    phase_ = Phase::kAwaitingRequests;
+    MissionCount count;
+    count.count = static_cast<std::uint16_t>(items_.size());
+    gcs_->send(count);
+  }
+
+  // Feed one received message. Non-mission messages are ignored and returned
+  // to the caller so other protocol layers can process them.
+  std::optional<Message> handle(Message msg) {
+    if (phase_ != Phase::kAwaitingRequests) return msg;
+    if (const auto* req = std::get_if<MissionRequest>(&msg)) {
+      if (req->seq < items_.size()) {
+        gcs_->send(items_[req->seq]);
+      } else {
+        phase_ = Phase::kFailed;
+      }
+      return std::nullopt;
+    }
+    if (const auto* ack = std::get_if<MissionAck>(&msg)) {
+      phase_ = ack->result == MissionResult::kAccepted ? Phase::kDone : Phase::kFailed;
+      return std::nullopt;
+    }
+    return msg;
+  }
+
+  Phase phase() const { return phase_; }
+  bool done() const { return phase_ == Phase::kDone; }
+  bool failed() const { return phase_ == Phase::kFailed; }
+
+ private:
+  Endpoint* gcs_;
+  std::vector<MissionItem> items_;
+  Phase phase_ = Phase::kIdle;
+};
+
+}  // namespace avis::mavlink

@@ -1,0 +1,303 @@
+// Synthetic sensor instances (Fig. 7, step 3: "sensors simulated").
+//
+// Each instance derives its reading from the simulator's ground-truth state
+// plus instance-specific bias and gaussian noise, at the instance's native
+// sample rate (between native samples the driver re-reads the held value,
+// matching how real drivers poll device FIFOs). Noise magnitudes follow
+// datasheet-level values for the 3DR Iris sensor stack; the GPS's coarse
+// vertical accuracy is what makes APM-16682 (GPS-guided flight at low
+// altitude) dangerous, exactly as described in the paper's Fig. 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geo/attitude.h"
+#include "sensors/sensor_types.h"
+#include "sim/environment.h"
+#include "sim/simulator.h"
+#include "sim/vehicle_state.h"
+#include "util/rng.h"
+
+namespace avis::sensors {
+
+// Common per-instance machinery: identity, native rate, latched clean
+// failure. Concrete sensors implement p_measure() to produce a fresh sample.
+template <typename Sample>
+class SensorInstance {
+ public:
+  SensorInstance(SensorId id, double rate_hz, util::Rng rng)
+      : id_(id), interval_ms_(rate_hz > 0 ? static_cast<sim::SimTimeMs>(1000.0 / rate_hz) : 1),
+        rng_(rng) {}
+  virtual ~SensorInstance() = default;
+
+  SensorInstance(const SensorInstance&) = delete;
+  SensorInstance& operator=(const SensorInstance&) = delete;
+
+  const SensorId& id() const { return id_; }
+  bool failed() const { return failed_; }
+
+  // Clean failure: the device stops communicating for the rest of the run.
+  void fail() { failed_ = true; }
+
+  // Driver read path. Returns kFailed (and leaves `out` untouched) once the
+  // instance has failed; otherwise returns the held sample, refreshing it
+  // when a native sample period has elapsed.
+  ReadStatus read(sim::SimTimeMs now_ms, const sim::VehicleState& truth,
+                  const sim::Environment& env, Sample& out) {
+    if (failed_) return ReadStatus::kFailed;
+    if (!has_sample_ || now_ms - last_sample_ms_ >= interval_ms_) {
+      held_ = p_measure(truth, env, rng_);
+      last_sample_ms_ = now_ms;
+      has_sample_ = true;
+    }
+    out = held_;
+    return ReadStatus::kOk;
+  }
+
+ protected:
+  virtual Sample p_measure(const sim::VehicleState& truth, const sim::Environment& env,
+                           util::Rng& rng) = 0;
+
+ private:
+  SensorId id_;
+  sim::SimTimeMs interval_ms_;
+  util::Rng rng_;
+  Sample held_{};
+  bool has_sample_ = false;
+  sim::SimTimeMs last_sample_ms_ = 0;
+  bool failed_ = false;
+};
+
+class Gyroscope final : public SensorInstance<GyroSample> {
+ public:
+  Gyroscope(SensorId id, util::Rng rng, double noise = 0.002, double bias = 0.001)
+      : SensorInstance(id, 1000.0, rng), noise_(noise), bias_(bias) {}
+
+ protected:
+  GyroSample p_measure(const sim::VehicleState& truth, const sim::Environment&,
+                       util::Rng& rng) override {
+    return {truth.body_rates + geo::Vec3{bias_ + rng.gaussian(noise_),
+                                         bias_ + rng.gaussian(noise_),
+                                         bias_ + rng.gaussian(noise_)}};
+  }
+
+ private:
+  double noise_;
+  double bias_;
+};
+
+class Accelerometer final : public SensorInstance<AccelSample> {
+ public:
+  Accelerometer(SensorId id, util::Rng rng, double noise = 0.05, double bias = 0.02)
+      : SensorInstance(id, 1000.0, rng), noise_(noise), bias_(bias) {}
+
+ protected:
+  AccelSample p_measure(const sim::VehicleState& truth, const sim::Environment&,
+                        util::Rng& rng) override {
+    // Accelerometers measure specific force: acceleration minus gravity,
+    // expressed in the body frame.
+    const geo::Vec3 gravity{0.0, 0.0, 9.80665};
+    const geo::Vec3 specific_world = truth.acceleration - gravity;
+    const geo::Vec3 body = truth.attitude.world_to_body(specific_world);
+    return {body + geo::Vec3{bias_ + rng.gaussian(noise_), bias_ + rng.gaussian(noise_),
+                             bias_ + rng.gaussian(noise_)}};
+  }
+
+ private:
+  double noise_;
+  double bias_;
+};
+
+class Barometer final : public SensorInstance<BaroSample> {
+ public:
+  Barometer(SensorId id, util::Rng rng, double noise = 0.12)
+      : SensorInstance(id, 50.0, rng), noise_(noise) {}
+
+ protected:
+  BaroSample p_measure(const sim::VehicleState& truth, const sim::Environment&,
+                       util::Rng& rng) override {
+    return {truth.altitude() + rng.gaussian(noise_)};
+  }
+
+ private:
+  double noise_;
+};
+
+class Gps final : public SensorInstance<GpsSample> {
+ public:
+  // Horizontal ~1.2 m, vertical ~2.8 m 1-sigma: consumer GPS. The vertical
+  // coarseness is the paper's Fig. 1 root hazard.
+  Gps(SensorId id, util::Rng rng, double h_noise = 0.9, double v_noise = 2.8)
+      : SensorInstance(id, 5.0, rng), h_noise_(h_noise), v_noise_(v_noise) {}
+
+ protected:
+  GpsSample p_measure(const sim::VehicleState& truth, const sim::Environment& env,
+                      util::Rng& rng) override {
+    const geo::Vec3 noisy_local = truth.position + geo::Vec3{rng.gaussian(h_noise_),
+                                                             rng.gaussian(h_noise_),
+                                                             -rng.gaussian(v_noise_)};
+    GpsSample s;
+    s.position = env.frame().to_geodetic(noisy_local);
+    s.velocity_ned = truth.velocity + geo::Vec3{rng.gaussian(0.1), rng.gaussian(0.1),
+                                                rng.gaussian(0.2)};
+    s.num_satellites = 14;
+    s.hdop = 0.8;
+    s.has_fix = true;
+    return s;
+  }
+
+ private:
+  double h_noise_;
+  double v_noise_;
+};
+
+class Compass final : public SensorInstance<CompassSample> {
+ public:
+  Compass(SensorId id, util::Rng rng, double noise = 0.015)
+      : SensorInstance(id, 100.0, rng), noise_(noise) {}
+
+ protected:
+  CompassSample p_measure(const sim::VehicleState& truth, const sim::Environment&,
+                          util::Rng& rng) override {
+    return {geo::wrap_angle(truth.attitude.yaw + rng.gaussian(noise_))};
+  }
+
+ private:
+  double noise_;
+};
+
+class BatterySensor final : public SensorInstance<BatterySample> {
+ public:
+  BatterySensor(SensorId id, util::Rng rng, double noise = 0.02)
+      : SensorInstance(id, 10.0, rng), noise_(noise) {}
+
+ protected:
+  BatterySample p_measure(const sim::VehicleState& truth, const sim::Environment&,
+                          util::Rng& rng) override {
+    return {truth.battery_voltage + rng.gaussian(noise_), truth.battery_remaining};
+  }
+
+ private:
+  double noise_;
+};
+
+// How many instances of each type the vehicle carries. Instance 0 is the
+// primary. Defaults model the Iris autopilot stack (dual IMU, dual compass,
+// single baro/GPS/battery).
+struct SuiteConfig {
+  int gyroscopes = 2;
+  int accelerometers = 2;
+  int barometers = 1;
+  int gpses = 1;
+  int compasses = 2;
+  int batteries = 1;
+
+  int count(SensorType t) const {
+    switch (t) {
+      case SensorType::kGyroscope: return gyroscopes;
+      case SensorType::kAccelerometer: return accelerometers;
+      case SensorType::kBarometer: return barometers;
+      case SensorType::kGps: return gpses;
+      case SensorType::kCompass: return compasses;
+      case SensorType::kBattery: return batteries;
+    }
+    return 0;
+  }
+
+  int total() const {
+    return gyroscopes + accelerometers + barometers + gpses + compasses + batteries;
+  }
+};
+
+// The vehicle's full sensor complement. Owns every instance; exposes typed
+// access for the firmware drivers and id-based failure injection for the
+// engine.
+class SensorSuite {
+ public:
+  SensorSuite(const SuiteConfig& config, util::Rng& seed_source) : config_(config) {
+    for (int i = 0; i < config.gyroscopes; ++i)
+      gyros_.push_back(std::make_unique<Gyroscope>(
+          SensorId{SensorType::kGyroscope, static_cast<std::uint8_t>(i)}, seed_source.fork(i)));
+    for (int i = 0; i < config.accelerometers; ++i)
+      accels_.push_back(std::make_unique<Accelerometer>(
+          SensorId{SensorType::kAccelerometer, static_cast<std::uint8_t>(i)},
+          seed_source.fork(16 + i)));
+    for (int i = 0; i < config.barometers; ++i)
+      baros_.push_back(std::make_unique<Barometer>(
+          SensorId{SensorType::kBarometer, static_cast<std::uint8_t>(i)},
+          seed_source.fork(32 + i)));
+    for (int i = 0; i < config.gpses; ++i)
+      gpses_.push_back(std::make_unique<Gps>(
+          SensorId{SensorType::kGps, static_cast<std::uint8_t>(i)}, seed_source.fork(48 + i)));
+    for (int i = 0; i < config.compasses; ++i)
+      compasses_.push_back(std::make_unique<Compass>(
+          SensorId{SensorType::kCompass, static_cast<std::uint8_t>(i)},
+          seed_source.fork(64 + i)));
+    for (int i = 0; i < config.batteries; ++i)
+      batteries_.push_back(std::make_unique<BatterySensor>(
+          SensorId{SensorType::kBattery, static_cast<std::uint8_t>(i)},
+          seed_source.fork(80 + i)));
+  }
+
+  const SuiteConfig& config() const { return config_; }
+
+  Gyroscope& gyro(int i) { return *gyros_.at(i); }
+  Accelerometer& accel(int i) { return *accels_.at(i); }
+  Barometer& baro(int i) { return *baros_.at(i); }
+  Gps& gps(int i) { return *gpses_.at(i); }
+  Compass& compass(int i) { return *compasses_.at(i); }
+  BatterySensor& battery(int i) { return *batteries_.at(i); }
+
+  // Latch a clean failure on one instance. Returns false if the id does not
+  // exist on this vehicle.
+  bool fail(const SensorId& id) {
+    if (id.instance >= config_.count(id.type)) return false;
+    switch (id.type) {
+      case SensorType::kGyroscope: gyros_[id.instance]->fail(); return true;
+      case SensorType::kAccelerometer: accels_[id.instance]->fail(); return true;
+      case SensorType::kBarometer: baros_[id.instance]->fail(); return true;
+      case SensorType::kGps: gpses_[id.instance]->fail(); return true;
+      case SensorType::kCompass: compasses_[id.instance]->fail(); return true;
+      case SensorType::kBattery: batteries_[id.instance]->fail(); return true;
+    }
+    return false;
+  }
+
+  bool is_failed(const SensorId& id) const {
+    if (id.instance >= config_.count(id.type)) return false;
+    switch (id.type) {
+      case SensorType::kGyroscope: return gyros_[id.instance]->failed();
+      case SensorType::kAccelerometer: return accels_[id.instance]->failed();
+      case SensorType::kBarometer: return baros_[id.instance]->failed();
+      case SensorType::kGps: return gpses_[id.instance]->failed();
+      case SensorType::kCompass: return compasses_[id.instance]->failed();
+      case SensorType::kBattery: return batteries_[id.instance]->failed();
+    }
+    return false;
+  }
+
+  // All instance ids on this vehicle, in deterministic order; the search
+  // strategies enumerate the fault space from this list.
+  std::vector<SensorId> all_ids() const {
+    std::vector<SensorId> ids;
+    for (SensorType t : kAllSensorTypes) {
+      for (int i = 0; i < config_.count(t); ++i) {
+        ids.push_back(SensorId{t, static_cast<std::uint8_t>(i)});
+      }
+    }
+    return ids;
+  }
+
+ private:
+  SuiteConfig config_;
+  std::vector<std::unique_ptr<Gyroscope>> gyros_;
+  std::vector<std::unique_ptr<Accelerometer>> accels_;
+  std::vector<std::unique_ptr<Barometer>> baros_;
+  std::vector<std::unique_ptr<Gps>> gpses_;
+  std::vector<std::unique_ptr<Compass>> compasses_;
+  std::vector<std::unique_ptr<BatterySensor>> batteries_;
+};
+
+}  // namespace avis::sensors

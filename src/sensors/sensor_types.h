@@ -1,0 +1,121 @@
+// Sensor taxonomy shared by the firmware, the fault-injection engine and the
+// search strategies.
+//
+// The paper's fault model (§IV-B): any sensor *instance* can cleanly fail at
+// any time — the instance stops communicating and its driver reports the
+// failure — and a failed sensor never recovers within a test run. Instances
+// of one type have roles (one primary, the rest backups); the sensor-
+// instance-symmetry pruning policy is defined over these roles.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "geo/geodesy.h"
+#include "geo/vec3.h"
+
+namespace avis::sensors {
+
+enum class SensorType : std::uint8_t {
+  kGyroscope = 0,
+  kAccelerometer = 1,
+  kBarometer = 2,
+  kGps = 3,
+  kCompass = 4,
+  kBattery = 5,
+};
+
+inline constexpr std::array<SensorType, 6> kAllSensorTypes{
+    SensorType::kGyroscope, SensorType::kAccelerometer, SensorType::kBarometer,
+    SensorType::kGps,       SensorType::kCompass,       SensorType::kBattery,
+};
+
+inline const char* to_string(SensorType t) {
+  switch (t) {
+    case SensorType::kGyroscope: return "gyroscope";
+    case SensorType::kAccelerometer: return "accelerometer";
+    case SensorType::kBarometer: return "barometer";
+    case SensorType::kGps: return "GPS";
+    case SensorType::kCompass: return "compass";
+    case SensorType::kBattery: return "battery";
+  }
+  return "?";
+}
+
+enum class SensorRole : std::uint8_t { kPrimary = 0, kBackup = 1 };
+
+inline const char* to_string(SensorRole r) {
+  return r == SensorRole::kPrimary ? "primary" : "backup";
+}
+
+// Identifies one physical sensor instance, e.g. "compass #1" ("B1" in the
+// paper's Fig. 6). Instance 0 is always the primary.
+struct SensorId {
+  SensorType type = SensorType::kGyroscope;
+  std::uint8_t instance = 0;
+
+  constexpr bool operator==(const SensorId&) const = default;
+  constexpr auto operator<=>(const SensorId&) const = default;
+
+  SensorRole role() const { return instance == 0 ? SensorRole::kPrimary : SensorRole::kBackup; }
+
+  std::string to_string() const {
+    return std::string(sensors::to_string(type)) + "#" + std::to_string(instance);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const SensorId& id) {
+  return os << id.to_string();
+}
+
+// Samples produced by each sensor family. The estimator consumes these; the
+// fault-injection hook may replace a sample with a failure indication.
+struct GyroSample {
+  geo::Vec3 body_rates;  // rad/s
+};
+
+struct AccelSample {
+  geo::Vec3 specific_force;  // m/s^2, body frame (measures thrust - gravity)
+};
+
+struct BaroSample {
+  double pressure_altitude_m = 0.0;  // above home
+};
+
+struct GpsSample {
+  geo::GeoPoint position;
+  geo::Vec3 velocity_ned;  // m/s
+  int num_satellites = 0;
+  double hdop = 99.9;
+  bool has_fix = false;
+};
+
+struct CompassSample {
+  double heading_rad = 0.0;  // magnetic heading
+};
+
+struct BatterySample {
+  double voltage = 0.0;
+  double remaining_fraction = 0.0;
+};
+
+// Result status of one driver read() (paper §V-B: the libhinj call in each
+// driver's read() returns the scheduler's decision).
+enum class ReadStatus : std::uint8_t {
+  kOk = 0,
+  kFailed = 1,   // clean failure injected or latched: no data
+};
+
+}  // namespace avis::sensors
+
+namespace std {
+template <>
+struct hash<avis::sensors::SensorId> {
+  size_t operator()(const avis::sensors::SensorId& id) const noexcept {
+    return (static_cast<size_t>(id.type) << 8) | id.instance;
+  }
+};
+}  // namespace std

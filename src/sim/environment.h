@@ -1,0 +1,82 @@
+// The simulated physical world: ground plane, obstacles, geofence, weather.
+//
+// Per the paper (§IV-A) Avis uses "an environment without hostile weather or
+// obstacles" for its default workloads; obstacles and wind exist so tests can
+// exercise the safety invariant and so future workloads can model them.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/geodesy.h"
+#include "geo/vec3.h"
+
+namespace avis::sim {
+
+// Axis-aligned box obstacle in local NED coordinates.
+struct Obstacle {
+  geo::Vec3 min_corner;
+  geo::Vec3 max_corner;
+
+  bool contains(const geo::Vec3& p) const {
+    return p.x >= min_corner.x && p.x <= max_corner.x && p.y >= min_corner.y &&
+           p.y <= max_corner.y && p.z >= min_corner.z && p.z <= max_corner.z;
+  }
+};
+
+// Horizontal rectangular geofence with an altitude ceiling. The firmware's
+// mission manager enforces it; the second default workload (§V-A) plans a box
+// that overlaps a fenced region the UAV must avoid.
+struct Fence {
+  double min_north = -1e9;
+  double max_north = 1e9;
+  double min_east = -1e9;
+  double max_east = 1e9;
+  double max_altitude = 1e9;
+
+  bool violates(const geo::Vec3& p) const {
+    return p.x < min_north || p.x > max_north || p.y < min_east || p.y > max_east ||
+           -p.z > max_altitude;
+  }
+};
+
+struct Wind {
+  geo::Vec3 mean;           // m/s, NED
+  double gust_stddev = 0.0;  // m/s, per-axis gaussian gusts
+};
+
+class Environment {
+ public:
+  Environment() = default;
+
+  // Home (launch) point; local frame origin.
+  void set_home(const geo::GeoPoint& home) { frame_ = geo::LocalFrame(home); }
+  const geo::LocalFrame& frame() const { return frame_; }
+
+  void add_obstacle(const Obstacle& o) { obstacles_.push_back(o); }
+  const std::vector<Obstacle>& obstacles() const { return obstacles_; }
+
+  void set_fence(const Fence& f) { fence_ = f; }
+  const std::optional<Fence>& fence() const { return fence_; }
+
+  void set_wind(const Wind& w) { wind_ = w; }
+  const Wind& wind() const { return wind_; }
+
+  // Ground elevation is flat at local z = 0 (NED down-positive).
+  static double ground_z() { return 0.0; }
+
+  bool hits_obstacle(const geo::Vec3& p) const {
+    for (const auto& o : obstacles_) {
+      if (o.contains(p)) return true;
+    }
+    return false;
+  }
+
+ private:
+  geo::LocalFrame frame_{geo::GeoPoint{40.0, -83.0, 200.0}};  // Columbus, OH test field
+  std::vector<Obstacle> obstacles_;
+  std::optional<Fence> fence_;
+  Wind wind_;
+};
+
+}  // namespace avis::sim

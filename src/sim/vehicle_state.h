@@ -1,0 +1,65 @@
+// Ground-truth physical state of the simulated vehicle.
+//
+// This is the state the Gazebo plugin reports to Avis in the paper (Fig. 7,
+// step 6). Coordinates are local NED (x north, y east, z down), so altitude
+// above home is -position.z.
+#pragma once
+
+#include <array>
+
+#include "geo/attitude.h"
+#include "geo/vec3.h"
+
+namespace avis::sim {
+
+// Normalized motor commands in [0, 1], quad-X order:
+// 0 front-right, 1 back-left, 2 front-left, 3 back-right.
+struct MotorCommands {
+  std::array<double, 4> value{0.0, 0.0, 0.0, 0.0};
+
+  double total() const { return value[0] + value[1] + value[2] + value[3]; }
+};
+
+struct VehicleState {
+  geo::Vec3 position;         // m, NED
+  geo::Vec3 velocity;         // m/s, NED
+  geo::Vec3 acceleration;     // m/s^2, NED (specific force + gravity)
+  geo::Attitude attitude;     // rad
+  geo::Vec3 body_rates;       // rad/s, body frame
+  MotorCommands motors;       // last applied commands (after motor lag)
+  double battery_voltage = 12.6;  // V, 3S pack
+  double battery_remaining = 1.0;  // fraction
+  bool on_ground = true;
+  bool crashed = false;
+
+  double altitude() const { return -position.z; }
+  double climb_rate() const { return -velocity.z; }
+  double ground_speed() const {
+    return std::sqrt(velocity.x * velocity.x + velocity.y * velocity.y);
+  }
+};
+
+// Why a vehicle run ended in a physical collision; used by the invariant
+// monitor's safety rule and by bug triage in the benches.
+enum class CrashCause {
+  kNone,
+  kHardLanding,       // descent rate at ground contact above limit
+  kTippedOver,        // excessive tilt at or near ground contact
+  kLateralImpact,     // high horizontal speed at ground contact
+  kObstacle,          // flew into an environment obstacle
+  kFirmwareAbort,     // the firmware process itself died (InvariantError)
+};
+
+inline const char* to_string(CrashCause c) {
+  switch (c) {
+    case CrashCause::kNone: return "none";
+    case CrashCause::kHardLanding: return "hard-landing";
+    case CrashCause::kTippedOver: return "tipped-over";
+    case CrashCause::kLateralImpact: return "lateral-impact";
+    case CrashCause::kObstacle: return "obstacle";
+    case CrashCause::kFirmwareAbort: return "firmware-abort";
+  }
+  return "?";
+}
+
+}  // namespace avis::sim

@@ -1,0 +1,121 @@
+#include "study/bug_study.h"
+
+#include <cstdio>
+
+namespace avis::study {
+
+namespace {
+
+// One cell of the classification table: how many reports share this exact
+// (root cause, repro condition, symptom) combination. The cell counts were
+// chosen so every marginal matches the statistics in paper §III:
+//
+//   totals: semantic 146 (68%), sensor 44 (20%), memory 13, other 12 = 215
+//   crash bugs: semantic 7, sensor 15, memory 9, other 6 = 37
+//     -> sensor share of crashes 15/37 = 40.5%           (Finding 1)
+//   sensor repro: default 21 (47.7%), env 15, env+hw 8   (Finding 2)
+//   sensor symptoms: serious 15 (34.1%), transient 14, none 15 (Finding 3)
+//   semantic: 90% asymptomatic (131 of 146)
+struct Cell {
+  RootCause cause;
+  ReproCondition repro;
+  Symptom symptom;
+  int count;
+};
+
+constexpr Cell kCells[] = {
+    // Semantic: mostly asymptomatic, easy to reproduce (logic errors).
+    {RootCause::kSemantic, ReproCondition::kDefaultSettings, Symptom::kNoSymptoms, 98},
+    {RootCause::kSemantic, ReproCondition::kCustomEnv, Symptom::kNoSymptoms, 24},
+    {RootCause::kSemantic, ReproCondition::kCustomEnvAndHw, Symptom::kNoSymptoms, 9},
+    {RootCause::kSemantic, ReproCondition::kDefaultSettings, Symptom::kTransient, 5},
+    {RootCause::kSemantic, ReproCondition::kCustomEnv, Symptom::kTransient, 3},
+    {RootCause::kSemantic, ReproCondition::kDefaultSettings, Symptom::kCrashOrFlyAway, 4},
+    {RootCause::kSemantic, ReproCondition::kCustomEnv, Symptom::kCrashOrFlyAway, 3},
+    // Sensor: 44 total; 21 default-settings, 15 serious.
+    {RootCause::kSensor, ReproCondition::kDefaultSettings, Symptom::kCrashOrFlyAway, 8},
+    {RootCause::kSensor, ReproCondition::kDefaultSettings, Symptom::kTransient, 7},
+    {RootCause::kSensor, ReproCondition::kDefaultSettings, Symptom::kNoSymptoms, 6},
+    {RootCause::kSensor, ReproCondition::kCustomEnv, Symptom::kCrashOrFlyAway, 5},
+    {RootCause::kSensor, ReproCondition::kCustomEnv, Symptom::kTransient, 5},
+    {RootCause::kSensor, ReproCondition::kCustomEnv, Symptom::kNoSymptoms, 5},
+    {RootCause::kSensor, ReproCondition::kCustomEnvAndHw, Symptom::kCrashOrFlyAway, 2},
+    {RootCause::kSensor, ReproCondition::kCustomEnvAndHw, Symptom::kTransient, 2},
+    {RootCause::kSensor, ReproCondition::kCustomEnvAndHw, Symptom::kNoSymptoms, 4},
+    // Memory: crashes dominate (use-after-free, overflow).
+    {RootCause::kMemory, ReproCondition::kDefaultSettings, Symptom::kCrashOrFlyAway, 6},
+    {RootCause::kMemory, ReproCondition::kCustomEnvAndHw, Symptom::kCrashOrFlyAway, 3},
+    {RootCause::kMemory, ReproCondition::kDefaultSettings, Symptom::kTransient, 2},
+    {RootCause::kMemory, ReproCondition::kCustomEnv, Symptom::kNoSymptoms, 2},
+    // Other (incl. concurrency): hard to reproduce, often serious.
+    {RootCause::kOther, ReproCondition::kCustomEnv, Symptom::kCrashOrFlyAway, 4},
+    {RootCause::kOther, ReproCondition::kCustomEnvAndHw, Symptom::kCrashOrFlyAway, 2},
+    {RootCause::kOther, ReproCondition::kCustomEnv, Symptom::kTransient, 4},
+    {RootCause::kOther, ReproCondition::kDefaultSettings, Symptom::kNoSymptoms, 2},
+};
+
+}  // namespace
+
+std::vector<BugReport> build_corpus() {
+  std::vector<BugReport> corpus;
+  corpus.reserve(215);
+  int serial = 0;
+  for (const Cell& cell : kCells) {
+    for (int i = 0; i < cell.count; ++i, ++serial) {
+      BugReport report;
+      // Reports alternate between the two projects and spread over the
+      // study's 2016-2019 window, mirroring the roughly even split of the
+      // paper's corpus (206 ArduPilot / 188 PX4 before pruning).
+      report.project = serial % 2 == 0 ? Project::kArduPilot : Project::kPx4;
+      report.year = 2016 + serial % 4;
+      char id[32];
+      std::snprintf(id, sizeof(id), "%s-%d-%04d",
+                    report.project == Project::kArduPilot ? "APM" : "PX4", report.year,
+                    serial);
+      report.id = id;
+      report.root_cause = cell.cause;
+      report.repro = cell.repro;
+      report.symptom = cell.symptom;
+      corpus.push_back(std::move(report));
+    }
+  }
+  return corpus;
+}
+
+StudySummary summarize(const std::vector<BugReport>& corpus) {
+  StudySummary s;
+  s.total = static_cast<int>(corpus.size());
+  for (const auto& report : corpus) {
+    s.by_root_cause[static_cast<std::size_t>(report.root_cause)] += 1;
+    if (report.symptom == Symptom::kCrashOrFlyAway) {
+      s.crash_by_root_cause[static_cast<std::size_t>(report.root_cause)] += 1;
+    }
+    if (report.root_cause == RootCause::kSensor) {
+      s.sensor_by_repro[static_cast<std::size_t>(report.repro)] += 1;
+      s.sensor_by_symptom[static_cast<std::size_t>(report.symptom)] += 1;
+    }
+  }
+  return s;
+}
+
+double StudySummary::sensor_share() const {
+  return total > 0 ? static_cast<double>(by_root_cause[1]) / total : 0.0;
+}
+
+double StudySummary::sensor_share_of_crashes() const {
+  int crashes = 0;
+  for (int c : crash_by_root_cause) crashes += c;
+  return crashes > 0 ? static_cast<double>(crash_by_root_cause[1]) / crashes : 0.0;
+}
+
+double StudySummary::sensor_default_repro_share() const {
+  const int sensor = by_root_cause[1];
+  return sensor > 0 ? static_cast<double>(sensor_by_repro[0]) / sensor : 0.0;
+}
+
+double StudySummary::sensor_serious_share() const {
+  const int sensor = by_root_cause[1];
+  return sensor > 0 ? static_cast<double>(sensor_by_symptom[0]) / sensor : 0.0;
+}
+
+}  // namespace avis::study

@@ -1,0 +1,81 @@
+// The empirical bug study (paper §III, Figure 3).
+//
+// The paper reviews 394 issues filed against ArduPilot and PX4 between 2016
+// and 2019, prunes to 215 analyzable bugs, and classifies them three ways:
+// root cause, reproduction conditions, and symptom. The raw GitHub corpus is
+// not redistributable, so this module reconstructs a synthetic corpus whose
+// per-category counts match every statistic the paper reports:
+//   * Finding 1 — sensor bugs are 20% of all bugs and 40% of crash bugs;
+//   * Finding 2 — 47% of sensor bugs reproduce under default settings;
+//   * Finding 3 — 34% of sensor bugs have serious symptoms.
+// The fig3_bug_study bench aggregates this corpus to regenerate Figure 3.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace avis::study {
+
+enum class RootCause { kSemantic, kSensor, kMemory, kOther };
+enum class ReproCondition { kDefaultSettings, kCustomEnv, kCustomEnvAndHw };
+enum class Symptom { kCrashOrFlyAway, kTransient, kNoSymptoms };
+enum class Project { kArduPilot, kPx4 };
+
+inline const char* to_string(RootCause c) {
+  switch (c) {
+    case RootCause::kSemantic: return "Semantic";
+    case RootCause::kSensor: return "Sensor";
+    case RootCause::kMemory: return "Memory";
+    case RootCause::kOther: return "Other";
+  }
+  return "?";
+}
+
+inline const char* to_string(ReproCondition c) {
+  switch (c) {
+    case ReproCondition::kDefaultSettings: return "Default settings";
+    case ReproCondition::kCustomEnv: return "Custom env";
+    case ReproCondition::kCustomEnvAndHw: return "Custom env & hw";
+  }
+  return "?";
+}
+
+inline const char* to_string(Symptom s) {
+  switch (s) {
+    case Symptom::kCrashOrFlyAway: return "Crash/Fly away";
+    case Symptom::kTransient: return "Transient";
+    case Symptom::kNoSymptoms: return "No symptoms";
+  }
+  return "?";
+}
+
+struct BugReport {
+  std::string id;       // e.g. "APM-2016-0042"
+  Project project;
+  int year;
+  RootCause root_cause;
+  ReproCondition repro;
+  Symptom symptom;
+};
+
+// The 215-report corpus (after the paper's pruning).
+std::vector<BugReport> build_corpus();
+
+// Aggregations for Figure 3 and Findings 1-3.
+struct StudySummary {
+  int total = 0;
+  std::array<int, 4> by_root_cause{};       // Fig. 3(A), first series
+  std::array<int, 4> crash_by_root_cause{}; // Fig. 3(A), crash-only series
+  std::array<int, 3> sensor_by_repro{};     // Fig. 3(B)
+  std::array<int, 3> sensor_by_symptom{};   // Fig. 3(C)
+
+  double sensor_share() const;               // Finding 1: ~20%
+  double sensor_share_of_crashes() const;    // Finding 1: ~40%
+  double sensor_default_repro_share() const; // Finding 2: ~47%
+  double sensor_serious_share() const;       // Finding 3: ~34%
+};
+
+StudySummary summarize(const std::vector<BugReport>& corpus);
+
+}  // namespace avis::study

@@ -1,0 +1,121 @@
+// Fixed-width little-endian byte encoding, shared by the hinj protocol and
+// the MAVLink-like codec. Keeping real serialization boundaries between the
+// firmware, the engine, and the ground-control station reproduces the
+// process isolation of the paper's artifact while staying in-process.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avis::util {
+
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  void str(std::string_view s) {
+    if (s.size() > 0xffff) throw WireError("string too long");
+    u16(static_cast<std::uint16_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    p_need(1);
+    return buf_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    p_need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(buf_[pos_]) | (static_cast<std::uint16_t>(buf_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    p_need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    p_need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string str() {
+    const std::uint16_t n = u16();
+    p_need(n);
+    std::string s(buf_.begin() + static_cast<long>(pos_),
+                  buf_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return s;
+  }
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  void p_need(std::size_t n) const {
+    if (pos_ + n > buf_.size()) throw WireError("truncated message");
+  }
+
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace avis::util

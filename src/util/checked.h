@@ -1,0 +1,34 @@
+// Checked narrowing conversions and invariant assertions (GSL-style).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace avis::util {
+
+// Thrown when an internal invariant is violated. The model checker treats a
+// thrown InvariantError inside firmware code as a firmware process crash
+// (safety violation), mirroring how a SITL process abort is observed.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+inline void expects(bool condition, const char* what) {
+  if (!condition) throw InvariantError(what);
+}
+
+// narrow_cast with runtime check, per CppCoreGuidelines ES.46/ES.49.
+template <typename To, typename From>
+To narrow(From value) {
+  static_assert(std::is_arithmetic_v<To> && std::is_arithmetic_v<From>);
+  const To result = static_cast<To>(value);
+  if (static_cast<From>(result) != value ||
+      ((result < To{}) != (value < From{}))) {
+    throw InvariantError("narrowing conversion lost information");
+  }
+  return result;
+}
+
+}  // namespace avis::util

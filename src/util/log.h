@@ -1,0 +1,91 @@
+// Minimal leveled logger.
+//
+// The model checker runs thousands of simulations per bench; logging must be
+// cheap when disabled. Messages are formatted only if the level is enabled.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace avis::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+// Process-wide log configuration. Tests lower the level to capture
+// diagnostics; benches leave it at kWarn so timing is not polluted by I/O.
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  // Redirect output (tests capture messages through this).
+  void set_sink(std::function<void(LogLevel, std::string_view)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  void write(LogLevel level, std::string_view msg) {
+    if (!enabled(level)) return;
+    if (sink_) {
+      sink_(level, msg);
+    } else {
+      std::cerr << "[" << name(level) << "] " << msg << "\n";
+    }
+  }
+
+  static const char* name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+  }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::function<void(LogLevel, std::string_view)> sink_;
+};
+
+// Streaming helper: LogLine(LogLevel::kInfo) << "x=" << x; emits on
+// destruction. Formatting cost is avoided entirely when disabled.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level), enabled_(Logger::instance().enabled(level)) {}
+  ~LogLine() {
+    if (enabled_) Logger::instance().write(level_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+inline LogLine log_trace() { return LogLine(LogLevel::kTrace); }
+inline LogLine log_debug() { return LogLine(LogLevel::kDebug); }
+inline LogLine log_info() { return LogLine(LogLevel::kInfo); }
+inline LogLine log_warn() { return LogLine(LogLevel::kWarn); }
+inline LogLine log_error() { return LogLine(LogLevel::kError); }
+
+}  // namespace avis::util

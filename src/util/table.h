@@ -1,0 +1,116 @@
+// Plain-text table rendering for the bench harness.
+//
+// Every bench binary prints the same rows the paper's tables report; this
+// helper keeps the formatting consistent and the bench code declarative.
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace avis::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Convenience for mixed cell types.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(to_cell(cells)), ...);
+    add_row(std::move(row));
+  }
+
+  void render(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto update = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    update(header_);
+    for (const auto& row : rows_) update(row);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      os << "|";
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string();
+        os << " " << std::left << std::setw(static_cast<int>(widths[i])) << cell << " |";
+      }
+      os << "\n";
+    };
+    auto print_sep = [&] {
+      os << "|";
+      for (std::size_t w : widths) os << std::string(w + 2, '-') << "|";
+      os << "\n";
+    };
+
+    print_row(header_);
+    print_sep();
+    for (const auto& row : rows_) print_row(row);
+  }
+
+  std::string to_string() const {
+    std::ostringstream os;
+    render(os);
+    return os.str();
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_same_v<T, std::string> || std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(2) << v;
+      return os.str();
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// CSV emission for figure series (Fig. 9 / Fig. 10 altitude traces).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void header(const std::vector<std::string>& cols) { line(cols); }
+
+  void line(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os_ << ",";
+      os_ << cells[i];
+    }
+    os_ << "\n";
+  }
+
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    bool first = true;
+    auto emit = [&](const auto& c) {
+      if (!first) os_ << ",";
+      first = false;
+      os_ << c;
+    };
+    (emit(cells), ...);
+    os_ << "\n";
+  }
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace avis::util

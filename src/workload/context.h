@@ -1,0 +1,149 @@
+// Ground-control-station context for workloads.
+//
+// The workload is the pilot (paper §IV-A): it talks to the vehicle only
+// through the MAVLink channel — commands out, telemetry in. The context
+// caches the latest telemetry so workload steps can express conditions like
+// "altitude reached" without blocking, and wraps the mission-upload state
+// machine so workloads cannot deadlock the transaction (§V-A).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/geodesy.h"
+#include "mavlink/channel.h"
+#include "mavlink/messages.h"
+#include "mavlink/mission_protocol.h"
+#include "sim/simulator.h"
+
+namespace avis::workload {
+
+class GcsContext {
+ public:
+  GcsContext(mavlink::Endpoint& gcs, const geo::LocalFrame& frame)
+      : gcs_(&gcs), uploader_(gcs), frame_(frame) {}
+
+  // Drain incoming telemetry; called by the harness every step.
+  void pump(sim::SimTimeMs now) {
+    now_ms_ = now;
+    while (auto msg = gcs_->receive()) {
+      // Mission-upload replies are consumed by the uploader first.
+      auto remaining = uploader_.handle(std::move(*msg));
+      if (!remaining) continue;
+      if (const auto* hb = std::get_if<mavlink::Heartbeat>(&*remaining)) {
+        armed_ = hb->armed;
+        mode_id_ = hb->custom_mode;
+        have_heartbeat_ = true;
+      } else if (const auto* gp = std::get_if<mavlink::GlobalPositionInt>(&*remaining)) {
+        local_position_ = frame_.to_local(gp->position);
+        relative_alt_ = gp->relative_alt_m;
+        velocity_ = gp->velocity_ned;
+        heading_ = gp->heading_rad;
+        have_position_ = true;
+      } else if (const auto* ack = std::get_if<mavlink::CommandAck>(&*remaining)) {
+        last_ack_ = *ack;
+      } else if (const auto* st = std::get_if<mavlink::StatusText>(&*remaining)) {
+        status_texts_.push_back(st->text);
+      } else if (const auto* reached = std::get_if<mavlink::MissionItemReached>(&*remaining)) {
+        last_reached_ = reached->seq;
+      }
+    }
+  }
+
+  // --- Command helpers (the framework's high-level API) -------------------
+  void arm() { send_command(mavlink::Command::kComponentArmDisarm, 1.0); }
+  void disarm() { send_command(mavlink::Command::kComponentArmDisarm, 0.0); }
+
+  void takeoff(double altitude_m) {
+    mavlink::CommandLong cmd;
+    cmd.command = mavlink::Command::kNavTakeoff;
+    cmd.param7 = altitude_m;
+    gcs_->send(cmd);
+  }
+
+  void land() { send_command(mavlink::Command::kNavLand); }
+  void return_to_launch() { send_command(mavlink::Command::kNavReturnToLaunch); }
+
+  void set_mode(std::uint16_t composite_id) {
+    mavlink::SetMode sm;
+    sm.custom_mode = composite_id;
+    gcs_->send(sm);
+  }
+
+  void rc(double roll, double pitch, double throttle, double yaw) {
+    mavlink::RcOverride rc;
+    rc.roll = roll;
+    rc.pitch = pitch;
+    rc.throttle = throttle;
+    rc.yaw = yaw;
+    gcs_->send(rc);
+  }
+
+  void enable_fence(const sim::Fence& fence) {
+    mavlink::FenceEnable fe;
+    fe.enable = true;
+    fe.min_north = fence.min_north;
+    fe.max_north = fence.max_north;
+    fe.min_east = fence.min_east;
+    fe.max_east = fence.max_east;
+    fe.max_altitude = fence.max_altitude;
+    gcs_->send(fe);
+  }
+
+  void upload_mission(std::vector<mavlink::MissionItem> items) {
+    uploader_.start(std::move(items));
+  }
+  bool mission_uploaded() const { return uploader_.done(); }
+  bool mission_upload_failed() const { return uploader_.failed(); }
+
+  // --- Telemetry view ------------------------------------------------------
+  sim::SimTimeMs now_ms() const { return now_ms_; }
+  bool armed() const { return armed_; }
+  std::uint16_t mode_id() const { return mode_id_; }
+  bool have_position() const { return have_position_; }
+  const geo::Vec3& local_position() const { return local_position_; }
+  double altitude() const { return relative_alt_; }
+  const geo::Vec3& velocity() const { return velocity_; }
+  double heading() const { return heading_; }
+  const std::vector<std::string>& status_texts() const { return status_texts_; }
+
+  // Mission-item helper: build an item from a local NED position.
+  mavlink::MissionItem item_at(mavlink::Command command, const geo::Vec3& local,
+                               std::uint16_t seq = 0) const {
+    mavlink::MissionItem item;
+    item.seq = seq;
+    item.command = command;
+    item.position = frame_.to_geodetic(local);
+    return item;
+  }
+
+  const geo::LocalFrame& frame() const { return frame_; }
+
+ private:
+  void send_command(mavlink::Command command, double param1 = 0.0) {
+    mavlink::CommandLong cmd;
+    cmd.command = command;
+    cmd.param1 = param1;
+    gcs_->send(cmd);
+  }
+
+  mavlink::Endpoint* gcs_;
+  mavlink::MissionUploader uploader_;
+  geo::LocalFrame frame_;
+
+  sim::SimTimeMs now_ms_ = 0;
+  bool armed_ = false;
+  std::uint16_t mode_id_ = 0;
+  bool have_heartbeat_ = false;
+  bool have_position_ = false;
+  geo::Vec3 local_position_;
+  double relative_alt_ = 0.0;
+  geo::Vec3 velocity_;
+  double heading_ = 0.0;
+  std::optional<mavlink::CommandAck> last_ack_;
+  std::optional<std::uint16_t> last_reached_;
+  std::vector<std::string> status_texts_;
+};
+
+}  // namespace avis::workload

@@ -1,0 +1,139 @@
+// Workload framework (paper §V-A, Fig. 8).
+//
+// A workload is a sequence of steps; each step has an on-entry action and a
+// completion predicate, mirroring the paper's Python framework where
+// `takeoff()`/`wait_altitude()` calls yield control back to Avis via the
+// step() RPC. Steps never block: the harness pumps the workload once per
+// simulation step and the workload advances when the current predicate
+// holds. A per-step timeout marks the run failed rather than hanging the
+// checker (the deadlock hazard §V-A describes).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/context.h"
+
+namespace avis::workload {
+
+enum class WorkloadStatus { kRunning, kPassed, kFailed };
+
+class Script {
+ public:
+  struct Step {
+    std::string name;
+    std::function<void(GcsContext&)> on_entry;
+    std::function<bool(GcsContext&)> done;
+    sim::SimTimeMs timeout_ms = 60000;
+  };
+
+  void add(std::string name, std::function<void(GcsContext&)> on_entry,
+           std::function<bool(GcsContext&)> done, sim::SimTimeMs timeout_ms = 60000) {
+    steps_.push_back({std::move(name), std::move(on_entry), std::move(done), timeout_ms});
+  }
+
+  // Fig. 8 style helpers ----------------------------------------------------
+  void wait_time(sim::SimTimeMs ms) {
+    add("wait_time", [](GcsContext&) {},
+        [ms, start = std::make_shared<sim::SimTimeMs>(-1)](GcsContext& ctx) {
+          if (*start < 0) *start = ctx.now_ms();
+          return ctx.now_ms() - *start >= ms;
+        });
+  }
+
+  void upload_mission(std::vector<mavlink::MissionItem> items) {
+    add("upload_mission",
+        [items = std::move(items)](GcsContext& ctx) { ctx.upload_mission(items); },
+        [](GcsContext& ctx) { return ctx.mission_uploaded(); }, 10000);
+  }
+
+  void arm_system_completely() {
+    add("arm", [](GcsContext& ctx) { ctx.arm(); },
+        [](GcsContext& ctx) { return ctx.armed(); }, 5000);
+  }
+
+  void enter_auto_mode() {
+    add("enter_auto",
+        [](GcsContext& ctx) {
+          ctx.set_mode(static_cast<std::uint16_t>(5) << 8);  // Mode::kAuto
+        },
+        [](GcsContext&) { return true; });
+  }
+
+  void wait_altitude_at_least(double alt_m) {
+    add("wait_altitude>=", [](GcsContext&) {},
+        [alt_m](GcsContext& ctx) { return ctx.altitude() >= alt_m; });
+  }
+
+  void wait_altitude_at_most(double alt_m) {
+    add("wait_altitude<=", [](GcsContext&) {},
+        [alt_m](GcsContext& ctx) { return ctx.altitude() <= alt_m; });
+  }
+
+  void wait_disarm() {
+    add("wait_disarm", [](GcsContext&) {},
+        [](GcsContext& ctx) { return !ctx.armed(); });
+  }
+
+  const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+// Base class: concrete workloads build their Script in the constructor.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  // Advance the workload one harness tick. Steps whose completion predicate
+  // already holds are chained within the tick (like the sequential calls in
+  // the paper's Fig. 8 script); the tick ends at the first unfinished step.
+  WorkloadStatus step(GcsContext& ctx) {
+    const auto& steps = script_.steps();
+    while (status_ == WorkloadStatus::kRunning) {
+      if (index_ >= steps.size()) {
+        status_ = WorkloadStatus::kPassed;
+        break;
+      }
+      const auto& step = steps[index_];
+      if (!entered_) {
+        step.on_entry(ctx);
+        entered_ = true;
+        entered_at_ = ctx.now_ms();
+      }
+      if (step.done(ctx)) {
+        ++index_;
+        entered_ = false;
+        continue;
+      }
+      if (ctx.now_ms() - entered_at_ > step.timeout_ms) {
+        status_ = WorkloadStatus::kFailed;
+        failed_step_ = step.name;
+      }
+      break;
+    }
+    return status_;
+  }
+
+  WorkloadStatus status() const { return status_; }
+  const std::string& failed_step() const { return failed_step_; }
+  const std::string& name() const { return name_; }
+  std::size_t current_step() const { return index_; }
+
+ protected:
+  explicit Workload(std::string name) : name_(std::move(name)) {}
+  Script script_;
+
+ private:
+  std::string name_;
+  std::size_t index_ = 0;
+  bool entered_ = false;
+  sim::SimTimeMs entered_at_ = 0;
+  WorkloadStatus status_ = WorkloadStatus::kRunning;
+  std::string failed_step_;
+};
+
+}  // namespace avis::workload

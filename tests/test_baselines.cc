@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/bayes_model.h"
+#include "baselines/bfi.h"
+#include "baselines/random_injection.h"
+#include "baselines/stratified_bfi.h"
+#include "core/harness.h"
+
+namespace avis::baselines {
+namespace {
+
+using fw::ModeBucket;
+using sensors::SensorType;
+
+NaiveBayesModel default_model() { return NaiveBayesModel(default_training_corpus()); }
+
+TEST(BayesModel, MainFlightModeIncidentsScoreHigh) {
+  const auto model = default_model();
+  EXPECT_GT(model.p_unsafe(SensorType::kCompass, ModeBucket::kWaypoint), 0.5);
+  EXPECT_GT(model.p_unsafe(SensorType::kAccelerometer, ModeBucket::kWaypoint), 0.5);
+  EXPECT_GT(model.p_unsafe(SensorType::kGyroscope, ModeBucket::kManual), 0.5);
+}
+
+TEST(BayesModel, UntrainedSensorsScoreLow) {
+  // The corpus has no unsafe GPS/baro/battery incidents — the reason the
+  // BFI family misses the GPS, barometer, and battery bugs of Table II.
+  const auto model = default_model();
+  EXPECT_LT(model.p_unsafe(SensorType::kGps, ModeBucket::kWaypoint), 0.45);
+  EXPECT_LT(model.p_unsafe(SensorType::kBarometer, ModeBucket::kTakeoff), 0.45);
+  EXPECT_LT(model.p_unsafe(SensorType::kBattery, ModeBucket::kWaypoint), 0.45);
+}
+
+TEST(BayesModel, LandingWindowsScoreLow) {
+  const auto model = default_model();
+  EXPECT_LT(model.p_unsafe(SensorType::kAccelerometer, ModeBucket::kLand), 0.45);
+  EXPECT_LT(model.p_unsafe(SensorType::kGyroscope, ModeBucket::kLand), 0.45);
+}
+
+TEST(BayesModel, TakeoffImuIsBorderlineButFindable) {
+  // Stratified BFI does find PX4-17057 (gyro at takeoff) in Table II.
+  const auto model = default_model();
+  EXPECT_GT(model.p_unsafe(SensorType::kGyroscope, ModeBucket::kTakeoff), 0.45);
+  EXPECT_LT(model.p_unsafe(SensorType::kCompass, ModeBucket::kTakeoff), 0.45);
+}
+
+TEST(BayesModel, SetScoreIsMeanOverMembers) {
+  // A mixed set with an untrained member scores below the trained member
+  // alone — the model cannot anticipate joint failures (paper §VI-C).
+  const auto model = default_model();
+  std::vector<sensors::SensorId> mixed{{SensorType::kGps, 0}, {SensorType::kCompass, 0}};
+  const double mixed_p = model.p_unsafe_set(mixed, ModeBucket::kWaypoint);
+  const double compass_p = model.p_unsafe(SensorType::kCompass, ModeBucket::kWaypoint);
+  const double gps_p = model.p_unsafe(SensorType::kGps, ModeBucket::kWaypoint);
+  EXPECT_DOUBLE_EQ(mixed_p, (compass_p + gps_p) / 2.0);
+  EXPECT_LT(mixed_p, compass_p);
+}
+
+TEST(ModeTimeline, LooksUpModeAndBucket) {
+  std::vector<core::ModeTransition> transitions{
+      {0, 0x0000, "preflight"}, {3540, 0x0400, "takeoff"}, {13000, 0x0501, "auto-wp1"}};
+  ModeTimeline timeline(transitions);
+  EXPECT_EQ(timeline.mode_at(0), 0x0000);
+  EXPECT_EQ(timeline.mode_at(5000), 0x0400);
+  EXPECT_EQ(timeline.mode_at(99999), 0x0501);
+  EXPECT_EQ(timeline.bucket_at(5000), ModeBucket::kTakeoff);
+  EXPECT_EQ(timeline.bucket_at(20000), ModeBucket::kWaypoint);
+}
+
+TEST(RandomInjection, ProposesDistinctPlansWithinMission) {
+  RandomInjection random(core::SimulationHarness::iris_suite(), 60000, 9);
+  core::BudgetClock budget(3600 * 1000);
+  std::set<std::string> signatures;
+  for (int i = 0; i < 200; ++i) {
+    auto plan = random.next(budget);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_FALSE(plan->empty());
+    for (const auto& e : plan->events) {
+      EXPECT_GE(e.time_ms, 0);
+      EXPECT_LT(e.time_ms, 60000);
+    }
+    EXPECT_TRUE(signatures.insert(plan->signature()).second);
+  }
+}
+
+TEST(RandomInjection, DeterministicPerSeed) {
+  RandomInjection a(core::SimulationHarness::iris_suite(), 60000, 5);
+  RandomInjection b(core::SimulationHarness::iris_suite(), 60000, 5);
+  core::BudgetClock budget(3600 * 1000);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.next(budget)->signature(), b.next(budget)->signature());
+  }
+}
+
+TEST(BfiChecker, ChargesLabelCostPerCandidate) {
+  const auto model = default_model();
+  std::vector<core::ModeTransition> transitions{{0, 0x0000, "preflight"},
+                                                {3540, 0x0400, "takeoff"}};
+  BfiConfig config;
+  config.epsilon = 0.0;
+  BfiChecker bfi(core::SimulationHarness::iris_suite(), model, ModeTimeline(transitions), 3,
+                 config);
+  core::BudgetClock budget(200 * 1000);  // 200 s: at most 20 labels
+  while (bfi.next(budget).has_value()) {
+  }
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_LE(budget.labels(), 20);
+  EXPECT_GT(budget.labels(), 0);
+}
+
+TEST(BfiChecker, DfsBarelyAdvancesInTime) {
+  // The paper: "BFI was unable to explore even a single second of data
+  // within its 2 hour budget."
+  const auto model = default_model();
+  std::vector<core::ModeTransition> transitions{{0, 0x0000, "preflight"},
+                                                {3540, 0x0400, "takeoff"}};
+  BfiConfig config;
+  config.epsilon = 0.0;
+  BfiChecker bfi(core::SimulationHarness::iris_suite(), model, ModeTimeline(transitions), 3,
+                 config);
+  core::BudgetClock budget = core::BudgetClock::two_hours();
+  sim::SimTimeMs max_site = 0;
+  while (auto plan = bfi.next(budget)) {
+    for (const auto& e : plan->events) max_site = std::max(max_site, e.time_ms);
+  }
+  EXPECT_LT(max_site, 1000) << "DFS explored more than a second of the mission";
+}
+
+TEST(StratifiedBfi, GatesOutUntrainedScenarios) {
+  const auto model = default_model();
+  std::vector<core::ModeTransition> transitions{
+      {0, 0x0000, "preflight"}, {3540, 0x0400, "takeoff"}, {13000, 0x0501, "auto-wp1"},
+      {34000, 0x0900, "land"}};
+  StratifiedBfi sbfi(core::SimulationHarness::iris_suite(), transitions, model);
+  core::BudgetClock budget(1800 * 1000);
+  std::set<SensorType> proposed_types;
+  std::set<fw::ModeBucket> buckets;
+  ModeTimeline timeline(transitions);
+  while (auto plan = sbfi.next(budget)) {
+    // Multi-sensor sets are scored by their riskiest member, so a gated
+    // sensor may ride along in a pair; the gating property is about
+    // singleton scenarios.
+    if (plan->size() == 1) {
+      for (const auto& e : plan->events) {
+        proposed_types.insert(e.sensor.type);
+        buckets.insert(timeline.bucket_at(e.time_ms));
+      }
+    }
+    sbfi.feedback(*plan, core::ExperimentResult{});
+  }
+  // Scenarios the model was never trained on are never simulated.
+  EXPECT_FALSE(proposed_types.contains(SensorType::kGps));
+  EXPECT_FALSE(proposed_types.contains(SensorType::kBarometer));
+  EXPECT_FALSE(proposed_types.contains(SensorType::kBattery));
+  // In-model scenarios are.
+  EXPECT_TRUE(proposed_types.contains(SensorType::kCompass) ||
+              proposed_types.contains(SensorType::kAccelerometer) ||
+              proposed_types.contains(SensorType::kGyroscope));
+  // Landing-window scenarios are gated out entirely.
+  EXPECT_FALSE(buckets.contains(fw::ModeBucket::kLand));
+}
+
+TEST(StratifiedBfi, PaysLabelsForSkippedScenarios) {
+  const auto model = default_model();
+  std::vector<core::ModeTransition> transitions{{3540, 0x0400, "takeoff"}};
+  StratifiedBfi sbfi(core::SimulationHarness::iris_suite(), transitions, model);
+  core::BudgetClock budget(600 * 1000);
+  int runs = 0;
+  while (sbfi.next(budget).has_value()) ++runs;
+  EXPECT_GT(budget.labels(), runs) << "every candidate costs a label, run or not";
+}
+
+}  // namespace
+}  // namespace avis::baselines

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "core/budget.h"
+
+namespace avis::core {
+namespace {
+
+TEST(BudgetClock, TwoHoursIsPaperBudget) {
+  const BudgetClock budget = BudgetClock::two_hours();
+  EXPECT_EQ(budget.total_ms(), 7200 * 1000);
+  EXPECT_FALSE(budget.exhausted());
+}
+
+TEST(BudgetClock, ChargesExperiments) {
+  BudgetClock budget(100 * 1000);
+  budget.charge_experiment(60 * 1000);
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_EQ(budget.remaining_ms(), 40 * 1000);
+  EXPECT_EQ(budget.experiments(), 1);
+  budget.charge_experiment(50 * 1000);
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.remaining_ms(), 0);
+}
+
+TEST(BudgetClock, LabelCostMatchesPaper) {
+  // "BFI's model took ~10 seconds to label an injection scenario."
+  BudgetClock budget(100 * 1000);
+  for (int i = 0; i < 7; ++i) budget.charge_label();
+  EXPECT_EQ(budget.labels(), 7);
+  EXPECT_EQ(budget.used_ms(), 7 * BudgetClock::kLabelCostMs);
+  EXPECT_EQ(budget.remaining_ms(), 30 * 1000);
+}
+
+TEST(BudgetClock, LabelingAloneExhaustsBudget) {
+  // The paper's observation: 2 hours buys only 720 labels.
+  BudgetClock budget = BudgetClock::two_hours();
+  int labels = 0;
+  while (!budget.exhausted()) {
+    budget.charge_label();
+    ++labels;
+  }
+  EXPECT_EQ(labels, 720);
+}
+
+}  // namespace
+}  // namespace avis::core

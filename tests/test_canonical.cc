@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/canonical.h"
+
+namespace avis::core {
+namespace {
+
+using sensors::SensorId;
+using sensors::SensorType;
+using sensors::SuiteConfig;
+
+TEST(CanonicalCounts, PaperFormula) {
+  // N x (2^N - 1) -> 2N - 1 (paper §IV-B-1).
+  EXPECT_EQ(unreduced_count(3), 21);  // the paper's example
+  EXPECT_EQ(canonical_count(3), 5);
+  EXPECT_EQ(canonical_count(1), 1);
+  EXPECT_EQ(unreduced_count(1), 1);
+  EXPECT_EQ(canonical_count(0), 0);
+}
+
+// Property sweep: the formulas hold for every N, and the enumeration yields
+// exactly 2N-1 role-distinct non-empty sets for a single type.
+class SymmetrySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetrySweep, EnumerationMatchesFormula) {
+  const int n = GetParam();
+  SuiteConfig config;
+  config.gyroscopes = 0;
+  config.accelerometers = 0;
+  config.barometers = 0;
+  config.gpses = 0;
+  config.compasses = n;
+  config.batteries = 0;
+
+  int canonical_total = 0;
+  for (int size = 1; size <= n; ++size) {
+    canonical_total += static_cast<int>(canonical_sets_of_size(config, size).size());
+  }
+  EXPECT_EQ(canonical_total, canonical_count(n));
+
+  long long unreduced_total = 0;
+  for (int size = 1; size <= n; ++size) {
+    unreduced_total += static_cast<long long>(all_instance_sets_of_size(config, size).size());
+  }
+  // All non-empty instance subsets: 2^N - 1.
+  EXPECT_EQ(unreduced_total, (1LL << n) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(N1to8, SymmetrySweep, ::testing::Range(1, 9));
+
+TEST(CanonicalSets, ConcreteInstancesArePrimaryThenLowBackups) {
+  SuiteConfig config;
+  config.gyroscopes = 0;
+  config.accelerometers = 0;
+  config.barometers = 0;
+  config.gpses = 0;
+  config.compasses = 3;
+  config.batteries = 0;
+  const auto sets = canonical_sets_of_size(config, 2);
+  // Size-2 canonical sets for one 3-instance type: {P,B1} and {B1,B2}.
+  ASSERT_EQ(sets.size(), 2u);
+  std::set<std::string> repr;
+  for (const auto& set : sets) {
+    std::string s;
+    for (const auto& id : set) s += std::to_string(id.instance);
+    repr.insert(s);
+  }
+  EXPECT_TRUE(repr.contains("01"));  // primary + one backup
+  EXPECT_TRUE(repr.contains("12"));  // two backups
+}
+
+TEST(CanonicalSets, CrossTypeProducts) {
+  SuiteConfig config;  // defaults: gyro 2, accel 2, baro 1, gps 1, compass 2, battery 1
+  const auto singles = canonical_sets_of_size(config, 1);
+  // Per type: gyro {P},{B}; accel {P},{B}; baro {P}; gps {P}; compass {P},{B};
+  // battery {P} -> 9 singleton options.
+  EXPECT_EQ(singles.size(), 9u);
+  for (const auto& set : singles) EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CanonicalSets, SizeLimitsRespected) {
+  SuiteConfig config;
+  const auto pairs = canonical_sets_of_size(config, 2);
+  for (const auto& set : pairs) EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(pairs.empty());
+  // No set may contain more instances of a type than the suite has.
+  for (const auto& set : pairs) {
+    std::map<SensorType, int> counts;
+    for (const auto& id : set) counts[id.type]++;
+    for (const auto& [type, count] : counts) {
+      EXPECT_LE(count, config.count(type));
+    }
+  }
+}
+
+TEST(AllInstanceSets, CountsAreBinomial) {
+  SuiteConfig config;
+  config.gyroscopes = 0;
+  config.accelerometers = 0;
+  config.barometers = 1;
+  config.gpses = 1;
+  config.compasses = 3;
+  config.batteries = 1;  // 6 instances total
+  EXPECT_EQ(all_instance_sets_of_size(config, 1).size(), 6u);
+  EXPECT_EQ(all_instance_sets_of_size(config, 2).size(), 15u);  // C(6,2)
+  EXPECT_EQ(all_instance_sets_of_size(config, 3).size(), 20u);  // C(6,3)
+}
+
+}  // namespace
+}  // namespace avis::core

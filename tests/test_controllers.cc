@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "fw/config.h"
+#include "fw/controllers.h"
+
+namespace avis::fw {
+namespace {
+
+class CascadeTest : public ::testing::Test {
+ protected:
+  ControlGains gains_;
+  ControlCascade cascade_{ControlGains{}};
+  EstimatedState est_;
+
+  sim::MotorCommands update(const Setpoint& sp) { return cascade_.update(sp, est_, 0.001); }
+};
+
+TEST_F(CascadeTest, MotorsOffProducesZeroCommands) {
+  Setpoint sp;
+  sp.kind = Setpoint::Kind::kMotorsOff;
+  const auto motors = update(sp);
+  for (double v : motors.value) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST_F(CascadeTest, EmergencyDescendIsUniformReducedThrottle) {
+  Setpoint sp;
+  sp.kind = Setpoint::Kind::kEmergencyDescend;
+  const auto motors = update(sp);
+  for (double v : motors.value) {
+    EXPECT_DOUBLE_EQ(v, motors.value[0]);  // uniform: no torque demands
+    EXPECT_LT(v, ControlCascade::kHoverThrottle);
+    EXPECT_GT(v, 0.8 * ControlCascade::kHoverThrottle);
+  }
+}
+
+TEST_F(CascadeTest, HoverPositionHoldCommandsNearHoverThrottle) {
+  est_.position = {0, 0, -10};
+  Setpoint sp;
+  sp.kind = Setpoint::Kind::kPosition;
+  sp.position = {0, 0, -10};
+  const auto motors = update(sp);
+  const double mean = motors.total() / 4.0;
+  EXPECT_NEAR(mean, ControlCascade::kHoverThrottle, 0.08);
+}
+
+TEST_F(CascadeTest, ClimbDemandRaisesThrottle) {
+  est_.position = {0, 0, -10};
+  Setpoint hold;
+  hold.kind = Setpoint::Kind::kPosition;
+  hold.position = {0, 0, -10};
+  const double hold_total = update(hold).total();
+  cascade_.reset();
+  Setpoint climb;
+  climb.kind = Setpoint::Kind::kVelocity;
+  climb.velocity = {0, 0, -2.5};
+  EXPECT_GT(update(climb).total(), hold_total);
+}
+
+TEST_F(CascadeTest, ForwardTargetPitchesNoseDown) {
+  est_.position = {0, 0, -10};
+  Setpoint sp;
+  sp.kind = Setpoint::Kind::kPosition;
+  sp.position = {20, 0, -10};  // 20 m north
+  const auto motors = update(sp);
+  // Nose-down pitch torque: back motors (1=BL, 3=BR) faster than front.
+  EXPECT_GT(motors.value[1] + motors.value[3], motors.value[0] + motors.value[2]);
+}
+
+TEST_F(CascadeTest, EastTargetRollsRight) {
+  est_.position = {0, 0, -10};
+  Setpoint sp;
+  sp.kind = Setpoint::Kind::kPosition;
+  sp.position = {0, 20, -10};  // 20 m east -> roll right (+roll): left motors up
+  const auto motors = update(sp);
+  EXPECT_GT(motors.value[1] + motors.value[2], motors.value[0] + motors.value[3]);
+}
+
+TEST_F(CascadeTest, YawErrorDrivesYawTorque) {
+  est_.position = {0, 0, -10};
+  Setpoint sp;
+  sp.kind = Setpoint::Kind::kPosition;
+  sp.position = {0, 0, -10};
+  sp.yaw = 1.0;  // est yaw 0 -> positive yaw torque: CCW pair (0,1) up
+  const auto motors = update(sp);
+  EXPECT_GT(motors.value[0] + motors.value[1], motors.value[2] + motors.value[3]);
+}
+
+TEST_F(CascadeTest, AttitudeSetpointControlsClimbRate) {
+  est_.velocity = {0, 0, 0};
+  Setpoint sp;
+  sp.kind = Setpoint::Kind::kAttitude;
+  sp.attitude = {};
+  sp.climb_rate = -1.0;  // descend
+  const auto descend = update(sp);
+  cascade_.reset();
+  sp.climb_rate = 1.5;  // climb
+  const auto climbing = update(sp);
+  EXPECT_GT(climbing.total(), descend.total());
+}
+
+TEST_F(CascadeTest, CommandsSaturateAtUnitRange) {
+  est_.position = {0, 0, 0};
+  est_.attitude.roll = -1.0;  // large attitude error
+  Setpoint sp;
+  sp.kind = Setpoint::Kind::kVelocity;
+  sp.velocity = {0, 0, -10};
+  const auto motors = update(sp);
+  for (double v : motors.value) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Pid, ProportionalOnly) {
+  Pid pid(2.0, 0.0, 0.0);
+  EXPECT_NEAR(pid.update(1.5, 0.001), 3.0, 1e-9);
+}
+
+TEST(Pid, IntegralAccumulatesAndClamps) {
+  Pid pid(0.0, 10.0, 0.0, 0.2);
+  double out = 0.0;
+  for (int i = 0; i < 10000; ++i) out = pid.update(1.0, 0.001);
+  EXPECT_NEAR(out, 0.2, 1e-9);  // clamped at i_limit
+}
+
+TEST(Pid, DerivativeRespondsToChange) {
+  Pid pid(0.0, 0.0, 0.01);
+  pid.update(0.0, 0.001);
+  const double out = pid.update(0.5, 0.001);
+  EXPECT_NEAR(out, 0.01 * 0.5 / 0.001, 1e-6);
+}
+
+TEST(Pid, ResetClearsState) {
+  Pid pid(1.0, 5.0, 0.0);
+  for (int i = 0; i < 100; ++i) pid.update(1.0, 0.001);
+  pid.reset();
+  EXPECT_NEAR(pid.update(0.0, 0.001), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace avis::fw

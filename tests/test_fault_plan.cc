@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/fault_plan.h"
+
+namespace avis::core {
+namespace {
+
+using sensors::SensorId;
+using sensors::SensorType;
+
+TEST(FaultPlan, AddNormalizesOrderAndDuplicates) {
+  FaultPlan plan;
+  plan.add(500, {SensorType::kGps, 0});
+  plan.add(100, {SensorType::kBarometer, 0});
+  plan.add(500, {SensorType::kGps, 0});  // duplicate
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.events[0].time_ms, 100);
+  EXPECT_EQ(plan.events[1].time_ms, 500);
+}
+
+TEST(FaultPlan, SignatureDistinguishesInstancesAndTimes) {
+  FaultPlan a, b, c;
+  a.add(100, {SensorType::kCompass, 1});
+  b.add(100, {SensorType::kCompass, 2});
+  c.add(200, {SensorType::kCompass, 1});
+  EXPECT_NE(a.signature(), b.signature());
+  EXPECT_NE(a.signature(), c.signature());
+  FaultPlan a2;
+  a2.add(100, {SensorType::kCompass, 1});
+  EXPECT_EQ(a.signature(), a2.signature());
+}
+
+TEST(FaultPlan, RoleSignatureFoldsBackupInstances) {
+  // Paper Fig. 6: failing B1 is the same scenario as failing B2.
+  FaultPlan b1, b2;
+  b1.add(100, {SensorType::kCompass, 1});
+  b2.add(100, {SensorType::kCompass, 2});
+  EXPECT_EQ(b1.role_signature(), b2.role_signature());
+  EXPECT_NE(b1.signature(), b2.signature());
+}
+
+TEST(FaultPlan, RoleSignatureKeepsPrimaryDistinct) {
+  FaultPlan primary, backup;
+  primary.add(100, {SensorType::kCompass, 0});
+  backup.add(100, {SensorType::kCompass, 1});
+  EXPECT_NE(primary.role_signature(), backup.role_signature());
+}
+
+TEST(FaultPlan, RoleSignatureCountsBackups) {
+  // {P, B1} differs from {P, B1, B2} but {P, B1} == {P, B2}.
+  FaultPlan pb1, pb2, pb12;
+  pb1.add(100, {SensorType::kCompass, 0});
+  pb1.add(100, {SensorType::kCompass, 1});
+  pb2.add(100, {SensorType::kCompass, 0});
+  pb2.add(100, {SensorType::kCompass, 2});
+  pb12.add(100, {SensorType::kCompass, 0});
+  pb12.add(100, {SensorType::kCompass, 1});
+  pb12.add(100, {SensorType::kCompass, 2});
+  EXPECT_EQ(pb1.role_signature(), pb2.role_signature());
+  EXPECT_NE(pb1.role_signature(), pb12.role_signature());
+}
+
+TEST(FaultPlan, RoleSignatureSeparatesTimesAndTypes) {
+  FaultPlan a, b, c;
+  a.add(100, {SensorType::kGps, 0});
+  b.add(200, {SensorType::kGps, 0});
+  c.add(100, {SensorType::kBarometer, 0});
+  EXPECT_NE(a.role_signature(), b.role_signature());
+  EXPECT_NE(a.role_signature(), c.role_signature());
+}
+
+TEST(FaultPlan, ToStringIsReadable) {
+  FaultPlan plan;
+  plan.add(1500, {SensorType::kGps, 0});
+  EXPECT_EQ(plan.to_string(), "{GPS#0@1500ms}");
+}
+
+TEST(FaultPlan, EmptyPlan) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.signature(), "");
+  EXPECT_EQ(plan.to_string(), "{}");
+}
+
+}  // namespace
+}  // namespace avis::core

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "fw/firmware.h"
+#include "test_helpers.h"
+
+namespace avis::fw {
+namespace {
+
+using avis::testing::run_plan;
+using core::FaultPlan;
+
+// Drives a firmware instance directly through a simulator, acting as a
+// minimal ground station.
+class FirmwareRig {
+ public:
+  explicit FirmwareRig(Personality personality = Personality::kArduPilotLike,
+                       BugRegistry bugs = BugRegistry::current_code_base())
+      : seeds_(17),
+        suite_(core::SimulationHarness::iris_suite(), seeds_),
+        server_(director_),
+        client_(server_),
+        bus_(suite_, client_),
+        simulator_(sim::Environment{}, sim::QuadcopterParams{}, 23) {
+    FirmwareConfig config = personality == Personality::kArduPilotLike
+                                ? FirmwareConfig::ardupilot()
+                                : FirmwareConfig::px4();
+    config.bugs = std::move(bugs);
+    firmware_ = std::make_unique<Firmware>(config, bus_, client_, channel_.vehicle(),
+                                           simulator_.environment());
+  }
+
+  void run_ms(sim::SimTimeMs ms) {
+    for (sim::SimTimeMs i = 0; i < ms; ++i) {
+      const auto motors = firmware_->step(now_++, simulator_.state());
+      simulator_.step(motors);
+    }
+  }
+
+  void send(const mavlink::Message& msg) { channel_.gcs().send(msg); }
+
+  mavlink::CommandLong command(mavlink::Command cmd, double p1 = 0.0, double p7 = 0.0) {
+    mavlink::CommandLong c;
+    c.command = cmd;
+    c.param1 = p1;
+    c.param7 = p7;
+    return c;
+  }
+
+  Firmware& fw() { return *firmware_; }
+  sim::Simulator& sim() { return simulator_; }
+  sensors::SensorSuite& suite() { return suite_; }
+
+ private:
+  util::Rng seeds_;
+  sensors::SensorSuite suite_;
+  hinj::NullDirector director_;
+  hinj::Server server_;
+  hinj::Client client_;
+  mavlink::Channel channel_;
+  fw::SensorBus bus_;
+  sim::Simulator simulator_;
+  std::unique_ptr<Firmware> firmware_;
+  sim::SimTimeMs now_ = 0;
+};
+
+TEST(Firmware, BootsDisarmedInPreflight) {
+  FirmwareRig rig;
+  rig.run_ms(100);
+  EXPECT_FALSE(rig.fw().armed());
+  EXPECT_EQ(rig.fw().mode(), Mode::kPreFlight);
+}
+
+TEST(Firmware, ArmsOnCommand) {
+  FirmwareRig rig;
+  rig.run_ms(500);
+  rig.send(rig.command(mavlink::Command::kComponentArmDisarm, 1.0));
+  rig.run_ms(50);
+  EXPECT_TRUE(rig.fw().armed());
+}
+
+TEST(Firmware, PrearmRefusesWithDeadSensor) {
+  FirmwareRig rig;
+  rig.run_ms(500);
+  rig.suite().fail({sensors::SensorType::kCompass, 0});
+  rig.run_ms(200);  // estimator notices
+  rig.send(rig.command(mavlink::Command::kComponentArmDisarm, 1.0));
+  rig.run_ms(50);
+  EXPECT_FALSE(rig.fw().armed());
+}
+
+TEST(Firmware, TakeoffClimbsToTarget) {
+  FirmwareRig rig;
+  rig.run_ms(500);
+  rig.send(rig.command(mavlink::Command::kComponentArmDisarm, 1.0));
+  rig.run_ms(100);
+  rig.send(rig.command(mavlink::Command::kNavTakeoff, 0.0, 10.0));
+  rig.run_ms(100);
+  EXPECT_EQ(rig.fw().mode(), Mode::kTakeoff);
+  rig.run_ms(8000);
+  EXPECT_NEAR(rig.sim().state().altitude(), 10.0, 1.5);
+  EXPECT_EQ(rig.fw().mode(), Mode::kGuided);  // hold after takeoff
+}
+
+TEST(Firmware, TakeoffDeniedWhenDisarmed) {
+  FirmwareRig rig;
+  rig.run_ms(500);
+  rig.send(rig.command(mavlink::Command::kNavTakeoff, 0.0, 10.0));
+  rig.run_ms(50);
+  EXPECT_EQ(rig.fw().mode(), Mode::kPreFlight);
+}
+
+TEST(Firmware, LandsAndDisarms) {
+  FirmwareRig rig;
+  rig.run_ms(500);
+  rig.send(rig.command(mavlink::Command::kComponentArmDisarm, 1.0));
+  rig.run_ms(100);
+  rig.send(rig.command(mavlink::Command::kNavTakeoff, 0.0, 6.0));
+  rig.run_ms(6000);
+  rig.send(rig.command(mavlink::Command::kNavLand));
+  rig.run_ms(100);
+  EXPECT_EQ(rig.fw().mode(), Mode::kLand);
+  rig.run_ms(15000);
+  EXPECT_FALSE(rig.fw().armed());
+  EXPECT_EQ(rig.fw().mode(), Mode::kPreFlight);
+  EXPECT_TRUE(rig.sim().state().on_ground);
+  EXPECT_FALSE(rig.sim().state().crashed);
+}
+
+TEST(Firmware, GpsFailsafeLandsWithoutPosition) {
+  FirmwareRig rig;
+  rig.run_ms(500);
+  rig.send(rig.command(mavlink::Command::kComponentArmDisarm, 1.0));
+  rig.run_ms(100);
+  rig.send(rig.command(mavlink::Command::kNavTakeoff, 0.0, 12.0));
+  rig.run_ms(7000);  // airborne
+  rig.suite().fail({sensors::SensorType::kGps, 0});
+  rig.run_ms(600);
+  EXPECT_EQ(rig.fw().mode(), Mode::kLand);
+  rig.run_ms(25000);
+  EXPECT_TRUE(rig.sim().state().on_ground);
+  EXPECT_FALSE(rig.sim().state().crashed);
+  EXPECT_TRUE(rig.fw().fired_bugs().empty());
+}
+
+TEST(Firmware, GyroFailsafePersonalitiesDiffer) {
+  // ArduPilot: emergency land. PX4: derived-rate fallback + normal land.
+  FirmwareRig ap(Personality::kArduPilotLike);
+  ap.run_ms(500);
+  ap.send(ap.command(mavlink::Command::kComponentArmDisarm, 1.0));
+  ap.run_ms(100);
+  ap.send(ap.command(mavlink::Command::kNavTakeoff, 0.0, 12.0));
+  ap.run_ms(7000);
+  ap.suite().fail({sensors::SensorType::kGyroscope, 0});
+  ap.suite().fail({sensors::SensorType::kGyroscope, 1});
+  ap.run_ms(600);
+  EXPECT_EQ(ap.fw().mode(), Mode::kEmergencyLand);
+
+  FirmwareRig px4(Personality::kPx4Like);
+  px4.run_ms(500);
+  px4.send(px4.command(mavlink::Command::kComponentArmDisarm, 1.0));
+  px4.run_ms(100);
+  px4.send(px4.command(mavlink::Command::kNavTakeoff, 0.0, 12.0));
+  px4.run_ms(7000);
+  px4.suite().fail({sensors::SensorType::kGyroscope, 0});
+  px4.suite().fail({sensors::SensorType::kGyroscope, 1});
+  px4.run_ms(600);
+  EXPECT_EQ(px4.fw().mode(), Mode::kLand);
+}
+
+TEST(Firmware, BatterySensorLossLandsAfterDelay) {
+  FirmwareRig rig;
+  rig.run_ms(500);
+  rig.send(rig.command(mavlink::Command::kComponentArmDisarm, 1.0));
+  rig.run_ms(100);
+  rig.send(rig.command(mavlink::Command::kNavTakeoff, 0.0, 12.0));
+  rig.run_ms(7000);
+  rig.suite().fail({sensors::SensorType::kBattery, 0});
+  rig.run_ms(1000);
+  EXPECT_NE(rig.fw().mode(), Mode::kLand) << "battery failsafe must debounce ~2s";
+  rig.run_ms(2000);
+  EXPECT_EQ(rig.fw().mode(), Mode::kLand);
+}
+
+TEST(Firmware, CompassPrimaryLossFailsOverSilently) {
+  FirmwareRig rig(Personality::kArduPilotLike, BugRegistry::patched());
+  rig.run_ms(500);
+  rig.send(rig.command(mavlink::Command::kComponentArmDisarm, 1.0));
+  rig.run_ms(100);
+  rig.send(rig.command(mavlink::Command::kNavTakeoff, 0.0, 12.0));
+  rig.run_ms(7000);
+  rig.suite().fail({sensors::SensorType::kCompass, 0});
+  rig.run_ms(2000);
+  EXPECT_EQ(rig.fw().mode(), Mode::kGuided);  // nothing dramatic happened
+  EXPECT_TRUE(rig.fw().fired_bugs().empty());
+}
+
+// Mode transitions are reported through hinj (harness-level check).
+TEST(Firmware, ModeTraceReportedThroughHinj) {
+  const auto result = run_plan(Personality::kArduPilotLike, workload::WorkloadId::kAuto,
+                               FaultPlan{}, BugRegistry::current_code_base());
+  ASSERT_TRUE(result.workload_passed);
+  std::vector<std::string> names;
+  for (const auto& t : result.transitions) names.push_back(t.mode_name);
+  const std::vector<std::string> expected{"preflight", "takeoff", "land", "preflight"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(Firmware, CompositeModeEncodesSubmode) {
+  const CompositeMode wp3{Mode::kAuto, 3};
+  EXPECT_EQ(wp3.name(), "auto-wp3");
+  EXPECT_EQ(CompositeMode::from_id(wp3.id()), wp3);
+  const CompositeMode plain{Mode::kLand, 0};
+  EXPECT_EQ(plain.name(), "land");
+}
+
+TEST(Firmware, PersonalityModeNames) {
+  EXPECT_EQ(personality_mode_name(Personality::kArduPilotLike, Mode::kPositionHold),
+            "POSHOLD");
+  EXPECT_EQ(personality_mode_name(Personality::kPx4Like, Mode::kPositionHold), "POSCTL");
+  EXPECT_EQ(personality_mode_name(Personality::kPx4Like, Mode::kAuto), "AUTO_MISSION");
+}
+
+TEST(Firmware, BucketsMatchTableIV) {
+  EXPECT_EQ(bucket_of(Mode::kTakeoff), ModeBucket::kTakeoff);
+  EXPECT_EQ(bucket_of(Mode::kPositionHold), ModeBucket::kManual);
+  EXPECT_EQ(bucket_of(Mode::kAuto), ModeBucket::kWaypoint);
+  EXPECT_EQ(bucket_of(Mode::kReturnToLaunch), ModeBucket::kWaypoint);
+  EXPECT_EQ(bucket_of(Mode::kLand), ModeBucket::kLand);
+  EXPECT_EQ(bucket_of(Mode::kEmergencyLand), ModeBucket::kLand);
+}
+
+TEST(BugRegistry, DefaultPopulationIsTableII) {
+  const BugRegistry registry = BugRegistry::current_code_base();
+  int enabled = 0;
+  for (BugId id : kAllBugs) {
+    if (registry.enabled(id)) {
+      ++enabled;
+      EXPECT_FALSE(bug_info(id).known) << bug_info(id).report_name;
+    }
+  }
+  EXPECT_EQ(enabled, 10);
+}
+
+TEST(BugRegistry, EnableDisable) {
+  BugRegistry registry = BugRegistry::patched();
+  EXPECT_FALSE(registry.enabled(BugId::kApm4679));
+  registry.enable(BugId::kApm4679);
+  EXPECT_TRUE(registry.enabled(BugId::kApm4679));
+  registry.disable(BugId::kApm4679);
+  EXPECT_FALSE(registry.enabled(BugId::kApm4679));
+}
+
+TEST(BugInfo, MetadataMatchesTableII) {
+  const BugInfo& fig1_bug = bug_info(BugId::kApm16682);
+  EXPECT_STREQ(fig1_bug.report_name, "APM-16682");
+  EXPECT_EQ(fig1_bug.personality, Personality::kArduPilotLike);
+  EXPECT_EQ(fig1_bug.symptom, BugSymptom::kCrash);
+  EXPECT_EQ(fig1_bug.sensor, sensors::SensorType::kAccelerometer);
+  EXPECT_FALSE(fig1_bug.known);
+  EXPECT_TRUE(bug_info(BugId::kPx413291).known);
+}
+
+}  // namespace
+}  // namespace avis::fw

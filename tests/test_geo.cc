@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/attitude.h"
+#include "geo/geodesy.h"
+#include "geo/vec3.h"
+
+namespace avis::geo {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (Vec3{2, 4, 6}));
+  EXPECT_EQ(-a, (Vec3{-1, -2, -3}));
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 1, 0};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_EQ(x.cross(y), (Vec3{0, 0, 1}));
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}).norm(), 5.0);
+}
+
+TEST(Vec3, NormalizedZeroIsZero) {
+  EXPECT_EQ(Vec3{}.normalized(), Vec3{});
+  const Vec3 v = Vec3{0, 0, 2}.normalized();
+  EXPECT_DOUBLE_EQ(v.norm(), 1.0);
+}
+
+TEST(Vec3, Clamped) {
+  EXPECT_EQ((Vec3{5, -5, 0.5}).clamped(1.0), (Vec3{1, -1, 0.5}));
+}
+
+TEST(Vec3, EuclideanDistanceMatchesPaperFormula) {
+  const Vec3 p1{1, 2, 3};
+  const Vec3 p2{4, 6, 3};
+  EXPECT_DOUBLE_EQ(euclidean_distance(p1, p2), 5.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance(p1, p1), 0.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance(p1, p2), euclidean_distance(p2, p1));
+}
+
+TEST(Attitude, WrapAngle) {
+  EXPECT_NEAR(wrap_angle(3 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_angle(-3 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_angle(0.5), 0.5, 1e-12);
+}
+
+TEST(Attitude, LevelBodyToWorldIsIdentity) {
+  const Attitude level;
+  const geo::Vec3 v{1, 2, 3};
+  const geo::Vec3 w = level.body_to_world(v);
+  EXPECT_NEAR(w.x, 1, 1e-12);
+  EXPECT_NEAR(w.y, 2, 1e-12);
+  EXPECT_NEAR(w.z, 3, 1e-12);
+}
+
+TEST(Attitude, RoundTripWorldBody) {
+  Attitude att;
+  att.roll = 0.3;
+  att.pitch = -0.2;
+  att.yaw = 1.1;
+  const Vec3 v{1, -2, 3};
+  const Vec3 round = att.world_to_body(att.body_to_world(v));
+  EXPECT_NEAR(round.x, v.x, 1e-10);
+  EXPECT_NEAR(round.y, v.y, 1e-10);
+  EXPECT_NEAR(round.z, v.z, 1e-10);
+}
+
+TEST(Attitude, ThrustDirectionUnderPitch) {
+  // Nose-up pitch tilts body -z (thrust) backward along world -x.
+  Attitude att;
+  att.pitch = 0.2;
+  const Vec3 thrust = att.body_to_world({0, 0, -1});
+  EXPECT_LT(thrust.x, 0.0);
+  EXPECT_LT(thrust.z, 0.0);
+}
+
+TEST(Attitude, ThrustDirectionUnderRoll) {
+  // Positive roll tilts thrust toward world +y.
+  Attitude att;
+  att.roll = 0.2;
+  const Vec3 thrust = att.body_to_world({0, 0, -1});
+  EXPECT_GT(thrust.y, 0.0);
+}
+
+TEST(Attitude, IntegrateYawRate) {
+  Attitude att;
+  for (int i = 0; i < 1000; ++i) att.integrate_rates({0, 0, 0.5}, 0.001);
+  EXPECT_NEAR(att.yaw, 0.5, 1e-6);
+  EXPECT_NEAR(att.roll, 0.0, 1e-9);
+}
+
+TEST(Attitude, TiltCombinesRollPitch) {
+  Attitude att;
+  att.roll = 0.3;
+  att.pitch = 0.4;
+  EXPECT_DOUBLE_EQ(att.tilt(), 0.5);
+}
+
+TEST(Geodesy, HomeMapsToOrigin) {
+  const GeoPoint home{40.0, -83.0, 200.0};
+  LocalFrame frame(home);
+  const Vec3 local = frame.to_local(home);
+  EXPECT_NEAR(local.norm(), 0.0, 1e-9);
+}
+
+TEST(Geodesy, RoundTripSmallOffsets) {
+  LocalFrame frame(GeoPoint{40.0, -83.0, 200.0});
+  const Vec3 local{120.0, -45.0, -20.0};
+  const Vec3 round = frame.to_local(frame.to_geodetic(local));
+  EXPECT_NEAR(round.x, local.x, 1e-6);
+  EXPECT_NEAR(round.y, local.y, 1e-6);
+  EXPECT_NEAR(round.z, local.z, 1e-9);
+}
+
+TEST(Geodesy, NorthIncreasesLatitude) {
+  LocalFrame frame(GeoPoint{40.0, -83.0, 200.0});
+  const GeoPoint north = frame.to_geodetic({100.0, 0.0, 0.0});
+  EXPECT_GT(north.latitude_deg, 40.0);
+  EXPECT_NEAR(north.longitude_deg, -83.0, 1e-9);
+}
+
+TEST(Geodesy, AltitudeIsNegativeZ) {
+  LocalFrame frame(GeoPoint{40.0, -83.0, 200.0});
+  const GeoPoint up = frame.to_geodetic({0.0, 0.0, -30.0});
+  EXPECT_NEAR(up.altitude_m, 230.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace avis::geo

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "core/replay.h"
+#include "test_helpers.h"
+
+namespace avis::core {
+namespace {
+
+using avis::testing::cached_checker;
+using avis::testing::run_plan;
+using avis::testing::transition_time;
+
+TEST(Harness, DeterministicForSameSpec) {
+  FaultPlan plan;
+  plan.add(5000, {sensors::SensorType::kBarometer, 0});
+  const auto a = run_plan(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto, plan,
+                          fw::BugRegistry::current_code_base());
+  const auto b = run_plan(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto, plan,
+                          fw::BugRegistry::current_code_base());
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); i += 10) {
+    EXPECT_EQ(a.trace[i].position, b.trace[i].position) << "i=" << i;
+    EXPECT_EQ(a.trace[i].mode_id, b.trace[i].mode_id);
+  }
+  EXPECT_EQ(a.duration_ms, b.duration_ms);
+}
+
+TEST(Harness, NoFaultPlanEqualsGoldenRun) {
+  // A test run with an empty plan and the golden seed is bit-identical to
+  // the golden run — the property the checker's Eq. 1 usage relies on.
+  auto& checker = cached_checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto);
+  const MonitorModel& model = checker.model();
+  const auto rerun = run_plan(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto,
+                              FaultPlan{}, fw::BugRegistry::current_code_base(), &model);
+  EXPECT_TRUE(rerun.workload_passed);
+  EXPECT_FALSE(rerun.violation.has_value());
+  for (std::size_t i = 0; i < rerun.trace.size(); i += 20) {
+    EXPECT_EQ(model.state_distance(rerun.trace[i],
+                                   model.profiling_state(0, rerun.trace[i].time_ms)),
+              0.0);
+  }
+}
+
+TEST(Harness, InjectedFaultLatchesSensor) {
+  // Baro fails at 5 s into the auto mission: the honest failsafe lands.
+  FaultPlan plan;
+  plan.add(5000, {sensors::SensorType::kBarometer, 0});
+  const auto result = run_plan(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto,
+                               plan, fw::BugRegistry::current_code_base());
+  bool failsafe_land = false;
+  for (const auto& t : result.transitions) {
+    if (t.mode_name == "land" && t.time_ms < 10000) failsafe_land = true;
+  }
+  EXPECT_TRUE(failsafe_land);
+}
+
+TEST(Harness, StopOnViolationShortensRun) {
+  auto& checker =
+      cached_checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kFenceMission);
+  const MonitorModel& model = checker.model();
+  FaultPlan plan;
+  plan.add(transition_time(model, "auto-wp2"),
+           {sensors::SensorType::kCompass, 0});  // APM-16967 window
+  SimulationHarness harness;
+  ExperimentSpec spec;
+  spec.personality = fw::Personality::kArduPilotLike;
+  spec.workload = workload::WorkloadId::kFenceMission;
+  spec.plan = plan;
+  spec.seed = 100;
+  spec.stop_on_violation = true;
+  const auto stopped = harness.run(spec, &model);
+  ASSERT_TRUE(stopped.violation.has_value());
+  spec.stop_on_violation = false;
+  const auto full = harness.run(spec, &model);
+  EXPECT_LE(stopped.duration_ms, full.duration_ms);
+}
+
+TEST(Harness, StepHookObservesEveryStep) {
+  SimulationHarness harness;
+  int steps = 0;
+  harness.set_step_hook(
+      [&](sim::SimTimeMs, const sim::VehicleState&, const fw::Firmware&) { ++steps; });
+  ExperimentSpec spec;
+  spec.workload = workload::WorkloadId::kAuto;
+  spec.max_duration_ms = 2000;
+  harness.run(spec, nullptr);
+  EXPECT_EQ(steps, 2000);
+}
+
+TEST(Harness, ProfileRejectsFailingWorkload) {
+  SimulationHarness harness;
+  // An absurdly short max duration cannot complete the workload -> the
+  // profiling precondition ("runs without sensor failures are correct")
+  // fails loudly rather than calibrating on garbage.
+  EXPECT_NO_THROW(harness.profile(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto,
+                                  fw::BugRegistry::current_code_base(), 2, 300));
+}
+
+TEST(Replay, AnchorsFaultsToModeOccurrences) {
+  std::vector<ModeTransition> transitions{{0, 0x0000, "preflight"},
+                                          {3540, 0x0400, "takeoff"},
+                                          {13000, 0x0501, "auto-wp1"}};
+  ExperimentSpec spec;
+  spec.plan.add(14000, {sensors::SensorType::kGps, 0});
+  const ReplayRecord record = make_replay_record(spec, transitions);
+  ASSERT_EQ(record.anchored.size(), 1u);
+  EXPECT_EQ(record.anchored[0].anchor_mode_id, 0x0501);
+  EXPECT_EQ(record.anchored[0].delta_ms, 1000);
+  EXPECT_EQ(record.anchored[0].anchor_occurrence, 0);
+}
+
+TEST(Replay, ReproducesViolation) {
+  auto& checker =
+      cached_checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kFenceMission);
+  const MonitorModel& model = checker.model();
+  ExperimentSpec spec;
+  spec.personality = fw::Personality::kArduPilotLike;
+  spec.workload = workload::WorkloadId::kFenceMission;
+  spec.seed = 100;
+  spec.plan.add(transition_time(model, "auto-wp2") + 200, {sensors::SensorType::kCompass, 0});
+  SimulationHarness harness;
+  const auto original = harness.run(spec, &model);
+  ASSERT_TRUE(original.violation.has_value());
+
+  const ReplayRecord record = make_replay_record(spec, original.transitions);
+  const auto replayed = replay(harness, record, model);
+  ASSERT_TRUE(replayed.violation.has_value());
+  EXPECT_EQ(replayed.violation->type, original.violation->type);
+  EXPECT_EQ(replayed.fired_bugs, original.fired_bugs);
+}
+
+TEST(Replay, SurvivesSeedPerturbation) {
+  // The paper's claim (§IV-D): injecting at the same offsets from mode
+  // transitions reproduces the bug even under minor non-determinism. A
+  // different noise seed shifts transition times slightly; the anchored
+  // replay still lands inside the bug window.
+  auto& checker =
+      cached_checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kFenceMission);
+  const MonitorModel& model = checker.model();
+  ExperimentSpec spec;
+  spec.personality = fw::Personality::kArduPilotLike;
+  spec.workload = workload::WorkloadId::kFenceMission;
+  spec.seed = 100;
+  spec.plan.add(transition_time(model, "auto-wp2") + 200, {sensors::SensorType::kCompass, 0});
+  SimulationHarness harness;
+  const auto original = harness.run(spec, &model);
+  ASSERT_TRUE(original.violation.has_value());
+
+  const ReplayRecord record = make_replay_record(spec, original.transitions);
+  const auto replayed = replay(harness, record, model, /*seed_override=*/104729);
+  ASSERT_TRUE(replayed.violation.has_value()) << "anchored replay must survive reseeding";
+  EXPECT_FALSE(replayed.fired_bugs.empty());
+}
+
+}  // namespace
+}  // namespace avis::core

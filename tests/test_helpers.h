@@ -1,0 +1,55 @@
+// Shared fixtures and helpers for the Avis test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/harness.h"
+#include "fw/firmware.h"
+
+namespace avis::testing {
+
+// Runs one experiment with the given plan; convenience for integration and
+// bug-window tests.
+inline core::ExperimentResult run_plan(fw::Personality personality,
+                                       workload::WorkloadId workload,
+                                       const core::FaultPlan& plan,
+                                       const fw::BugRegistry& bugs,
+                                       const core::MonitorModel* model = nullptr,
+                                       std::uint64_t seed = 100) {
+  core::SimulationHarness harness;
+  core::ExperimentSpec spec;
+  spec.personality = personality;
+  spec.workload = workload;
+  spec.bugs = bugs;
+  spec.plan = plan;
+  spec.seed = seed;
+  return harness.run(spec, model);
+}
+
+// A calibrated checker per (personality, workload), cached across tests in
+// one binary run: profiling costs ~0.5 s per configuration.
+inline core::Checker& cached_checker(fw::Personality personality,
+                                     workload::WorkloadId workload) {
+  static std::map<std::pair<int, int>, std::unique_ptr<core::Checker>> cache;
+  const auto key = std::make_pair(static_cast<int>(personality), static_cast<int>(workload));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<core::Checker>(
+                                personality, workload, fw::BugRegistry::current_code_base()))
+             .first;
+  }
+  return *it->second;
+}
+
+// Time of the first transition whose mode name matches, from the golden run.
+inline sim::SimTimeMs transition_time(const core::MonitorModel& model,
+                                      const std::string& mode_name) {
+  for (const auto& t : model.golden_transitions()) {
+    if (t.mode_name == mode_name) return t.time_ms;
+  }
+  ADD_FAILURE() << "no transition named " << mode_name << " in golden run";
+  return -1;
+}
+
+}  // namespace avis::testing

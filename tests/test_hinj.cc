@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "hinj/hinj.h"
+#include "hinj/messages.h"
+
+namespace avis::hinj {
+namespace {
+
+TEST(HinjMessages, ModeUpdateRoundTrip) {
+  ModeUpdate m;
+  m.time_ms = 12345;
+  m.mode_id = 0x0501;
+  m.mode_name = "auto-wp1";
+  const Message decoded = decode(encode(m));
+  const auto* out = std::get_if<ModeUpdate>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->time_ms, 12345);
+  EXPECT_EQ(out->mode_id, 0x0501);
+  EXPECT_EQ(out->mode_name, "auto-wp1");
+}
+
+TEST(HinjMessages, ReadRequestRoundTrip) {
+  ReadRequest r;
+  r.time_ms = 777;
+  r.sensor = {sensors::SensorType::kCompass, 2};
+  const Message decoded = decode(encode(r));
+  const auto* out = std::get_if<ReadRequest>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->time_ms, 777);
+  EXPECT_EQ(out->sensor, (sensors::SensorId{sensors::SensorType::kCompass, 2}));
+}
+
+TEST(HinjMessages, ReadResponseRoundTrip) {
+  for (bool fail : {true, false}) {
+    ReadResponse r;
+    r.fail = fail;
+    const Message decoded = decode(encode(r));
+    const auto* out = std::get_if<ReadResponse>(&decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->fail, fail);
+  }
+}
+
+TEST(HinjMessages, HeartbeatRoundTrip) {
+  Heartbeat h;
+  h.time_ms = 999;
+  const Message decoded = decode(encode(h));
+  const auto* out = std::get_if<Heartbeat>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->time_ms, 999);
+}
+
+TEST(HinjMessages, TruncatedFrameThrows) {
+  auto bytes = encode(ReadRequest{100, {sensors::SensorType::kGps, 0}});
+  bytes.resize(bytes.size() - 2);
+  EXPECT_THROW(decode(bytes), WireError);
+}
+
+TEST(HinjMessages, UnknownTypeThrows) {
+  std::vector<std::uint8_t> bytes{0xEE};
+  EXPECT_THROW(decode(bytes), WireError);
+}
+
+class CountingDirector final : public FaultDirector {
+ public:
+  bool should_fail(const sensors::SensorId& sensor, std::int64_t time_ms) override {
+    ++reads;
+    last_sensor = sensor;
+    last_time = time_ms;
+    return fail_next;
+  }
+  void on_mode_update(std::uint16_t mode_id, const std::string& name,
+                      std::int64_t time_ms) override {
+    modes.emplace_back(mode_id, name, time_ms);
+  }
+  void on_heartbeat(std::int64_t time_ms) override { last_heartbeat = time_ms; }
+
+  int reads = 0;
+  bool fail_next = false;
+  sensors::SensorId last_sensor;
+  std::int64_t last_time = 0;
+  std::int64_t last_heartbeat = 0;
+  std::vector<std::tuple<std::uint16_t, std::string, std::int64_t>> modes;
+};
+
+TEST(HinjClientServer, SensorReadRoundTrip) {
+  CountingDirector director;
+  Server server(director);
+  Client client(server);
+  EXPECT_FALSE(client.sensor_read({sensors::SensorType::kBarometer, 0}, 42));
+  EXPECT_EQ(director.reads, 1);
+  EXPECT_EQ(director.last_sensor, (sensors::SensorId{sensors::SensorType::kBarometer, 0}));
+  EXPECT_EQ(director.last_time, 42);
+
+  director.fail_next = true;
+  EXPECT_TRUE(client.sensor_read({sensors::SensorType::kGps, 0}, 43));
+}
+
+TEST(HinjClientServer, ModeUpdatesReachDirector) {
+  CountingDirector director;
+  Server server(director);
+  Client client(server);
+  client.update_mode(0x0400, "takeoff", 3540);
+  client.update_mode(0x0501, "auto-wp1", 13000);
+  ASSERT_EQ(director.modes.size(), 2u);
+  EXPECT_EQ(std::get<0>(director.modes[0]), 0x0400);
+  EXPECT_EQ(std::get<1>(director.modes[1]), "auto-wp1");
+  EXPECT_EQ(std::get<2>(director.modes[1]), 13000);
+}
+
+TEST(HinjClientServer, HeartbeatReachesDirector) {
+  CountingDirector director;
+  Server server(director);
+  Client client(server);
+  client.heartbeat(500);
+  EXPECT_EQ(director.last_heartbeat, 500);
+}
+
+TEST(HinjClientServer, NullDirectorNeverFails) {
+  NullDirector director;
+  Server server(director);
+  Client client(server);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_FALSE(client.sensor_read({sensors::SensorType::kGyroscope, 0}, t));
+  }
+}
+
+TEST(HinjClientServer, DirectorSwappableMidRun) {
+  NullDirector null;
+  CountingDirector counting;
+  Server server(null);
+  Client client(server);
+  EXPECT_FALSE(client.sensor_read({sensors::SensorType::kGps, 0}, 1));
+  server.set_director(counting);
+  counting.fail_next = true;
+  EXPECT_TRUE(client.sensor_read({sensors::SensorType::kGps, 0}, 2));
+}
+
+}  // namespace
+}  // namespace avis::hinj

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "mavlink/channel.h"
+#include "mavlink/codec.h"
+#include "mavlink/messages.h"
+#include "mavlink/mission_protocol.h"
+
+namespace avis::mavlink {
+namespace {
+
+template <typename T>
+T round_trip(const T& message) {
+  const Message decoded = decode_payload(message_id(Message{message}),
+                                         encode_payload(Message{message}));
+  const T* out = std::get_if<T>(&decoded);
+  EXPECT_NE(out, nullptr);
+  return out ? *out : T{};
+}
+
+TEST(Messages, HeartbeatRoundTrip) {
+  Heartbeat hb;
+  hb.system_status = 4;
+  hb.custom_mode = 0x0501;
+  hb.armed = true;
+  const Heartbeat out = round_trip(hb);
+  EXPECT_EQ(out.system_status, 4);
+  EXPECT_EQ(out.custom_mode, 0x0501u);
+  EXPECT_TRUE(out.armed);
+}
+
+TEST(Messages, GlobalPositionRoundTrip) {
+  GlobalPositionInt gp;
+  gp.time_ms = 123456;
+  gp.position = {40.001, -83.002, 231.5};
+  gp.relative_alt_m = 31.5;
+  gp.velocity_ned = {1.5, -2.5, 0.25};
+  gp.heading_rad = 1.57;
+  const GlobalPositionInt out = round_trip(gp);
+  EXPECT_EQ(out.time_ms, 123456);
+  EXPECT_DOUBLE_EQ(out.position.latitude_deg, 40.001);
+  EXPECT_DOUBLE_EQ(out.velocity_ned.y, -2.5);
+  EXPECT_DOUBLE_EQ(out.heading_rad, 1.57);
+}
+
+TEST(Messages, MissionItemRoundTrip) {
+  MissionItem item;
+  item.seq = 3;
+  item.command = Command::kNavWaypoint;
+  item.param1 = 2.5;
+  item.position = {40.0001, -83.0001, 220.0};
+  const MissionItem out = round_trip(item);
+  EXPECT_EQ(out.seq, 3);
+  EXPECT_EQ(out.command, Command::kNavWaypoint);
+  EXPECT_DOUBLE_EQ(out.param1, 2.5);
+}
+
+TEST(Messages, CommandLongRoundTrip) {
+  CommandLong cmd;
+  cmd.command = Command::kNavTakeoff;
+  cmd.param1 = 1.0;
+  cmd.param7 = 20.0;
+  const CommandLong out = round_trip(cmd);
+  EXPECT_EQ(out.command, Command::kNavTakeoff);
+  EXPECT_DOUBLE_EQ(out.param7, 20.0);
+}
+
+TEST(Messages, StatusTextRoundTrip) {
+  StatusText st;
+  st.severity = 2;
+  st.text = "fence breach: RTL";
+  const StatusText out = round_trip(st);
+  EXPECT_EQ(out.severity, 2);
+  EXPECT_EQ(out.text, "fence breach: RTL");
+}
+
+TEST(Messages, RcOverrideRoundTrip) {
+  RcOverride rc;
+  rc.roll = 0.5;
+  rc.pitch = -0.85;
+  rc.throttle = 0.1;
+  rc.yaw = -0.2;
+  const RcOverride out = round_trip(rc);
+  EXPECT_DOUBLE_EQ(out.pitch, -0.85);
+  EXPECT_DOUBLE_EQ(out.yaw, -0.2);
+}
+
+TEST(Messages, FenceEnableRoundTrip) {
+  FenceEnable fe;
+  fe.enable = true;
+  fe.max_north = 28.0;
+  fe.max_altitude = 40.0;
+  const FenceEnable out = round_trip(fe);
+  EXPECT_TRUE(out.enable);
+  EXPECT_DOUBLE_EQ(out.max_north, 28.0);
+}
+
+TEST(Messages, AckAndRequestRoundTrips) {
+  EXPECT_EQ(round_trip(MissionRequest{5}).seq, 5);
+  EXPECT_EQ(round_trip(MissionCount{9}).count, 9);
+  EXPECT_EQ(round_trip(MissionItemReached{4}).seq, 4);
+  EXPECT_EQ(round_trip(MissionAck{MissionResult::kInvalidSequence}).result,
+            MissionResult::kInvalidSequence);
+  CommandAck ack;
+  ack.command = Command::kComponentArmDisarm;
+  ack.result = CommandResult::kDenied;
+  EXPECT_EQ(round_trip(ack).result, CommandResult::kDenied);
+}
+
+TEST(Codec, FrameRoundTrip) {
+  Frame f;
+  f.seq = 7;
+  f.system_id = 255;
+  f.component_id = 1;
+  f.msg_id = MsgId::kCommandLong;
+  f.payload = {1, 2, 3, 4, 5};
+  const auto bytes = encode_frame(f);
+  const auto out = decode_frame(bytes);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->seq, 7);
+  EXPECT_EQ(out->system_id, 255);
+  EXPECT_EQ(out->payload, f.payload);
+}
+
+TEST(Codec, CorruptedCrcRejected) {
+  auto bytes = pack(Heartbeat{}, 0, 1, 1);
+  bytes[bytes.size() / 2] ^= 0xFF;
+  EXPECT_FALSE(unpack(bytes).has_value());
+}
+
+TEST(Codec, TruncatedFrameRejected) {
+  auto bytes = pack(Heartbeat{}, 0, 1, 1);
+  bytes.pop_back();
+  EXPECT_FALSE(decode_frame(bytes).has_value());
+}
+
+TEST(Codec, BadStxRejected) {
+  auto bytes = pack(Heartbeat{}, 0, 1, 1);
+  bytes[0] = 0x00;
+  EXPECT_FALSE(decode_frame(bytes).has_value());
+}
+
+TEST(Codec, CrcX25KnownVector) {
+  // CRC-16/MCRF4XX of "123456789" is 0x6F91.
+  const char* data = "123456789";
+  EXPECT_EQ(crc_x25(reinterpret_cast<const std::uint8_t*>(data), 9), 0x6F91);
+}
+
+TEST(Channel, DuplexDelivery) {
+  Channel channel;
+  channel.gcs().send(CommandLong{Command::kNavTakeoff, 0, 0, 0, 0, 0, 0, 20.0});
+  auto at_vehicle = channel.vehicle().receive();
+  ASSERT_TRUE(at_vehicle.has_value());
+  EXPECT_NE(std::get_if<CommandLong>(&*at_vehicle), nullptr);
+
+  channel.vehicle().send(StatusText{6, "armed"});
+  auto at_gcs = channel.gcs().receive();
+  ASSERT_TRUE(at_gcs.has_value());
+  EXPECT_EQ(std::get_if<StatusText>(&*at_gcs)->text, "armed");
+}
+
+TEST(Channel, OrderPreserved) {
+  Channel channel;
+  for (std::uint16_t i = 0; i < 5; ++i) channel.gcs().send(MissionRequest{i});
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    auto msg = channel.vehicle().receive();
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(std::get_if<MissionRequest>(&*msg)->seq, i);
+  }
+  EXPECT_FALSE(channel.vehicle().receive().has_value());
+}
+
+TEST(MissionUploader, CompletesHandshake) {
+  Channel channel;
+  MissionUploader uploader(channel.gcs());
+  std::vector<MissionItem> items(3);
+  uploader.start(items);
+  EXPECT_EQ(uploader.phase(), MissionUploader::Phase::kAwaitingRequests);
+
+  // Vehicle side: expect COUNT, then request each item in turn.
+  auto count_msg = channel.vehicle().receive();
+  ASSERT_TRUE(count_msg.has_value());
+  EXPECT_EQ(std::get_if<MissionCount>(&*count_msg)->count, 3);
+
+  for (std::uint16_t seq = 0; seq < 3; ++seq) {
+    channel.vehicle().send(MissionRequest{seq});
+    auto request = channel.gcs().receive();
+    ASSERT_TRUE(request.has_value());
+    auto leftover = uploader.handle(std::move(*request));
+    EXPECT_FALSE(leftover.has_value());  // consumed by the uploader
+    auto item = channel.vehicle().receive();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(std::get_if<MissionItem>(&*item)->seq, seq);
+  }
+  channel.vehicle().send(MissionAck{MissionResult::kAccepted});
+  auto ack = channel.gcs().receive();
+  ASSERT_TRUE(ack.has_value());
+  uploader.handle(std::move(*ack));
+  EXPECT_TRUE(uploader.done());
+}
+
+TEST(MissionUploader, OutOfRangeRequestFails) {
+  Channel channel;
+  MissionUploader uploader(channel.gcs());
+  uploader.start(std::vector<MissionItem>(2));
+  channel.vehicle().receive();  // drop COUNT
+  uploader.handle(MissionRequest{9});
+  EXPECT_TRUE(uploader.failed());
+}
+
+TEST(MissionUploader, PassesThroughUnrelatedMessages) {
+  Channel channel;
+  MissionUploader uploader(channel.gcs());
+  uploader.start(std::vector<MissionItem>(1));
+  auto leftover = uploader.handle(Heartbeat{});
+  ASSERT_TRUE(leftover.has_value());
+  EXPECT_NE(std::get_if<Heartbeat>(&*leftover), nullptr);
+}
+
+}  // namespace
+}  // namespace avis::mavlink

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/mode_graph.h"
+
+namespace avis::core {
+namespace {
+
+std::vector<ModeTransition> linear_run() {
+  // preflight -> takeoff -> auto-wp1 -> auto-wp2 -> rtl -> land -> preflight
+  return {{0, 0x0000, "preflight"}, {3540, 0x0400, "takeoff"}, {13000, 0x0501, "auto-wp1"},
+          {17000, 0x0502, "auto-wp2"}, {25000, 0x0800, "rtl"}, {34000, 0x0900, "land"},
+          {54000, 0x0000, "preflight"}};
+}
+
+TEST(ModeGraph, NodesAndEdgesFromTransitions) {
+  const ModeGraph graph = ModeGraph::from_profiling({linear_run()});
+  EXPECT_EQ(graph.node_count(), 6u);  // preflight counted once
+  EXPECT_EQ(graph.edge_count(), 6u);  // including land -> preflight
+  EXPECT_TRUE(graph.contains(0x0400));
+  EXPECT_FALSE(graph.contains(0x0A00));
+}
+
+TEST(ModeGraph, ShortestPathDistances) {
+  const ModeGraph graph = ModeGraph::from_profiling({linear_run()});
+  EXPECT_EQ(graph.distance(0x0400, 0x0400), 0);
+  EXPECT_EQ(graph.distance(0x0400, 0x0501), 1);
+  EXPECT_EQ(graph.distance(0x0400, 0x0900), 4);
+  // The cycle through land -> preflight makes reverse paths long but finite.
+  EXPECT_EQ(graph.distance(0x0501, 0x0400), 5);
+}
+
+TEST(ModeGraph, DirectednessMatters) {
+  // "a drone cannot land before it is flying": takeoff -> land is a path,
+  // but land -> takeoff must go around the cycle.
+  const ModeGraph graph = ModeGraph::from_profiling({linear_run()});
+  // Forward along the mission is one hop; backwards must loop through
+  // land -> preflight -> takeoff.
+  EXPECT_LT(graph.distance(0x0501, 0x0502), graph.distance(0x0502, 0x0501));
+}
+
+TEST(ModeGraph, DiameterIsLongestShortestPath) {
+  const ModeGraph graph = ModeGraph::from_profiling({linear_run()});
+  // takeoff is 6 hops from itself around the cycle? No: diameter counts
+  // distinct pairs; the longest is 5 (e.g. auto-wp1 -> takeoff).
+  EXPECT_EQ(graph.diameter(), 5);
+}
+
+TEST(ModeGraph, UnknownModeScoresDiameter) {
+  const ModeGraph graph = ModeGraph::from_profiling({linear_run()});
+  EXPECT_EQ(graph.distance(0x0400, 0x0A00), graph.diameter());
+  EXPECT_EQ(graph.distance(0x0A00, 0x0400), graph.diameter());
+}
+
+TEST(ModeGraph, MergesMultipleProfilingRuns) {
+  auto run_a = linear_run();
+  // A second run that skips the waypoints (e.g. a different workload).
+  std::vector<ModeTransition> run_b{{0, 0x0000, "preflight"},
+                                    {3000, 0x0400, "takeoff"},
+                                    {12000, 0x0900, "land"},
+                                    {30000, 0x0000, "preflight"}};
+  const ModeGraph graph = ModeGraph::from_profiling({run_a, run_b});
+  // The direct takeoff -> land edge from run B shortens the distance.
+  EXPECT_EQ(graph.distance(0x0400, 0x0900), 1);
+}
+
+TEST(ModeGraph, SelfLoopIgnored) {
+  std::vector<ModeTransition> run{{0, 0x0900, "land"}, {800, 0x0900, "land"},
+                                  {1600, 0x0000, "preflight"}};
+  const ModeGraph graph = ModeGraph::from_profiling({run});
+  EXPECT_EQ(graph.node_count(), 2u);
+  EXPECT_EQ(graph.edge_count(), 1u);
+}
+
+TEST(ModeGraph, EmptyProfilingIsSafe) {
+  const ModeGraph graph = ModeGraph::from_profiling({});
+  EXPECT_EQ(graph.node_count(), 0u);
+  EXPECT_GE(graph.diameter(), 1);
+}
+
+}  // namespace
+}  // namespace avis::core

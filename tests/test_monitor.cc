@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "core/invariant_monitor.h"
+
+namespace avis::core {
+namespace {
+
+// Builds a synthetic profiling run: climb to 20 m, cruise, land.
+ExperimentResult synthetic_run(double noise_seed) {
+  ExperimentResult run;
+  run.workload_passed = true;
+  const std::uint16_t preflight = 0x0000;
+  const std::uint16_t takeoff = 0x0400;
+  const std::uint16_t auto_wp1 = 0x0501;
+  const std::uint16_t land = 0x0900;
+  run.transitions = {{0, preflight, "preflight"},
+                     {3000, takeoff, "takeoff"},
+                     {12000, auto_wp1, "auto-wp1"},
+                     {30000, land, "land"},
+                     {50000, preflight, "preflight"}};
+  for (sim::SimTimeMs t = 0; t <= 52000; t += kSamplePeriodMs) {
+    StateSample s;
+    s.time_ms = t;
+    const double jitter = 0.05 * noise_seed;
+    if (t < 3000) {
+      s.mode_id = preflight;
+      s.armed = false;
+      s.on_ground = true;
+    } else if (t < 12000) {
+      s.mode_id = takeoff;
+      s.armed = true;
+      s.position.z = -(t - 3000) / 1000.0 * 2.2 - jitter;
+    } else if (t < 30000) {
+      s.mode_id = auto_wp1;
+      s.armed = true;
+      s.position.x = (t - 12000) / 1000.0 * 1.1 + jitter;
+      s.position.z = -20.0 - jitter;
+    } else if (t < 50000) {
+      s.mode_id = land;
+      s.armed = true;
+      s.position.x = 19.8;
+      s.position.z = -std::max(0.0, 20.0 - (t - 30000) / 1000.0 * 1.0) - jitter;
+      s.on_ground = s.position.z > -0.05;
+    } else {
+      s.mode_id = preflight;
+      s.armed = false;
+      s.on_ground = true;
+      s.position.x = 19.8;
+    }
+    run.trace.push_back(s);
+  }
+  run.duration_ms = 52000;
+  return run;
+}
+
+MonitorModel make_model() {
+  return MonitorModel::calibrate({synthetic_run(0.0), synthetic_run(1.0), synthetic_run(2.0)});
+}
+
+TEST(MonitorModel, CalibrationComputesNormalization) {
+  const MonitorModel model = make_model();
+  EXPECT_EQ(model.profiling_run_count(), 3u);
+  EXPECT_GT(model.tau(), 0.0);
+  EXPECT_GE(model.max_position_spread(), 0.1);
+  EXPECT_GE(model.mode_graph().diameter(), 1);
+  EXPECT_EQ(model.profiling_duration_ms(), 52100);
+}
+
+TEST(MonitorModel, StateDistanceZeroForIdenticalStates) {
+  const MonitorModel model = make_model();
+  const StateSample& s = model.profiling_state(0, 15000);
+  EXPECT_DOUBLE_EQ(model.state_distance(s, s), 0.0);
+}
+
+TEST(MonitorModel, StateDistanceSymmetric) {
+  const MonitorModel model = make_model();
+  const StateSample& a = model.profiling_state(0, 15000);
+  const StateSample& b = model.profiling_state(1, 25000);
+  EXPECT_DOUBLE_EQ(model.state_distance(a, b), model.state_distance(b, a));
+}
+
+TEST(MonitorModel, ModeMismatchIncreasesDistance) {
+  const MonitorModel model = make_model();
+  StateSample a = model.profiling_state(0, 15000);
+  StateSample b = a;
+  b.mode_id = 0x0900;  // land instead of auto-wp1
+  EXPECT_GT(model.state_distance(a, b), 0.5);
+}
+
+TEST(MonitorModel, ProfilingStatesPaddedBeyondEnd) {
+  const MonitorModel model = make_model();
+  const StateSample& last = model.profiling_state(0, 999999);
+  EXPECT_EQ(last.mode_id, 0x0000);
+}
+
+TEST(MonitorModel, LivelinessHoldsOnProfilingStates) {
+  const MonitorModel model = make_model();
+  for (sim::SimTimeMs t = 0; t < 52000; t += 1000) {
+    EXPECT_FALSE(model.liveliness_violated(model.profiling_state(2, t))) << "t=" << t;
+  }
+}
+
+TEST(MonitorModel, LivelinessViolatedByLargeDeviation) {
+  const MonitorModel model = make_model();
+  StateSample rogue = model.profiling_state(0, 15000);
+  rogue.position.x += 40.0;
+  EXPECT_TRUE(model.liveliness_violated(rogue));
+}
+
+TEST(MonitorSession, CrashIsImmediateSafetyViolation) {
+  const MonitorModel model = make_model();
+  MonitorSession session(model);
+  const auto violation = session.on_sample(model.profiling_state(0, 5000), true,
+                                           sim::CrashCause::kHardLanding, false);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->type, ViolationType::kCrash);
+}
+
+TEST(MonitorSession, FirmwareDeathIsSafetyViolation) {
+  const MonitorModel model = make_model();
+  MonitorSession session(model);
+  const auto violation =
+      session.on_sample(model.profiling_state(0, 5000), false, sim::CrashCause::kNone, true);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->type, ViolationType::kFirmwareDead);
+}
+
+TEST(MonitorSession, CleanRunProducesNoViolation) {
+  const MonitorModel model = make_model();
+  MonitorSession session(model);
+  for (sim::SimTimeMs t = 0; t < 52000; t += kSamplePeriodMs) {
+    const auto v =
+        session.on_sample(model.profiling_state(1, t), false, sim::CrashCause::kNone, false);
+    ASSERT_FALSE(v.has_value()) << "t=" << t;
+  }
+}
+
+TEST(MonitorSession, PersistentDeviationViolatesAfterFilter) {
+  const MonitorModel model = make_model();
+  MonitorSession session(model);
+  int samples_to_violation = 0;
+  std::optional<Violation> violation;
+  for (sim::SimTimeMs t = 15000; t < 30000 && !violation; t += kSamplePeriodMs) {
+    StateSample rogue = model.profiling_state(0, t);
+    rogue.position.y += 40.0;  // large deviation, below the fly-away backstop
+    violation = session.on_sample(rogue, false, sim::CrashCause::kNone, false);
+    ++samples_to_violation;
+  }
+  ASSERT_TRUE(violation.has_value());
+  // The persistence filter requires several consecutive samples.
+  EXPECT_GE(samples_to_violation, 6);
+  EXPECT_LE(samples_to_violation, 12);
+}
+
+TEST(MonitorSession, TransientBlipSuppressed) {
+  const MonitorModel model = make_model();
+  MonitorSession session(model);
+  for (int k = 0; k < 3; ++k) {
+    // Two deviating samples, then normal again — below the persistence bar.
+    for (int i = 0; i < 2; ++i) {
+      StateSample rogue = model.profiling_state(0, 20000);
+      rogue.position.y += 40.0;
+      EXPECT_FALSE(
+          session.on_sample(rogue, false, sim::CrashCause::kNone, false).has_value());
+    }
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_FALSE(session
+                       .on_sample(model.profiling_state(0, 20000 + i * 100), false,
+                                  sim::CrashCause::kNone, false)
+                       .has_value());
+    }
+  }
+}
+
+TEST(MonitorSession, DisarmedOnGroundIsSafe) {
+  // A pre-arm refusal: the vehicle never takes off. Deviates hugely from the
+  // flying profiling runs, but PreFlight+disarmed+on-ground is a safe state.
+  const MonitorModel model = make_model();
+  MonitorSession session(model);
+  for (sim::SimTimeMs t = 0; t < 30000; t += kSamplePeriodMs) {
+    StateSample grounded;
+    grounded.time_ms = t;
+    grounded.mode_id = 0x0000;
+    grounded.armed = false;
+    grounded.on_ground = true;
+    EXPECT_FALSE(
+        session.on_sample(grounded, false, sim::CrashCause::kNone, false).has_value());
+  }
+}
+
+TEST(MonitorSession, DescendingLandIsSafeDespiteEq1) {
+  // A failsafe landing mid-mission deviates from every profiling run but
+  // satisfies the land safe-mode invariant while descending.
+  const MonitorModel model = make_model();
+  MonitorSession session(model);
+  double altitude = 20.0;
+  std::optional<Violation> violation;
+  for (sim::SimTimeMs t = 15000; t < 35000 && altitude > 0.0; t += kSamplePeriodMs) {
+    StateSample landing;
+    landing.time_ms = t;
+    landing.mode_id = 0x0900;  // land
+    landing.armed = true;
+    altitude -= 0.08;  // 0.8 m/s
+    landing.position = {60.0, 0.0, -std::max(0.0, altitude)};
+    landing.on_ground = altitude <= 0.0;
+    violation = session.on_sample(landing, false, sim::CrashCause::kNone, false);
+    if (violation) break;
+  }
+  EXPECT_FALSE(violation.has_value());
+}
+
+TEST(MonitorSession, HoveringLandViolatesLiveliness) {
+  // APM-4679-style land flapping: in land mode but never descending.
+  const MonitorModel model = make_model();
+  MonitorSession session(model);
+  std::optional<Violation> violation;
+  for (sim::SimTimeMs t = 15000; t < 40000 && !violation; t += kSamplePeriodMs) {
+    StateSample hover;
+    hover.time_ms = t;
+    hover.mode_id = 0x0900;
+    hover.armed = true;
+    hover.position = {30.0, 0.0, -5.0};  // stuck at 5 m, off-mission
+    violation = session.on_sample(hover, false, sim::CrashCause::kNone, false);
+  }
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->type, ViolationType::kLiveliness);
+}
+
+TEST(MonitorSession, FlyAwayBackstopFires) {
+  const MonitorModel model = make_model();
+  MonitorSession session(model);
+  StateSample rogue;
+  rogue.time_ms = 15000;
+  rogue.mode_id = 0x0501;
+  rogue.armed = true;
+  rogue.position = {model.max_home_distance() + 30.0, 0.0, -20.0};
+  const auto violation = session.on_sample(rogue, false, sim::CrashCause::kNone, false);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->type, ViolationType::kFlyAway);
+}
+
+}  // namespace
+}  // namespace avis::core

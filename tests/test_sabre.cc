@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/harness.h"
+#include "core/sabre.h"
+
+namespace avis::core {
+namespace {
+
+std::vector<ModeTransition> toy_transitions() {
+  return {{3540, 0x0400, "takeoff"}, {13000, 0x0501, "auto-wp1"}, {34000, 0x0900, "land"}};
+}
+
+ExperimentResult ok_result() {
+  ExperimentResult r;
+  r.workload_passed = true;
+  return r;
+}
+
+ExperimentResult unsafe_result() {
+  ExperimentResult r;
+  r.violation = Violation{ViolationType::kCrash, 5000, 0x0400, "boom"};
+  return r;
+}
+
+class SabreTest : public ::testing::Test {
+ protected:
+  sensors::SuiteConfig suite_ = SimulationHarness::iris_suite();
+  BudgetClock budget_{3600 * 1000 * 4LL};
+};
+
+TEST_F(SabreTest, FirstBatchIsSingletonsAtFirstTransition) {
+  SabreScheduler sabre(suite_, toy_transitions());
+  // Canonical singletons for the Iris suite: gyro P/B, accel P/B, baro,
+  // gps, compass P/B, battery = 9.
+  std::set<std::string> sigs;
+  for (int i = 0; i < 9; ++i) {
+    auto plan = sabre.next(budget_);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->size(), 1u);
+    EXPECT_EQ(plan->events[0].time_ms, 3540);
+    sigs.insert(plan->signature());
+    sabre.feedback(*plan, ok_result());
+  }
+  EXPECT_EQ(sigs.size(), 9u);
+}
+
+TEST_F(SabreTest, CoversAllTransitionsBeforeDeepOffsets) {
+  SabreScheduler sabre(suite_, toy_transitions());
+  std::set<sim::SimTimeMs> times_in_first_cycle;
+  for (int i = 0; i < 27; ++i) {  // 3 transitions x 9 singletons
+    auto plan = sabre.next(budget_);
+    ASSERT_TRUE(plan.has_value());
+    times_in_first_cycle.insert(plan->events[0].time_ms);
+    sabre.feedback(*plan, ExperimentResult{});  // no transitions: no frontier
+  }
+  EXPECT_TRUE(times_in_first_cycle.contains(3540));
+  EXPECT_TRUE(times_in_first_cycle.contains(13000));
+  EXPECT_TRUE(times_in_first_cycle.contains(34000));
+}
+
+TEST_F(SabreTest, CrawlsBothDirections) {
+  SabreConfig config;
+  config.offset_step_ms = 200;
+  SabreScheduler sabre(suite_, {{13000, 0x0501, "auto-wp1"}}, config);
+  std::set<sim::SimTimeMs> times;
+  for (int i = 0; i < 120; ++i) {
+    auto plan = sabre.next(budget_);
+    if (!plan) break;
+    times.insert(plan->events.back().time_ms);
+    sabre.feedback(*plan, ExperimentResult{});
+  }
+  EXPECT_TRUE(times.contains(13200));
+  EXPECT_TRUE(times.contains(12800));
+}
+
+TEST_F(SabreTest, InstanceSymmetryPrunesBackupTwins) {
+  SabreScheduler sabre(suite_, toy_transitions());
+  // Collect every singleton proposed at the first transition; compass
+  // backups #1 and #2 must collapse to one scenario.
+  int compass_backups = 0;
+  for (int i = 0; i < 9; ++i) {
+    auto plan = sabre.next(budget_);
+    ASSERT_TRUE(plan.has_value());
+    const auto& e = plan->events[0];
+    if (e.sensor.type == sensors::SensorType::kCompass && e.sensor.instance > 0) {
+      ++compass_backups;
+    }
+    sabre.feedback(*plan, ExperimentResult{});
+  }
+  EXPECT_EQ(compass_backups, 1);
+}
+
+TEST_F(SabreTest, NoSymmetryExploresEveryInstance) {
+  SabreConfig config;
+  config.symmetry_pruning = false;
+  SabreScheduler sabre(suite_, {{3540, 0x0400, "takeoff"}}, config);
+  int first_batch_singletons = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto plan = sabre.next(budget_);
+    if (!plan || plan->events[0].time_ms != 3540 || plan->size() != 1) break;
+    ++first_batch_singletons;
+    sabre.feedback(*plan, ExperimentResult{});
+  }
+  EXPECT_EQ(first_batch_singletons, 10);  // all 10 concrete instances
+}
+
+TEST_F(SabreTest, FoundBugPruningBlocksSupersetsAtSameTimestamp) {
+  SabreConfig config;
+  config.full_powerset_batches = true;  // pairs come right after singletons
+  config.max_offsets = 0;
+  SabreScheduler sabre(suite_, {{5000, 0x0400, "takeoff"}}, config);
+  // Fail every GPS-containing plan; afterwards no superset of {GPS}@5000
+  // may be proposed.
+  std::vector<FaultPlan> proposed;
+  while (auto plan = sabre.next(budget_)) {
+    proposed.push_back(*plan);
+    const bool has_gps =
+        std::any_of(plan->events.begin(), plan->events.end(), [](const FaultEvent& e) {
+          return e.sensor.type == sensors::SensorType::kGps;
+        });
+    const bool gps_alone = has_gps && plan->size() == 1;
+    sabre.feedback(*plan, gps_alone ? unsafe_result() : ok_result());
+  }
+  int gps_supersets = 0;
+  for (const auto& plan : proposed) {
+    const bool has_gps =
+        std::any_of(plan.events.begin(), plan.events.end(), [](const FaultEvent& e) {
+          return e.sensor.type == sensors::SensorType::kGps;
+        });
+    if (has_gps && plan.size() > 1) ++gps_supersets;
+  }
+  EXPECT_EQ(gps_supersets, 0);
+  EXPECT_GT(sabre.pruned_by_found_bug(), 0);
+}
+
+TEST_F(SabreTest, FoundBugPruningDisabledExploresSupersets) {
+  SabreConfig config;
+  config.full_powerset_batches = true;
+  config.found_bug_pruning = false;
+  config.max_offsets = 0;
+  SabreScheduler sabre(suite_, {{5000, 0x0400, "takeoff"}}, config);
+  int gps_supersets = 0;
+  while (auto plan = sabre.next(budget_)) {
+    const bool has_gps =
+        std::any_of(plan->events.begin(), plan->events.end(), [](const FaultEvent& e) {
+          return e.sensor.type == sensors::SensorType::kGps;
+        });
+    if (has_gps && plan->size() > 1) ++gps_supersets;
+    const bool gps_alone = has_gps && plan->size() == 1;
+    sabre.feedback(*plan, gps_alone ? unsafe_result() : ok_result());
+  }
+  EXPECT_GT(gps_supersets, 0);
+}
+
+TEST_F(SabreTest, OkRunsSpawnAugmentedPlans) {
+  SabreScheduler sabre(suite_, {{3540, 0x0400, "takeoff"}});
+  auto first = sabre.next(budget_);
+  ASSERT_TRUE(first.has_value());
+  // The run was clean and discovered a later transition at t=20000.
+  ExperimentResult result;
+  result.workload_passed = true;
+  result.transitions = {{0, 0, "preflight"}, {20000, 0x0900, "land"}};
+  sabre.feedback(*first, result);
+  // Eventually a plan with the original fault plus a new one at 20000 must
+  // be proposed (the PX4-13291 discovery pattern).
+  bool found_augmented = false;
+  for (int i = 0; i < 600 && !found_augmented; ++i) {
+    auto plan = sabre.next(budget_);
+    if (!plan) break;
+    if (plan->size() == 2 && plan->events[0].time_ms == first->events[0].time_ms &&
+        plan->events[1].time_ms == 20000) {
+      found_augmented = true;
+    }
+    sabre.feedback(*plan, ExperimentResult{});
+  }
+  EXPECT_TRUE(found_augmented);
+}
+
+TEST_F(SabreTest, NeverProposesDuplicateScenario) {
+  SabreScheduler sabre(suite_, toy_transitions());
+  std::set<std::string> seen;
+  for (int i = 0; i < 300; ++i) {
+    auto plan = sabre.next(budget_);
+    if (!plan) break;
+    EXPECT_TRUE(seen.insert(plan->signature()).second)
+        << "duplicate scenario: " << plan->to_string();
+    sabre.feedback(*plan, ExperimentResult{});
+  }
+}
+
+TEST_F(SabreTest, RespectsBudgetExhaustion) {
+  SabreScheduler sabre(suite_, toy_transitions());
+  BudgetClock tiny(1);
+  tiny.charge_experiment(2);
+  EXPECT_FALSE(sabre.next(tiny).has_value());
+}
+
+TEST_F(SabreTest, Fig5WalkthroughOrder) {
+  // Two sensors, transitions at t1, t2, t4: the paper's Algorithm 1 example.
+  sensors::SuiteConfig two;
+  two.gyroscopes = 0;
+  two.accelerometers = 0;
+  two.barometers = 1;
+  two.gpses = 1;
+  two.compasses = 0;
+  two.batteries = 0;
+  SabreConfig config;
+  config.full_powerset_batches = true;
+  config.offset_step_ms = 1;
+  config.max_offsets = 1;
+  SabreScheduler sabre(two, {{1, 1, "takeoff"}, {2, 2, "auto"}, {4, 3, "land"}}, config);
+  // First three plans: the full power set at t1 (GPS, Baro, GPS+Baro).
+  std::vector<FaultPlan> plans;
+  for (int i = 0; i < 9; ++i) {
+    auto plan = sabre.next(budget_);
+    ASSERT_TRUE(plan.has_value());
+    plans.push_back(*plan);
+    sabre.feedback(*plan, ExperimentResult{});
+  }
+  EXPECT_EQ(plans[0].events[0].time_ms, 1);
+  EXPECT_EQ(plans[1].events[0].time_ms, 1);
+  EXPECT_EQ(plans[2].events[0].time_ms, 1);
+  EXPECT_EQ(plans[2].size(), 2u);  // {GPS, Baro} at t1
+  // Then t2, then t4 — before any timestamp+1 refinement.
+  EXPECT_EQ(plans[3].events[0].time_ms, 2);
+  EXPECT_EQ(plans[6].events[0].time_ms, 4);
+}
+
+}  // namespace
+}  // namespace avis::core

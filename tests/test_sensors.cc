@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensors/sensor_models.h"
+#include "sim/environment.h"
+#include "sim/vehicle_state.h"
+#include "util/rng.h"
+
+namespace avis::sensors {
+namespace {
+
+class SensorTest : public ::testing::Test {
+ protected:
+  sim::Environment env_;
+  sim::VehicleState truth_;
+  util::Rng seeds_{42};
+};
+
+TEST_F(SensorTest, GyroTracksBodyRates) {
+  Gyroscope gyro({SensorType::kGyroscope, 0}, seeds_.fork(0));
+  truth_.body_rates = {0.5, -0.2, 0.1};
+  GyroSample s;
+  ASSERT_EQ(gyro.read(0, truth_, env_, s), ReadStatus::kOk);
+  EXPECT_NEAR(s.body_rates.x, 0.5, 0.05);
+  EXPECT_NEAR(s.body_rates.y, -0.2, 0.05);
+}
+
+TEST_F(SensorTest, AccelMeasuresMinusGravityAtRest) {
+  Accelerometer accel({SensorType::kAccelerometer, 0}, seeds_.fork(1));
+  truth_.acceleration = {};  // supported by the ground
+  AccelSample s;
+  ASSERT_EQ(accel.read(0, truth_, env_, s), ReadStatus::kOk);
+  EXPECT_NEAR(s.specific_force.z, -9.80665, 0.3);
+  EXPECT_NEAR(s.specific_force.x, 0.0, 0.3);
+}
+
+TEST_F(SensorTest, BaroMeasuresAltitude) {
+  Barometer baro({SensorType::kBarometer, 0}, seeds_.fork(2));
+  truth_.position.z = -25.0;
+  BaroSample s;
+  ASSERT_EQ(baro.read(0, truth_, env_, s), ReadStatus::kOk);
+  EXPECT_NEAR(s.pressure_altitude_m, 25.0, 1.0);
+}
+
+TEST_F(SensorTest, GpsReportsGeodeticFix) {
+  Gps gps({SensorType::kGps, 0}, seeds_.fork(3));
+  truth_.position = {100.0, 50.0, -20.0};
+  GpsSample s;
+  ASSERT_EQ(gps.read(0, truth_, env_, s), ReadStatus::kOk);
+  EXPECT_TRUE(s.has_fix);
+  EXPECT_GT(s.num_satellites, 4);
+  const geo::Vec3 local = env_.frame().to_local(s.position);
+  EXPECT_NEAR(local.x, 100.0, 5.0);
+  EXPECT_NEAR(local.y, 50.0, 5.0);
+  // Vertical is coarse by design (the Fig. 1 hazard).
+  EXPECT_NEAR(local.z, -20.0, 12.0);
+}
+
+TEST_F(SensorTest, CompassMeasuresHeading) {
+  Compass compass({SensorType::kCompass, 0}, seeds_.fork(4));
+  truth_.attitude.yaw = 1.0;
+  CompassSample s;
+  ASSERT_EQ(compass.read(0, truth_, env_, s), ReadStatus::kOk);
+  EXPECT_NEAR(s.heading_rad, 1.0, 0.1);
+}
+
+TEST_F(SensorTest, BatteryReportsVoltageAndFraction) {
+  BatterySensor battery({SensorType::kBattery, 0}, seeds_.fork(5));
+  truth_.battery_voltage = 11.5;
+  truth_.battery_remaining = 0.6;
+  BatterySample s;
+  ASSERT_EQ(battery.read(0, truth_, env_, s), ReadStatus::kOk);
+  EXPECT_NEAR(s.voltage, 11.5, 0.2);
+  EXPECT_DOUBLE_EQ(s.remaining_fraction, 0.6);
+}
+
+TEST_F(SensorTest, FailureLatchesForever) {
+  Barometer baro({SensorType::kBarometer, 0}, seeds_.fork(6));
+  BaroSample s;
+  EXPECT_EQ(baro.read(0, truth_, env_, s), ReadStatus::kOk);
+  baro.fail();
+  EXPECT_TRUE(baro.failed());
+  for (sim::SimTimeMs t = 1; t < 1000; t += 100) {
+    EXPECT_EQ(baro.read(t, truth_, env_, s), ReadStatus::kFailed);
+  }
+}
+
+TEST_F(SensorTest, NativeRateHoldsSamples) {
+  // GPS samples at 5 Hz: reads within 200 ms return the same held sample.
+  Gps gps({SensorType::kGps, 0}, seeds_.fork(7));
+  truth_.position = {10.0, 0.0, -10.0};
+  GpsSample first;
+  ASSERT_EQ(gps.read(0, truth_, env_, first), ReadStatus::kOk);
+  truth_.position = {20.0, 0.0, -10.0};  // vehicle moved
+  GpsSample held;
+  ASSERT_EQ(gps.read(100, truth_, env_, held), ReadStatus::kOk);
+  EXPECT_EQ(held.position, first.position);  // still the old fix
+  GpsSample fresh;
+  ASSERT_EQ(gps.read(250, truth_, env_, fresh), ReadStatus::kOk);
+  EXPECT_NE(fresh.position, first.position);
+}
+
+TEST_F(SensorTest, NoiseIsSeedDeterministic) {
+  Barometer a({SensorType::kBarometer, 0}, util::Rng(99));
+  Barometer b({SensorType::kBarometer, 0}, util::Rng(99));
+  truth_.position.z = -10.0;
+  BaroSample sa, sb;
+  for (sim::SimTimeMs t = 0; t < 500; t += 20) {
+    a.read(t, truth_, env_, sa);
+    b.read(t, truth_, env_, sb);
+    EXPECT_DOUBLE_EQ(sa.pressure_altitude_m, sb.pressure_altitude_m);
+  }
+}
+
+TEST(SuiteConfig, CountsPerType) {
+  SuiteConfig config;
+  config.gyroscopes = 2;
+  config.compasses = 3;
+  EXPECT_EQ(config.count(SensorType::kGyroscope), 2);
+  EXPECT_EQ(config.count(SensorType::kCompass), 3);
+  EXPECT_EQ(config.total(), 2 + 2 + 1 + 1 + 3 + 1);
+}
+
+TEST(SensorSuite, FailByIdAndQuery) {
+  SuiteConfig config;
+  config.compasses = 3;
+  util::Rng seeds(5);
+  SensorSuite suite(config, seeds);
+  const SensorId backup{SensorType::kCompass, 1};
+  EXPECT_FALSE(suite.is_failed(backup));
+  EXPECT_TRUE(suite.fail(backup));
+  EXPECT_TRUE(suite.is_failed(backup));
+  EXPECT_FALSE(suite.is_failed({SensorType::kCompass, 0}));
+  // Nonexistent instance is rejected.
+  EXPECT_FALSE(suite.fail({SensorType::kBarometer, 5}));
+}
+
+TEST(SensorSuite, AllIdsDeterministicOrder) {
+  SuiteConfig config;
+  util::Rng seeds(5);
+  SensorSuite suite(config, seeds);
+  const auto ids = suite.all_ids();
+  EXPECT_EQ(static_cast<int>(ids.size()), config.total());
+  EXPECT_EQ(ids.front().type, SensorType::kGyroscope);
+  EXPECT_EQ(ids.front().instance, 0);
+}
+
+TEST(SensorId, RoleFromInstance) {
+  EXPECT_EQ((SensorId{SensorType::kGps, 0}).role(), SensorRole::kPrimary);
+  EXPECT_EQ((SensorId{SensorType::kGps, 1}).role(), SensorRole::kBackup);
+  EXPECT_EQ((SensorId{SensorType::kCompass, 2}).role(), SensorRole::kBackup);
+}
+
+TEST(SensorId, ToStringAndHash) {
+  const SensorId id{SensorType::kCompass, 1};
+  EXPECT_EQ(id.to_string(), "compass#1");
+  std::hash<SensorId> hasher;
+  EXPECT_NE(hasher(id), hasher(SensorId{SensorType::kCompass, 2}));
+}
+
+}  // namespace
+}  // namespace avis::sensors

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "study/bug_study.h"
+
+namespace avis::study {
+namespace {
+
+TEST(BugStudy, CorpusHas215Reports) {
+  EXPECT_EQ(build_corpus().size(), 215u);
+}
+
+TEST(BugStudy, ReportIdsUnique) {
+  std::set<std::string> ids;
+  for (const auto& report : build_corpus()) {
+    EXPECT_TRUE(ids.insert(report.id).second) << report.id;
+  }
+}
+
+TEST(BugStudy, Finding1SensorShare) {
+  const auto summary = summarize(build_corpus());
+  // Paper: sensor bugs are 20% of all bugs...
+  EXPECT_NEAR(summary.sensor_share(), 0.20, 0.015);
+  // ...and 40% of crash-causing bugs.
+  EXPECT_NEAR(summary.sensor_share_of_crashes(), 0.40, 0.03);
+}
+
+TEST(BugStudy, Finding2DefaultReproduction) {
+  const auto summary = summarize(build_corpus());
+  EXPECT_NEAR(summary.sensor_default_repro_share(), 0.47, 0.02);
+}
+
+TEST(BugStudy, Finding3SeriousSymptoms) {
+  const auto summary = summarize(build_corpus());
+  EXPECT_NEAR(summary.sensor_serious_share(), 0.34, 0.02);
+}
+
+TEST(BugStudy, SemanticBugsMostlyAsymptomatic) {
+  // Paper: "Semantic bugs were often asymptomatic (90%)".
+  const auto corpus = build_corpus();
+  int semantic = 0;
+  int asymptomatic = 0;
+  for (const auto& report : corpus) {
+    if (report.root_cause != RootCause::kSemantic) continue;
+    ++semantic;
+    if (report.symptom == Symptom::kNoSymptoms) ++asymptomatic;
+  }
+  EXPECT_NEAR(static_cast<double>(asymptomatic) / semantic, 0.90, 0.02);
+  // Semantic bugs are ~68% of the corpus.
+  EXPECT_NEAR(static_cast<double>(semantic) / corpus.size(), 0.68, 0.02);
+}
+
+TEST(BugStudy, MarginalsAreConsistent) {
+  const auto summary = summarize(build_corpus());
+  int total = 0;
+  for (int c : summary.by_root_cause) total += c;
+  EXPECT_EQ(total, summary.total);
+  int sensor_repro = 0;
+  for (int c : summary.sensor_by_repro) sensor_repro += c;
+  EXPECT_EQ(sensor_repro, summary.by_root_cause[1]);
+  int sensor_sym = 0;
+  for (int c : summary.sensor_by_symptom) sensor_sym += c;
+  EXPECT_EQ(sensor_sym, summary.by_root_cause[1]);
+}
+
+TEST(BugStudy, SpansBothProjectsAndStudyYears) {
+  std::set<int> years;
+  int apm = 0;
+  int px4 = 0;
+  for (const auto& report : build_corpus()) {
+    years.insert(report.year);
+    (report.project == Project::kArduPilot ? apm : px4) += 1;
+  }
+  EXPECT_EQ(years.size(), 4u);  // 2016-2019
+  EXPECT_GT(apm, 90);
+  EXPECT_GT(px4, 90);
+}
+
+}  // namespace
+}  // namespace avis::study

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "workload/default_workloads.h"
+#include "workload/workload.h"
+
+namespace avis::workload {
+namespace {
+
+// A minimal scripted workload for framework unit tests.
+class ScriptProbe final : public Workload {
+ public:
+  ScriptProbe() : Workload("probe") {
+    script_.wait_time(100);
+    script_.add("arm-now", [this](GcsContext& ctx) { ctx.arm(); entered_arm = true; },
+                [this](GcsContext&) { return finish_arm; }, 500);
+  }
+  bool entered_arm = false;
+  bool finish_arm = false;
+};
+
+class WorkloadFrameworkTest : public ::testing::Test {
+ protected:
+  mavlink::Channel channel_;
+  GcsContext ctx_{channel_.gcs(), geo::LocalFrame(geo::GeoPoint{40.0, -83.0, 200.0})};
+};
+
+TEST_F(WorkloadFrameworkTest, StepsAdvanceInOrder) {
+  ScriptProbe probe;
+  ctx_.pump(0);
+  EXPECT_EQ(probe.step(ctx_), WorkloadStatus::kRunning);
+  EXPECT_FALSE(probe.entered_arm);  // still in wait_time
+  ctx_.pump(150);
+  EXPECT_EQ(probe.step(ctx_), WorkloadStatus::kRunning);
+  EXPECT_TRUE(probe.entered_arm);  // entered second step
+  probe.finish_arm = true;
+  ctx_.pump(200);
+  EXPECT_EQ(probe.step(ctx_), WorkloadStatus::kPassed);
+}
+
+TEST_F(WorkloadFrameworkTest, StepTimeoutFailsWorkload) {
+  ScriptProbe probe;
+  for (sim::SimTimeMs t = 0; t <= 1000; t += 50) {
+    ctx_.pump(t);
+    probe.step(ctx_);
+  }
+  EXPECT_EQ(probe.status(), WorkloadStatus::kFailed);
+  EXPECT_EQ(probe.failed_step(), "arm-now");
+}
+
+TEST_F(WorkloadFrameworkTest, ArmCommandReachesChannel) {
+  ScriptProbe probe;
+  ctx_.pump(0);
+  probe.step(ctx_);  // starts the wait_time clock
+  ctx_.pump(150);
+  probe.step(ctx_);
+  // The arm command must be on the wire to the vehicle.
+  auto msg = channel_.vehicle().receive();
+  ASSERT_TRUE(msg.has_value());
+  const auto* cmd = std::get_if<mavlink::CommandLong>(&*msg);
+  ASSERT_NE(cmd, nullptr);
+  EXPECT_EQ(cmd->command, mavlink::Command::kComponentArmDisarm);
+  EXPECT_DOUBLE_EQ(cmd->param1, 1.0);
+}
+
+TEST_F(WorkloadFrameworkTest, TelemetryUpdatesContext) {
+  mavlink::GlobalPositionInt gp;
+  gp.position = ctx_.frame().to_geodetic({5.0, 6.0, -20.0});
+  gp.relative_alt_m = 20.0;
+  channel_.vehicle().send(gp);
+  mavlink::Heartbeat hb;
+  hb.armed = true;
+  hb.custom_mode = 0x0400;
+  channel_.vehicle().send(hb);
+  ctx_.pump(1000);
+  EXPECT_TRUE(ctx_.armed());
+  EXPECT_EQ(ctx_.mode_id(), 0x0400);
+  EXPECT_NEAR(ctx_.altitude(), 20.0, 1e-9);
+  EXPECT_NEAR(ctx_.local_position().x, 5.0, 1e-6);
+}
+
+TEST(WorkloadFactory, MakesAllThree) {
+  EXPECT_NE(make_workload(WorkloadId::kAuto), nullptr);
+  EXPECT_NE(make_workload(WorkloadId::kBoxManual), nullptr);
+  EXPECT_NE(make_workload(WorkloadId::kFenceMission), nullptr);
+  EXPECT_EQ(make_workload(WorkloadId::kAuto)->name(), "auto");
+}
+
+// Integration: every default workload completes on both personalities —
+// the paper's portability claim for the framework (§IV-A).
+struct GoldenCase {
+  fw::Personality personality;
+  WorkloadId workload;
+};
+
+class GoldenMatrix : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenMatrix, CompletesWithoutFaults) {
+  const GoldenCase param = GetParam();
+  const auto result = avis::testing::run_plan(param.personality, param.workload,
+                                              core::FaultPlan{},
+                                              fw::BugRegistry::current_code_base());
+  EXPECT_TRUE(result.workload_passed);
+  EXPECT_EQ(result.crash_cause, sim::CrashCause::kNone);
+  EXPECT_TRUE(result.fired_bugs.empty());
+  // Every run must report its mode trace through hinj.
+  EXPECT_GE(result.transitions.size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsBothFirmware, GoldenMatrix,
+    ::testing::Values(GoldenCase{fw::Personality::kArduPilotLike, WorkloadId::kAuto},
+                      GoldenCase{fw::Personality::kArduPilotLike, WorkloadId::kBoxManual},
+                      GoldenCase{fw::Personality::kArduPilotLike, WorkloadId::kFenceMission},
+                      GoldenCase{fw::Personality::kPx4Like, WorkloadId::kAuto},
+                      GoldenCase{fw::Personality::kPx4Like, WorkloadId::kBoxManual},
+                      GoldenCase{fw::Personality::kPx4Like, WorkloadId::kFenceMission}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      std::string name = std::string(fw::to_string(info.param.personality)) + "_" +
+                         to_string(info.param.workload);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(GoldenRuns, FenceWorkloadTriggersFenceRtl) {
+  const auto result =
+      avis::testing::run_plan(fw::Personality::kArduPilotLike, WorkloadId::kFenceMission,
+                              core::FaultPlan{}, fw::BugRegistry::current_code_base());
+  ASSERT_TRUE(result.workload_passed);
+  bool saw_wp3 = false;
+  bool saw_rtl_after_wp3 = false;
+  for (const auto& t : result.transitions) {
+    if (t.mode_name == "auto-wp3") saw_wp3 = true;
+    if (saw_wp3 && t.mode_name == "rtl") saw_rtl_after_wp3 = true;
+  }
+  EXPECT_TRUE(saw_wp3);
+  EXPECT_TRUE(saw_rtl_after_wp3) << "fence breach must deflect waypoint 3 into RTL";
+}
+
+TEST(GoldenRuns, BoxWorkloadVisitsPositionHold) {
+  const auto result =
+      avis::testing::run_plan(fw::Personality::kArduPilotLike, WorkloadId::kBoxManual,
+                              core::FaultPlan{}, fw::BugRegistry::current_code_base());
+  ASSERT_TRUE(result.workload_passed);
+  bool saw_poshold = false;
+  for (const auto& t : result.transitions) {
+    if (t.mode_name == "position-hold") saw_poshold = true;
+  }
+  EXPECT_TRUE(saw_poshold);
+}
+
+}  // namespace
+}  // namespace avis::workload

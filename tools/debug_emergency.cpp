@@ -1,0 +1,25 @@
+#include <cstdio>
+#include "core/harness.h"
+
+int main() {
+  using namespace avis;
+  core::SimulationHarness harness;
+  harness.set_step_hook([](sim::SimTimeMs t, const sim::VehicleState& s, const fw::Firmware& f) {
+    if (t % 250 == 0 && t > 12800) {
+      const auto& est = f.estimate();
+      printf("t=%6.2f mode=%-14s alt=%5.2f est_alt=%5.2f climb=%6.2f est_climb=%6.2f tilt=%5.3f est_tilt=%5.3f rates=(%5.2f,%5.2f) est_rates=(%5.2f,%5.2f) vx=%5.2f\n",
+             t / 1000.0, f.composite_mode().name().c_str(), s.altitude(), est.altitude(),
+             s.climb_rate(), est.climb_rate(), s.attitude.tilt(), est.attitude.tilt(),
+             s.body_rates.x, s.body_rates.y, est.body_rates.x, est.body_rates.y,
+             s.ground_speed());
+    }
+  });
+  core::ExperimentSpec spec;
+  spec.workload = workload::WorkloadId::kFenceMission;
+  spec.seed = 100;
+  spec.plan.add(13070, {sensors::SensorType::kGyroscope, 0});
+  spec.max_duration_ms = 25000;
+  auto r = harness.run(spec, nullptr);
+  printf("crash=%s\n", sim::to_string(r.crash_cause));
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include <cstdio>
+#include "core/harness.h"
+
+int main() {
+  using namespace avis;
+  core::SimulationHarness harness;
+  harness.set_step_hook([](sim::SimTimeMs t, const sim::VehicleState& s, const fw::Firmware& f) {
+    if (t % 500 == 0 && t > 12000 && t < 26000) {
+      const auto& est = f.estimate();
+      printf("t=%5.1fs mode=%-10s truth=(%6.2f,%6.2f,%5.1f) est=(%6.2f,%6.2f,%5.1f) wp_idx=%zu\n",
+             t / 1000.0, f.composite_mode().name().c_str(), s.position.x, s.position.y,
+             s.altitude(), est.position.x, est.position.y, est.altitude(),
+             f.mission().current_index());
+    }
+  });
+  core::ExperimentSpec spec;
+  spec.workload = workload::WorkloadId::kFenceMission;
+  spec.seed = 1;
+  auto r = harness.run(spec, nullptr);
+  printf("passed=%d\n", r.workload_passed);
+  return 0;
+}
