@@ -15,6 +15,7 @@
 #include "baselines/stratified_bfi.h"
 #include "core/checker.h"
 #include "core/sabre.h"
+#include "util/concurrency.h"
 #include "util/table.h"
 
 namespace avis::bench {
@@ -59,17 +60,21 @@ struct CellResult {
 };
 
 // Run one approach for one (personality, workload) cell under the paper's
-// per-workload budget.
+// per-workload budget. `workers` > 1 dispatches experiment batches across a
+// thread pool; the report is identical to the serial run (the parallel
+// checker applies results in submission order — docs/PERFORMANCE.md), so
+// table benches can use every core without perturbing their numbers.
 inline CellResult run_cell(Approach approach, fw::Personality personality,
                            workload::WorkloadId workload, const fw::BugRegistry& bugs,
                            sim::SimTimeMs budget_ms = 7200 * 1000,
-                           std::uint64_t seed = 100) {
+                           std::uint64_t seed = 100,
+                           int workers = util::default_worker_count()) {
   static baselines::NaiveBayesModel bayes(baselines::default_training_corpus());
   core::Checker checker(personality, workload, bugs, seed);
   const core::MonitorModel& model = checker.model();
   auto strategy = make_strategy(approach, model, bayes, seed + 7);
   core::BudgetClock budget(budget_ms);
-  CellResult cell{checker.run(*strategy, budget), personality, workload};
+  CellResult cell{checker.run_parallel(*strategy, budget, workers), personality, workload};
   return cell;
 }
 

@@ -83,6 +83,25 @@ static void BM_StateDistance(benchmark::State& state) {
 }
 BENCHMARK(BM_StateDistance);
 
+static void BM_ScheduledDirectorShouldFail(benchmark::State& state) {
+  // A three-event plan, queried for both a sensor the plan touches and one
+  // it does not — the shape of every per-step sensor read in the harness.
+  core::FaultPlan plan;
+  plan.add(30000, {sensors::SensorType::kCompass, 1});
+  plan.add(45000, {sensors::SensorType::kGps, 0});
+  plan.add(60000, {sensors::SensorType::kBattery, 0});
+  core::ScheduledDirector director(plan);
+  const sensors::SensorId gyro{sensors::SensorType::kGyroscope, 0};
+  const sensors::SensorId compass{sensors::SensorType::kCompass, 1};
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(director.should_fail(gyro, ++t));
+    benchmark::DoNotOptimize(director.should_fail(compass, t));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ScheduledDirectorShouldFail);
+
 static void BM_SabreNext(benchmark::State& state) {
   std::vector<core::ModeTransition> transitions{
       {1000, 0x0400, "takeoff"}, {9000, 0x0501, "auto-wp1"}, {15000, 0x0900, "land"}};

@@ -1,6 +1,10 @@
 // Head-to-head strategy comparison on one configuration (a miniature
 // Table III): Avis vs Stratified BFI vs BFI vs Random on the ArduPilot-like
 // firmware with the fence workload, 30-minute-equivalent budget each.
+//
+// Campaigns run through Checker::run_parallel, which spreads each batch of
+// experiments across the machine's cores; the reports are identical to the
+// serial path (docs/PERFORMANCE.md), so the comparison itself is unchanged.
 #include <iostream>
 
 #include "baselines/bfi.h"
@@ -8,12 +12,15 @@
 #include "baselines/stratified_bfi.h"
 #include "core/checker.h"
 #include "core/sabre.h"
+#include "util/concurrency.h"
 #include "util/table.h"
 
 using namespace avis;
 
 int main() {
-  std::cout << "== strategy comparison (ArduPilot-like, fence workload, 30 min budget) ==\n\n";
+  const int workers = util::default_worker_count();
+  std::cout << "== strategy comparison (ArduPilot-like, fence workload, 30 min budget, "
+            << workers << " worker" << (workers == 1 ? "" : "s") << ") ==\n\n";
 
   core::Checker checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kFenceMission,
                         fw::BugRegistry::current_code_base());
@@ -24,7 +31,7 @@ int main() {
   util::TextTable table({"strategy", "sims", "labels", "unsafe #", "distinct bugs"});
   auto run = [&](core::InjectionStrategy& strategy) {
     core::BudgetClock budget(30 * 60 * 1000);
-    const auto report = checker.run(strategy, budget);
+    const auto report = checker.run_parallel(strategy, budget, workers);
     table.add(strategy.name(), report.experiments, report.labels, report.unsafe_count(),
               static_cast<int>(report.bug_first_found.size()));
   };

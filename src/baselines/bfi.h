@@ -95,6 +95,17 @@ class BfiChecker final : public core::InjectionStrategy {
     return std::nullopt;
   }
 
+  // Labeling charges the budget inside next(), and a serial run interleaves
+  // those charges with experiment charges. Capping batches at one plan keeps
+  // a parallel checker's budget sequence — and therefore its report —
+  // identical to serial execution; BFI is label-bound anyway, so it gains
+  // nothing from concurrent simulation.
+  std::vector<core::FaultPlan> next_batch(core::BudgetClock& budget, int) override {
+    std::vector<core::FaultPlan> plans;
+    if (auto plan = next(budget)) plans.push_back(std::move(*plan));
+    return plans;
+  }
+
   void feedback(const core::FaultPlan&, const core::ExperimentResult&) override {}
   const char* name() const override { return "BFI"; }
 

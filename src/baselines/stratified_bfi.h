@@ -53,6 +53,15 @@ class StratifiedBfi final : public core::InjectionStrategy {
     return std::nullopt;
   }
 
+  // Like BFI: labeling charges the budget inside next(), so batches are
+  // capped at one plan to keep the parallel checker's budget sequence
+  // identical to serial execution (see docs/PERFORMANCE.md).
+  std::vector<core::FaultPlan> next_batch(core::BudgetClock& budget, int) override {
+    std::vector<core::FaultPlan> plans;
+    if (auto plan = next(budget)) plans.push_back(std::move(*plan));
+    return plans;
+  }
+
   void feedback(const core::FaultPlan& plan, const core::ExperimentResult& result) override {
     sabre_.feedback(plan, result);
   }

@@ -4,14 +4,17 @@
 #pragma once
 
 #include <array>
+#include <future>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/budget.h"
 #include "core/harness.h"
 #include "core/invariant_monitor.h"
 #include "core/strategy.h"
+#include "util/thread_pool.h"
 
 namespace avis::core {
 
@@ -81,33 +84,59 @@ class Checker {
     while (!budget.exhausted()) {
       auto plan = strategy.next(budget);
       if (!plan) break;
-      ExperimentSpec spec;
-      spec.personality = personality_;
-      spec.workload = workload_;
-      spec.bugs = bugs_;
-      spec.plan = *plan;
-      // Test runs reuse the golden run's seed: on this deterministic
-      // substrate a run then differs from the golden run only through the
-      // injected faults, which keeps Eq. 1 free of seed-variance noise (the
-      // paper absorbs that noise into tau instead).
-      spec.seed = seed_base_;
-      spec.max_duration_ms = monitor.profiling_duration_ms() + 45000;
-      const ExperimentResult result = harness_.run(spec, &monitor);
-      budget.charge_experiment(result.duration_ms);
-      ++report.experiments;
-      strategy.feedback(*plan, result);
-      if (result.unsafe()) {
-        UnsafeRecord record;
-        record.plan = *plan;
-        record.violation = *result.violation;
-        record.fired_bugs = result.fired_bugs;
-        record.transitions = result.transitions;
-        record.seed = spec.seed;
-        record.experiment_index = report.experiments;
-        for (fw::BugId id : result.fired_bugs) {
-          report.bug_first_found.try_emplace(id, report.experiments);
+      const ExperimentSpec spec = p_make_spec(*plan, monitor);
+      ExperimentResult result = harness_.run(spec, &monitor);
+      p_apply(report, strategy, budget, *plan, std::move(result));
+    }
+    report.labels = budget.labels();
+    report.budget_used_ms = budget.used_ms();
+    return report;
+  }
+
+  // Parallel variant: strategies hand out a batch of independent plans, the
+  // pool simulates them concurrently, and results are applied on this
+  // thread in submission order. Budget charging, feedback() and
+  // UnsafeRecord collection are therefore single-threaded, so BudgetClock
+  // needs no locking and the report is bit-identical to run() for the same
+  // plan sequence. If the budget exhausts mid-batch, the in-flight
+  // remainder is drained but not applied — exactly the experiments a serial
+  // run would never have started. Those discarded plans were already
+  // consumed from the strategy, so a strategy object that went through
+  // run_parallel should not be resumed with a fresh budget (no current
+  // caller does; serial run() has no such caveat). See docs/PERFORMANCE.md.
+  CheckerReport run_parallel(InjectionStrategy& strategy, BudgetClock& budget, int workers) {
+    if (workers <= 1) return run(strategy, budget);
+    const MonitorModel& monitor = model();
+    util::ThreadPool pool(workers);
+    CheckerReport report;
+    report.strategy_name = strategy.name();
+    bool out_of_budget = false;
+    while (!out_of_budget && !budget.exhausted()) {
+      // Twice the worker count keeps the pool saturated while the caller
+      // thread applies results; strategies may return fewer (SABRE stops at
+      // its expansion-wave boundary to preserve the serial plan sequence).
+      std::vector<FaultPlan> plans = strategy.next_batch(budget, 2 * workers);
+      if (plans.empty()) break;
+      std::vector<std::future<ExperimentResult>> in_flight;
+      in_flight.reserve(plans.size());
+      for (const FaultPlan& plan : plans) {
+        in_flight.push_back(pool.submit(
+            [this, spec = p_make_spec(plan, monitor), &monitor] {
+              return harness_.run(spec, &monitor);
+            }));
+      }
+      for (std::size_t i = 0; i < in_flight.size(); ++i) {
+        ExperimentResult result = in_flight[i].get();  // rethrows worker errors
+        // Result 0 is always applied: the serial loop runs and applies any
+        // plan next() returns, even when proposal-side charges (BFI's
+        // labels) crossed the budget limit while producing it. Later
+        // results are discarded once the budget exhausts — exactly the
+        // experiments a serial run would never have started.
+        if (out_of_budget || (i > 0 && budget.exhausted())) {
+          out_of_budget = true;
+          continue;
         }
-        report.unsafe.push_back(std::move(record));
+        p_apply(report, strategy, budget, plans[i], std::move(result));
       }
     }
     report.labels = budget.labels();
@@ -121,6 +150,41 @@ class Checker {
   SimulationHarness& harness() { return harness_; }
 
  private:
+  ExperimentSpec p_make_spec(const FaultPlan& plan, const MonitorModel& monitor) const {
+    ExperimentSpec spec;
+    spec.personality = personality_;
+    spec.workload = workload_;
+    spec.bugs = bugs_;
+    spec.plan = plan;
+    // Test runs reuse the golden run's seed: on this deterministic
+    // substrate a run then differs from the golden run only through the
+    // injected faults, which keeps Eq. 1 free of seed-variance noise (the
+    // paper absorbs that noise into tau instead).
+    spec.seed = seed_base_;
+    spec.max_duration_ms = monitor.profiling_duration_ms() + 45000;
+    return spec;
+  }
+
+  void p_apply(CheckerReport& report, InjectionStrategy& strategy, BudgetClock& budget,
+               const FaultPlan& plan, ExperimentResult result) {
+    budget.charge_experiment(result.duration_ms);
+    ++report.experiments;
+    strategy.feedback(plan, result);
+    if (result.unsafe()) {
+      UnsafeRecord record;
+      record.plan = plan;
+      record.violation = *result.violation;
+      record.fired_bugs = result.fired_bugs;
+      record.transitions = std::move(result.transitions);
+      record.seed = seed_base_;
+      record.experiment_index = report.experiments;
+      for (fw::BugId id : record.fired_bugs) {
+        report.bug_first_found.try_emplace(id, report.experiments);
+      }
+      report.unsafe.push_back(std::move(record));
+    }
+  }
+
   fw::Personality personality_;
   workload::WorkloadId workload_;
   fw::BugRegistry bugs_;

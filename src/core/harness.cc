@@ -55,12 +55,21 @@ ExperimentResult SimulationHarness::run_with_director(const ExperimentSpec& spec
   if (monitor_model != nullptr) monitor.emplace(*monitor_model);
 
   ExperimentResult result;
+  result.trace.reserve(static_cast<std::size_t>(spec.max_duration_ms / kSamplePeriodMs) + 1);
   bool firmware_dead = false;
   sim::SimTimeMs workload_done_at = -1;
 
+  // The workload and monitor cadences are hoisted out of the per-millisecond
+  // loop: comparing against a precomputed next-fire time replaces two integer
+  // divisions per step.
+  sim::SimTimeMs next_workload_ms = 0;
+  sim::SimTimeMs next_sample_ms = 0;
+
   for (sim::SimTimeMs now = 0; now < spec.max_duration_ms; ++now) {
     // Step 1: the workload runs until it yields back to the harness.
-    if (now % kWorkloadPeriodMs == 0 && !firmware_dead) {
+    const bool workload_due = now == next_workload_ms;
+    if (workload_due) next_workload_ms += kWorkloadPeriodMs;
+    if (workload_due && !firmware_dead) {
       gcs.pump(now);
       const workload::WorkloadStatus ws = workload_ptr->step(gcs);
       if (ws != workload::WorkloadStatus::kRunning && workload_done_at < 0) {
@@ -86,7 +95,8 @@ ExperimentResult SimulationHarness::run_with_director(const ExperimentSpec& spec
     if (step_hook_) step_hook_(simulator.now_ms(), simulator.state(), firmware);
 
     // Sample the state tuple at the monitor rate.
-    if (now % kSamplePeriodMs == 0) {
+    if (now == next_sample_ms) {
+      next_sample_ms += kSamplePeriodMs;
       StateSample sample;
       sample.time_ms = now;
       sample.position = simulator.state().position;

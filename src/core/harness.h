@@ -6,7 +6,9 @@
 // experiment a pure function of its spec.
 #pragma once
 
+#include <array>
 #include <functional>
+#include <limits>
 #include <memory>
 
 #include "core/experiment.h"
@@ -15,27 +17,40 @@
 #include "hinj/hinj.h"
 #include "sensors/sensor_models.h"
 #include "sim/simulator.h"
+#include "util/checked.h"
 #include "workload/default_workloads.h"
 
 namespace avis::core {
 
 // Engine-side fault director: injects the plan's failures at their
-// scheduled timestamps.
+// scheduled timestamps. should_fail is called for every sensor read of
+// every simulation step, so the plan is flattened at construction into a
+// per-instance earliest-activation table and each query is one array load
+// instead of a scan over the plan's events.
 class ScheduledDirector final : public hinj::FaultDirector {
  public:
-  explicit ScheduledDirector(const FaultPlan& plan) : plan_(plan) {}
+  explicit ScheduledDirector(const FaultPlan& plan) {
+    for (auto& per_type : activation_) per_type.fill(kNever);
+    for (const auto& event : plan.events) {
+      util::expects(event.sensor.instance < kMaxInstances,
+                    "fault plan names a sensor instance beyond the suite limit");
+      auto& slot = activation_[static_cast<std::size_t>(event.sensor.type)][event.sensor.instance];
+      slot = std::min(slot, static_cast<std::int64_t>(event.time_ms));
+    }
+  }
 
   bool should_fail(const sensors::SensorId& sensor, std::int64_t time_ms) override {
-    for (const auto& event : plan_.events) {
-      if (event.sensor == sensor && time_ms >= event.time_ms) return true;
-    }
-    return false;
+    if (sensor.instance >= kMaxInstances) return false;
+    return time_ms >= activation_[static_cast<std::size_t>(sensor.type)][sensor.instance];
   }
 
   void on_mode_update(std::uint16_t, const std::string&, std::int64_t) override {}
 
  private:
-  FaultPlan plan_;
+  static constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+  static constexpr std::uint8_t kMaxInstances = 8;
+  std::array<std::array<std::int64_t, kMaxInstances>, sensors::kAllSensorTypes.size()>
+      activation_;
 };
 
 // Wraps any director and records the mode trace and heartbeats the firmware
@@ -43,7 +58,11 @@ class ScheduledDirector final : public hinj::FaultDirector {
 // experiment result carries its transition list.
 class RecordingDirector final : public hinj::FaultDirector {
  public:
-  explicit RecordingDirector(hinj::FaultDirector& inner) : inner_(&inner) {}
+  explicit RecordingDirector(hinj::FaultDirector& inner) : inner_(&inner) {
+    // A mission's mode trace is a few dozen transitions; one up-front block
+    // keeps the recording path allocation-free in the common case.
+    transitions_.reserve(32);
+  }
 
   bool should_fail(const sensors::SensorId& sensor, std::int64_t time_ms) override {
     return inner_->should_fail(sensor, time_ms);

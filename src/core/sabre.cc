@@ -168,27 +168,11 @@ void SabreScheduler::p_expand_pairs(PairEntry entry) {
   }
 }
 
-std::optional<FaultPlan> SabreScheduler::next(BudgetClock& budget) {
-  if (budget.exhausted()) return std::nullopt;
-  while (batch_.empty() && (!queue_.empty() || !pair_queue_.empty())) {
-    const bool pairs_due = !pair_queue_.empty() &&
-                           (queue_.empty() || batches_since_pairs_ >= config_.pair_interleave);
-    if (pairs_due) {
-      batches_since_pairs_ = 0;
-      PairEntry entry = pair_queue_.front();
-      pair_queue_.pop_front();
-      p_expand_pairs(std::move(entry));
-    } else {
-      ++batches_since_pairs_;
-      const QueueEntry entry = queue_.front();
-      queue_.pop_front();
-      p_expand_primary(entry);
-    }
-  }
-  if (batch_.empty()) return std::nullopt;
+std::optional<FaultPlan> SabreScheduler::p_pop_batch() {
   // Re-check found-bug pruning at proposal time: a bug found since this
   // batch was built (Algorithm 1 evaluates CanPrune per scenario) may have
-  // made queued supersets redundant.
+  // made queued supersets redundant. Never expands: a nullopt return means
+  // the current wave is spent (drained or pruned away).
   while (!batch_.empty()) {
     FaultPlan plan = batch_.front();
     batch_.pop_front();
@@ -207,7 +191,68 @@ std::optional<FaultPlan> SabreScheduler::next(BudgetClock& budget) {
     }
     return plan;
   }
-  return next(budget);  // batch drained by pruning: expand more
+  return std::nullopt;
+}
+
+std::optional<FaultPlan> SabreScheduler::next(BudgetClock& budget) {
+  if (budget.exhausted()) return std::nullopt;
+  for (;;) {
+    while (batch_.empty() && (!queue_.empty() || !pair_queue_.empty())) {
+      const bool pairs_due = !pair_queue_.empty() &&
+                             (queue_.empty() || batches_since_pairs_ >= config_.pair_interleave);
+      if (pairs_due) {
+        batches_since_pairs_ = 0;
+        PairEntry entry = pair_queue_.front();
+        pair_queue_.pop_front();
+        p_expand_pairs(std::move(entry));
+      } else {
+        ++batches_since_pairs_;
+        const QueueEntry entry = queue_.front();
+        queue_.pop_front();
+        p_expand_primary(entry);
+      }
+    }
+    if (batch_.empty()) return std::nullopt;
+    if (auto plan = p_pop_batch()) return plan;
+    // Wave drained by pruning: expand the next one.
+  }
+}
+
+std::vector<FaultPlan> SabreScheduler::next_batch(BudgetClock& budget, int max_plans) {
+  // Configurations where one wave can contain a set and its same-timestamp
+  // superset (the whole power set per dequeue) or role-identical sets
+  // (symmetry folding off) allow found-bug pruning to fire *within* a wave
+  // in serial execution. Batching would skip that proposal-time prune and
+  // break report parity, so those configurations serialize.
+  if (config_.found_bug_pruning &&
+      (config_.full_powerset_batches || !config_.symmetry_pruning)) {
+    std::vector<FaultPlan> single;
+    if (max_plans > 0) {
+      if (auto plan = next(budget)) single.push_back(std::move(*plan));
+    }
+    return single;
+  }
+  std::vector<FaultPlan> plans;
+  while (static_cast<int>(plans.size()) < max_plans) {
+    if (plans.empty()) {
+      // The batch's first plan may expand a fresh wave (the previous one
+      // was fully consumed and fed back before this call).
+      auto plan = next(budget);
+      if (!plan) break;
+      plans.push_back(std::move(*plan));
+      continue;
+    }
+    // Subsequent plans come strictly from the current wave: p_pop_batch
+    // never expands, so even if proposal-time pruning drains the wave the
+    // batch ends here rather than crossing into a wave that must see this
+    // batch's feedback first. SABRE charges nothing while proposing, so
+    // the budget check at the first next() covers the whole batch.
+    if (batch_.empty()) break;
+    auto plan = p_pop_batch();
+    if (!plan) break;
+    plans.push_back(std::move(*plan));
+  }
+  return plans;
 }
 
 void SabreScheduler::feedback(const FaultPlan& plan, const ExperimentResult& result) {

@@ -62,6 +62,12 @@ class SabreScheduler final : public InjectionStrategy {
                  SabreConfig config = {});
 
   std::optional<FaultPlan> next(BudgetClock& budget) override;
+  // Hands out plans from the current expansion wave only: scenarios inside
+  // one wave were emitted together and are independent, while the next wave
+  // may depend on this wave's feedback (found-bug pruning, augmented
+  // frontier). Stopping at the wave boundary keeps a parallel checker's
+  // plan sequence identical to serial execution.
+  std::vector<FaultPlan> next_batch(BudgetClock& budget, int max_plans) override;
   void feedback(const FaultPlan& plan, const ExperimentResult& result) override;
   const char* name() const override { return "Avis (SABRE)"; }
 
@@ -86,6 +92,7 @@ class SabreScheduler final : public InjectionStrategy {
 
   void p_expand_primary(const QueueEntry& entry);
   void p_expand_pairs(PairEntry entry);
+  std::optional<FaultPlan> p_pop_batch();
   void p_emit(sim::SimTimeMs timestamp, const FaultPlan& base,
               const std::vector<sensors::SensorId>& set);
   bool p_can_prune(sim::SimTimeMs timestamp, const std::vector<sensors::SensorId>& set,

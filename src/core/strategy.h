@@ -7,6 +7,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "core/budget.h"
 #include "core/experiment.h"
@@ -21,6 +22,25 @@ class InjectionStrategy {
   // Propose the next fault plan. May consume budget (model labeling); must
   // return nullopt when out of candidates or when the budget is exhausted.
   virtual std::optional<FaultPlan> next(BudgetClock& budget) = 0;
+
+  // Propose up to `max_plans` plans that may be simulated concurrently,
+  // i.e. without feedback from one influencing the generation of the next.
+  // The default falls back to repeated next(), which is exact for
+  // strategies that neither learn from feedback nor charge the budget while
+  // proposing (Random). SABRE overrides it to stop at its expansion-wave
+  // boundary so pruning decisions never straddle an in-flight batch; the
+  // BFI variants cap batches at one plan because labeling charges the
+  // budget inside next().
+  virtual std::vector<FaultPlan> next_batch(BudgetClock& budget, int max_plans) {
+    std::vector<FaultPlan> plans;
+    plans.reserve(max_plans > 0 ? static_cast<std::size_t>(max_plans) : 0);
+    for (int i = 0; i < max_plans; ++i) {
+      auto plan = next(budget);
+      if (!plan) break;
+      plans.push_back(std::move(*plan));
+    }
+    return plans;
+  }
 
   // Result of simulating the proposed plan.
   virtual void feedback(const FaultPlan& plan, const ExperimentResult& result) = 0;

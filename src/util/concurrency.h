@@ -1,0 +1,16 @@
+// Shared worker-count policy for parallel checker campaigns.
+#pragma once
+
+#include <algorithm>
+#include <thread>
+
+namespace avis::util {
+
+// Every hardware thread, capped at 8 — past that the checker's batch
+// barrier tail dominates on the evaluation workload mix. Always >= 1
+// (hardware_concurrency may report 0).
+inline int default_worker_count() {
+  return std::max(1, static_cast<int>(std::min(8u, std::thread::hardware_concurrency())));
+}
+
+}  // namespace avis::util

@@ -1,0 +1,97 @@
+// Fixed-size worker pool for the parallel checker.
+//
+// Experiments are pure functions of their spec, so the checker can farm a
+// batch of them out to workers and apply the results on its own thread.
+// Tasks are submitted as callables and observed through std::future:
+// exceptions thrown inside a task are captured and rethrown from get(), so
+// a worker-side failure surfaces on the caller thread instead of aborting
+// the process.
+//
+// Shutdown semantics: the destructor discards tasks that have not started
+// (their futures report std::future_errc::broken_promise), lets tasks that
+// are already running finish, and joins every worker. Destroying a pool
+// with a full queue therefore never deadlocks.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/checked.h"
+
+namespace avis::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers) {
+    expects(workers > 0, "thread pool needs at least one worker");
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this](std::stop_token stop) { p_run(stop); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      // Abandon unstarted tasks before waking the workers: dropping the
+      // queued packaged_tasks breaks their promises, which is how a caller
+      // blocked on get() learns the pool went away.
+      std::lock_guard lock(mutex_);
+      queue_.clear();
+    }
+    for (auto& worker : workers_) worker.request_stop();
+    cv_.notify_all();
+    // std::jthread destructors join.
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueue a callable; the returned future yields its result (or rethrows
+  // its exception).
+  template <typename F>
+  std::future<std::invoke_result_t<std::decay_t<F>>> submit(F&& fn) {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    // shared_ptr because std::function requires copyable targets and
+    // packaged_task is move-only.
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void p_run(std::stop_token stop) {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+        if (queue_.empty()) return;  // stop requested, nothing left to run
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();  // packaged_task captures exceptions into the future
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::jthread> workers_;  // last member: destroyed (joined) first
+};
+
+}  // namespace avis::util

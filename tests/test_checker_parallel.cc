@@ -1,0 +1,221 @@
+// Serial-vs-parallel checker parity: run_parallel must produce a report
+// bit-identical to run() for the same (strategy, budget, seed), because
+// results are applied on the caller thread in submission order and the
+// strategy's batch boundaries preserve the serial plan sequence.
+#include <gtest/gtest.h>
+
+#include "baselines/bfi.h"
+#include "baselines/random_injection.h"
+#include "baselines/stratified_bfi.h"
+#include "core/checker.h"
+#include "core/sabre.h"
+#include "test_helpers.h"
+
+namespace {
+
+using namespace avis;
+
+// A modest simulated budget: enough for a multi-batch campaign (several
+// expansion waves, at least one unsafe result) while keeping the test quick.
+constexpr sim::SimTimeMs kBudgetMs = 600 * 1000;
+
+void expect_reports_equal(const core::CheckerReport& serial,
+                          const core::CheckerReport& parallel) {
+  EXPECT_EQ(serial.strategy_name, parallel.strategy_name);
+  EXPECT_EQ(serial.experiments, parallel.experiments);
+  EXPECT_EQ(serial.labels, parallel.labels);
+  EXPECT_EQ(serial.budget_used_ms, parallel.budget_used_ms);
+  EXPECT_EQ(serial.bug_first_found, parallel.bug_first_found);
+  ASSERT_EQ(serial.unsafe.size(), parallel.unsafe.size());
+  for (std::size_t i = 0; i < serial.unsafe.size(); ++i) {
+    const core::UnsafeRecord& a = serial.unsafe[i];
+    const core::UnsafeRecord& b = parallel.unsafe[i];
+    EXPECT_EQ(a.plan.signature(), b.plan.signature()) << "record " << i;
+    EXPECT_EQ(a.violation.type, b.violation.type) << "record " << i;
+    EXPECT_EQ(a.violation.time_ms, b.violation.time_ms) << "record " << i;
+    EXPECT_EQ(a.violation.mode_id, b.violation.mode_id) << "record " << i;
+    EXPECT_EQ(a.fired_bugs, b.fired_bugs) << "record " << i;
+    EXPECT_EQ(a.seed, b.seed) << "record " << i;
+    EXPECT_EQ(a.experiment_index, b.experiment_index) << "record " << i;
+    ASSERT_EQ(a.transitions.size(), b.transitions.size()) << "record " << i;
+    for (std::size_t j = 0; j < a.transitions.size(); ++j) {
+      EXPECT_EQ(a.transitions[j].time_ms, b.transitions[j].time_ms)
+          << "record " << i << " transition " << j;
+      EXPECT_EQ(a.transitions[j].mode_id, b.transitions[j].mode_id)
+          << "record " << i << " transition " << j;
+      EXPECT_EQ(a.transitions[j].mode_name, b.transitions[j].mode_name)
+          << "record " << i << " transition " << j;
+    }
+  }
+  EXPECT_EQ(serial.unsafe_by_bucket(), parallel.unsafe_by_bucket());
+}
+
+TEST(CheckerParallel, SabreParityAtFourWorkers) {
+  core::Checker& checker =
+      avis::testing::cached_checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto);
+  const core::MonitorModel& model = checker.model();
+  const auto suite = core::SimulationHarness::iris_suite();
+
+  core::SabreScheduler serial_strategy(suite, model.golden_transitions());
+  core::BudgetClock serial_budget(kBudgetMs);
+  const core::CheckerReport serial = checker.run(serial_strategy, serial_budget);
+  ASSERT_GE(serial.experiments, 3) << "budget too small to exercise batching";
+
+  core::SabreScheduler parallel_strategy(suite, model.golden_transitions());
+  core::BudgetClock parallel_budget(kBudgetMs);
+  const core::CheckerReport parallel =
+      checker.run_parallel(parallel_strategy, parallel_budget, /*workers=*/4);
+
+  expect_reports_equal(serial, parallel);
+}
+
+TEST(CheckerParallel, RandomParityAtFourWorkers) {
+  core::Checker& checker =
+      avis::testing::cached_checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto);
+  const core::MonitorModel& model = checker.model();
+  const auto suite = core::SimulationHarness::iris_suite();
+
+  baselines::RandomInjection serial_strategy(suite, model.profiling_duration_ms(), 42);
+  core::BudgetClock serial_budget(kBudgetMs);
+  const core::CheckerReport serial = checker.run(serial_strategy, serial_budget);
+  ASSERT_GE(serial.experiments, 3);
+
+  baselines::RandomInjection parallel_strategy(suite, model.profiling_duration_ms(), 42);
+  core::BudgetClock parallel_budget(kBudgetMs);
+  const core::CheckerReport parallel =
+      checker.run_parallel(parallel_strategy, parallel_budget, /*workers=*/4);
+
+  expect_reports_equal(serial, parallel);
+}
+
+// BFI and Stratified BFI charge the budget *while proposing* (10 s per
+// model label), the case where parity is most fragile: the exhausting
+// charge can be a label on a plan that still gets simulated serially. A
+// spread of budgets makes the campaign end at different points in the
+// label/experiment interleaving.
+TEST(CheckerParallel, BfiParityAtFourWorkersAcrossBudgets) {
+  core::Checker& checker =
+      avis::testing::cached_checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto);
+  const core::MonitorModel& model = checker.model();
+  const auto suite = core::SimulationHarness::iris_suite();
+  static baselines::NaiveBayesModel bayes(baselines::default_training_corpus());
+
+  for (const sim::SimTimeMs budget_ms : {215000, 300000, 605000}) {
+    baselines::BfiChecker serial_strategy(suite, bayes,
+                                          baselines::ModeTimeline(model.golden_transitions()),
+                                          /*seed=*/7);
+    core::BudgetClock serial_budget(budget_ms);
+    const core::CheckerReport serial = checker.run(serial_strategy, serial_budget);
+
+    baselines::BfiChecker parallel_strategy(suite, bayes,
+                                            baselines::ModeTimeline(model.golden_transitions()),
+                                            /*seed=*/7);
+    core::BudgetClock parallel_budget(budget_ms);
+    const core::CheckerReport parallel =
+        checker.run_parallel(parallel_strategy, parallel_budget, /*workers=*/4);
+
+    SCOPED_TRACE("budget_ms=" + std::to_string(budget_ms));
+    expect_reports_equal(serial, parallel);
+    EXPECT_GT(serial.labels, 0);
+  }
+}
+
+TEST(CheckerParallel, StratifiedBfiParityAtFourWorkers) {
+  core::Checker& checker =
+      avis::testing::cached_checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto);
+  const core::MonitorModel& model = checker.model();
+  const auto suite = core::SimulationHarness::iris_suite();
+  static baselines::NaiveBayesModel bayes(baselines::default_training_corpus());
+
+  baselines::StratifiedBfi serial_strategy(suite, model.golden_transitions(), bayes);
+  core::BudgetClock serial_budget(kBudgetMs);
+  const core::CheckerReport serial = checker.run(serial_strategy, serial_budget);
+  EXPECT_GT(serial.labels, 0);
+
+  baselines::StratifiedBfi parallel_strategy(suite, model.golden_transitions(), bayes);
+  core::BudgetClock parallel_budget(kBudgetMs);
+  const core::CheckerReport parallel =
+      checker.run_parallel(parallel_strategy, parallel_budget, /*workers=*/4);
+
+  expect_reports_equal(serial, parallel);
+}
+
+TEST(CheckerParallel, OneWorkerTakesTheSerialPath) {
+  core::Checker& checker =
+      avis::testing::cached_checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto);
+  const core::MonitorModel& model = checker.model();
+  const auto suite = core::SimulationHarness::iris_suite();
+
+  core::SabreScheduler serial_strategy(suite, model.golden_transitions());
+  core::BudgetClock serial_budget(kBudgetMs);
+  const core::CheckerReport serial = checker.run(serial_strategy, serial_budget);
+
+  core::SabreScheduler one_worker_strategy(suite, model.golden_transitions());
+  core::BudgetClock one_worker_budget(kBudgetMs);
+  const core::CheckerReport one_worker =
+      checker.run_parallel(one_worker_strategy, one_worker_budget, /*workers=*/1);
+
+  expect_reports_equal(serial, one_worker);
+}
+
+TEST(CheckerParallel, SabreBatchStopsAtWaveBoundary) {
+  core::Checker& checker =
+      avis::testing::cached_checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto);
+  const core::MonitorModel& model = checker.model();
+  const auto suite = core::SimulationHarness::iris_suite();
+
+  // next_batch must hand out the same plan sequence as repeated next().
+  core::SabreScheduler by_next(suite, model.golden_transitions());
+  core::SabreScheduler by_batch(suite, model.golden_transitions());
+  core::BudgetClock budget_a(kBudgetMs);
+  core::BudgetClock budget_b(kBudgetMs);
+
+  std::vector<std::string> next_sigs;
+  for (int i = 0; i < 12; ++i) {
+    auto plan = by_next.next(budget_a);
+    if (!plan) break;
+    next_sigs.push_back(plan->signature());
+  }
+  std::vector<std::string> batch_sigs;
+  while (batch_sigs.size() < next_sigs.size()) {
+    const auto plans = by_batch.next_batch(budget_b, 5);
+    if (plans.empty()) break;
+    for (const auto& plan : plans) batch_sigs.push_back(plan.signature());
+  }
+  batch_sigs.resize(std::min(batch_sigs.size(), next_sigs.size()));
+  next_sigs.resize(batch_sigs.size());
+  EXPECT_EQ(batch_sigs, next_sigs);
+  EXPECT_FALSE(batch_sigs.empty());
+}
+
+TEST(CheckerParallel, SabreSerializesConfigsWithIntraWavePruning) {
+  core::Checker& checker =
+      avis::testing::cached_checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto);
+  const core::MonitorModel& model = checker.model();
+  const auto suite = core::SimulationHarness::iris_suite();
+  core::BudgetClock budget(kBudgetMs);
+
+  // Full-powerset waves can contain a set and its same-timestamp superset,
+  // and disabled symmetry folding can put role-identical sets in one wave;
+  // serial execution prunes those at proposal time after a mid-wave bug, so
+  // batching must fall back to one plan at a time to preserve parity.
+  core::SabreConfig powerset;
+  powerset.full_powerset_batches = true;
+  core::SabreScheduler powerset_sabre(suite, model.golden_transitions(), powerset);
+  EXPECT_LE(powerset_sabre.next_batch(budget, 8).size(), 1u);
+
+  core::SabreConfig no_symmetry;
+  no_symmetry.symmetry_pruning = false;
+  core::SabreScheduler no_symmetry_sabre(suite, model.golden_transitions(), no_symmetry);
+  EXPECT_LE(no_symmetry_sabre.next_batch(budget, 8).size(), 1u);
+
+  // With found-bug pruning off there is nothing to prune mid-wave, so the
+  // full-powerset wave may batch freely again.
+  core::SabreConfig no_pruning;
+  no_pruning.full_powerset_batches = true;
+  no_pruning.found_bug_pruning = false;
+  core::SabreScheduler no_pruning_sabre(suite, model.golden_transitions(), no_pruning);
+  EXPECT_GT(no_pruning_sabre.next_batch(budget, 8).size(), 1u);
+}
+
+}  // namespace
