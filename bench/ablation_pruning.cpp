@@ -4,6 +4,7 @@
 // (c) no found-bug pruning, under the same budget, and compares unsafe
 // conditions found, distinct bugs found, and scheduler pruning statistics.
 #include <iostream>
+#include <vector>
 
 #include "common.h"
 #include "core/sabre.h"
@@ -26,25 +27,42 @@ int main() {
       {"no pruning at all", false, false},
   };
 
+  // One campaign cell per configuration; the runner keeps each cell's
+  // strategy alive so the pruning counters can be read after the run.
+  std::vector<core::CampaignCellSpec> grid;
+  for (const Config& config : configs) {
+    core::CampaignCellSpec spec;
+    spec.approach = config.name;
+    spec.personality = fw::Personality::kArduPilotLike;
+    spec.workload = workload::WorkloadId::kFenceMission;
+    spec.bugs = fw::BugRegistry::current_code_base();
+    spec.budget_ms = 7200 * 1000;
+    spec.make_strategy = [config](const core::MonitorModel& model, std::uint64_t) {
+      core::SabreConfig sabre_config;
+      sabre_config.symmetry_pruning = config.symmetry;
+      sabre_config.found_bug_pruning = config.found_bug;
+      return std::make_unique<core::SabreScheduler>(core::SimulationHarness::iris_suite(),
+                                                    model.golden_transitions(), sabre_config);
+    };
+    grid.push_back(std::move(spec));
+  }
+  const auto campaign = bench::run_campaign(grid);
+
   util::TextTable t({"configuration", "simulations", "unsafe #", "distinct bugs",
                      "pruned (sym)", "pruned (bug)", "pruned (dup)"});
-  for (const Config& config : configs) {
-    core::Checker checker(fw::Personality::kArduPilotLike,
-                          workload::WorkloadId::kFenceMission,
-                          fw::BugRegistry::current_code_base());
-    const core::MonitorModel& model = checker.model();
-    core::SabreConfig sabre_config;
-    sabre_config.symmetry_pruning = config.symmetry;
-    sabre_config.found_bug_pruning = config.found_bug;
-    core::SabreScheduler sabre(core::SimulationHarness::iris_suite(),
-                               model.golden_transitions(), sabre_config);
-    core::BudgetClock budget = core::BudgetClock::two_hours();
-    const auto report = checker.run(sabre, budget);
-    t.add(config.name, report.experiments, report.unsafe_count(),
-          static_cast<int>(report.bug_first_found.size()), sabre.pruned_by_symmetry(),
-          sabre.pruned_by_found_bug(), sabre.pruned_as_duplicate());
+  for (const auto& cell : campaign.cells) {
+    const auto& report = cell.report;
+    const auto* sabre = dynamic_cast<const core::SabreScheduler*>(cell.strategy.get());
+    if (sabre == nullptr) {
+      std::cerr << "cell '" << cell.spec.approach << "' did not run a SabreScheduler\n";
+      return 1;
+    }
+    t.add(cell.spec.approach, report.experiments, report.unsafe_count(),
+          static_cast<int>(report.bug_first_found.size()), sabre->pruned_by_symmetry(),
+          sabre->pruned_by_found_bug(), sabre->pruned_as_duplicate());
   }
   t.render(std::cout);
+  bench::print_campaign_footer(std::cout, campaign);
   std::cout << "\nBoth policies spend the budget on role-distinct, not-yet-buggy scenarios;\n"
                "dropping either spends simulations on redundant states and finds fewer\n"
                "distinct bugs in the same budget.\n";

@@ -3,16 +3,22 @@
 // Every table bench runs one or more of the four approaches — Avis (SABRE),
 // Stratified BFI, BFI, Random — against a (personality, workload) pair for a
 // two-hour-equivalent budget and aggregates the unsafe conditions found.
+// The multi-cell benches build a campaign grid and run it through
+// core::CampaignRunner, which shards whole cells across the machine on top
+// of the per-cell experiment pool; cell reports are bit-identical to the
+// serial run_cell loop (tests/test_campaign.cc).
 #pragma once
 
 #include <map>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "baselines/bfi.h"
 #include "baselines/random_injection.h"
 #include "baselines/stratified_bfi.h"
+#include "core/campaign.h"
 #include "core/checker.h"
 #include "core/sabre.h"
 #include "util/concurrency.h"
@@ -30,6 +36,16 @@ inline const char* to_string(Approach a) {
     case Approach::kRandom: return "Random";
   }
   return "?";
+}
+
+// One process-wide Bayes model shared by every BFI-family cell. It is
+// immutable after construction (scoring is the only API), so concurrent
+// campaign cells can read it without synchronization; the magic-static
+// guarantees thread-safe initialization even when the first two cells race
+// to construct it.
+inline const baselines::NaiveBayesModel& shared_bayes() {
+  static const baselines::NaiveBayesModel model(baselines::default_training_corpus());
+  return model;
 }
 
 inline std::unique_ptr<core::InjectionStrategy> make_strategy(
@@ -63,24 +79,81 @@ struct CellResult {
 // per-workload budget. `workers` > 1 dispatches experiment batches across a
 // thread pool; the report is identical to the serial run (the parallel
 // checker applies results in submission order — docs/PERFORMANCE.md), so
-// table benches can use every core without perturbing their numbers.
+// table benches can use every core without perturbing their numbers. This
+// is the serial reference the campaign parity test compares against.
 inline CellResult run_cell(Approach approach, fw::Personality personality,
                            workload::WorkloadId workload, const fw::BugRegistry& bugs,
                            sim::SimTimeMs budget_ms = 7200 * 1000,
                            std::uint64_t seed = 100,
                            int workers = util::default_worker_count()) {
-  static baselines::NaiveBayesModel bayes(baselines::default_training_corpus());
   core::Checker checker(personality, workload, bugs, seed);
   const core::MonitorModel& model = checker.model();
-  auto strategy = make_strategy(approach, model, bayes, seed + 7);
+  auto strategy = make_strategy(approach, model, shared_bayes(), seed + 7);
   core::BudgetClock budget(budget_ms);
   CellResult cell{checker.run_parallel(*strategy, budget, workers), personality, workload};
   return cell;
 }
 
+// Campaign cell for a bench approach: the factory builds the strategy
+// against the shared Bayes model exactly as run_cell does.
+inline core::CampaignCellSpec make_cell(Approach approach, fw::Personality personality,
+                                        workload::WorkloadId workload,
+                                        const fw::BugRegistry& bugs,
+                                        sim::SimTimeMs budget_ms = 7200 * 1000,
+                                        std::uint64_t seed = 100) {
+  core::CampaignCellSpec spec;
+  spec.approach = to_string(approach);
+  spec.personality = personality;
+  spec.workload = workload;
+  spec.bugs = bugs;
+  spec.budget_ms = budget_ms;
+  spec.seed = seed;
+  spec.strategy_seed = seed + 7;
+  spec.make_strategy = [approach](const core::MonitorModel& model, std::uint64_t strategy_seed) {
+    return make_strategy(approach, model, shared_bayes(), strategy_seed);
+  };
+  return spec;
+}
+
 // The two default evaluation workloads (paper §V-A).
 inline std::vector<workload::WorkloadId> evaluation_workloads() {
   return {workload::WorkloadId::kBoxManual, workload::WorkloadId::kFenceMission};
+}
+
+inline std::vector<fw::Personality> evaluation_personalities() {
+  return {fw::Personality::kArduPilotLike, fw::Personality::kPx4Like};
+}
+
+// The full evaluation grid for a set of approaches: both firmware
+// personalities x both default workloads per approach, in deterministic
+// (approach, personality, workload) order — the iteration order the serial
+// table benches used.
+inline std::vector<core::CampaignCellSpec> evaluation_grid(
+    const std::vector<Approach>& approaches, const fw::BugRegistry& bugs,
+    sim::SimTimeMs budget_ms = 7200 * 1000, std::uint64_t seed = 100) {
+  std::vector<core::CampaignCellSpec> grid;
+  for (Approach approach : approaches) {
+    for (fw::Personality personality : evaluation_personalities()) {
+      for (workload::WorkloadId workload : evaluation_workloads()) {
+        grid.push_back(make_cell(approach, personality, workload, bugs, budget_ms, seed));
+      }
+    }
+  }
+  return grid;
+}
+
+// Run a grid with the default worker split. Table benches typically follow
+// up with print_campaign_footer below.
+inline core::CampaignResult run_campaign(const std::vector<core::CampaignCellSpec>& grid) {
+  return core::CampaignRunner().run(grid);
+}
+
+inline void print_campaign_footer(std::ostream& os, const core::CampaignResult& result) {
+  os << "\ncampaign: " << result.cells.size() << " cells, "
+     << result.split.campaign_workers << " concurrent ("
+     << result.split.experiment_workers << " experiment worker"
+     << (result.split.experiment_workers == 1 ? "" : "s") << "/cell), "
+     << result.total_experiments() << " simulations in " << result.wall_seconds << " s wall\n";
 }
 
 }  // namespace avis::bench

@@ -122,4 +122,37 @@ static void BM_SabreNext(benchmark::State& state) {
 }
 BENCHMARK(BM_SabreNext);
 
+// The in-flight plan table: feedback() and proposal-time pruning look
+// pending plans up by signature. Proposing a long run of waves without
+// feedback (the worst case run_parallel creates: a wide batch in flight)
+// grows the table; the feedbacks then measure lookup + erase cost. With the
+// signature-keyed map this is O(1) per feedback instead of a linear scan
+// that recomputed every pending plan's signature string.
+static void BM_SabrePendingFeedback(benchmark::State& state) {
+  std::vector<core::ModeTransition> transitions;
+  for (int i = 0; i < 40; ++i) {
+    transitions.push_back({1000 + i * 1000, 0x0400, "takeoff"});
+  }
+  core::ExperimentResult ok;
+  ok.workload_passed = true;
+  std::int64_t fed_back = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::SabreScheduler sabre(core::SimulationHarness::iris_suite(), transitions);
+    core::BudgetClock budget(3600 * 1000);
+    std::vector<core::FaultPlan> proposed;
+    proposed.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+      auto plan = sabre.next(budget);
+      if (!plan) break;
+      proposed.push_back(std::move(*plan));
+    }
+    state.ResumeTiming();
+    for (const auto& plan : proposed) sabre.feedback(plan, ok);
+    fed_back += static_cast<std::int64_t>(proposed.size());
+  }
+  state.SetItemsProcessed(fed_back);
+}
+BENCHMARK(BM_SabrePendingFeedback);
+
 BENCHMARK_MAIN();

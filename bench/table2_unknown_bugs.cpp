@@ -24,19 +24,14 @@ int main() {
   int avis_runs = 0;
   int sbfi_runs = 0;
 
-  for (fw::Personality personality :
-       {fw::Personality::kArduPilotLike, fw::Personality::kPx4Like}) {
-    for (workload::WorkloadId workload : bench::evaluation_workloads()) {
-      const auto avis_cell = bench::run_cell(Approach::kAvis, personality, workload,
-                                             fw::BugRegistry::current_code_base());
-      avis_runs += avis_cell.report.experiments;
-      for (const auto& [bug, sim] : avis_cell.report.bug_first_found) found_avis.insert(bug);
-
-      const auto sbfi_cell = bench::run_cell(Approach::kStratifiedBfi, personality, workload,
-                                             fw::BugRegistry::current_code_base());
-      sbfi_runs += sbfi_cell.report.experiments;
-      for (const auto& [bug, sim] : sbfi_cell.report.bug_first_found) found_sbfi.insert(bug);
-    }
+  const auto campaign = bench::run_campaign(
+      bench::evaluation_grid({Approach::kAvis, Approach::kStratifiedBfi},
+                             fw::BugRegistry::current_code_base()));
+  for (const auto& cell : campaign.cells) {
+    const bool is_avis = cell.spec.approach == bench::to_string(Approach::kAvis);
+    (is_avis ? avis_runs : sbfi_runs) += cell.report.experiments;
+    auto& found = is_avis ? found_avis : found_sbfi;
+    for (const auto& [bug, sim] : cell.report.bug_first_found) found.insert(bug);
   }
 
   util::TextTable t({"Report #", "Firmware", "Symptom", "Sensor Failure",
@@ -52,5 +47,6 @@ int main() {
   std::cout << "\nAvis simulations: " << avis_runs
             << ", Stratified BFI simulations: " << sbfi_runs << "\n";
   std::cout << "paper: Avis found all 10; Stratified BFI found 4 (16021, 16967, 17046, 17057)\n";
+  bench::print_campaign_footer(std::cout, campaign);
   return 0;
 }

@@ -2,6 +2,7 @@
 // approach in a two-hour-equivalent budget per workload, per firmware.
 // Also prints the headline efficiency ratios (Avis vs Stratified BFI ~2.4x,
 // Avis vs BFI ~82x in the paper).
+#include <algorithm>
 #include <iostream>
 
 #include "common.h"
@@ -20,26 +21,24 @@ int main() {
     int experiments = 0;
     int labels = 0;
   };
-  std::vector<Row> rows;
+  const std::vector<Approach> approaches = {Approach::kAvis, Approach::kStratifiedBfi,
+                                            Approach::kBfi, Approach::kRandom};
+  const auto campaign = bench::run_campaign(
+      bench::evaluation_grid(approaches, fw::BugRegistry::current_code_base()));
 
-  for (Approach approach :
-       {Approach::kAvis, Approach::kStratifiedBfi, Approach::kBfi, Approach::kRandom}) {
-    Row row{approach};
-    for (fw::Personality personality :
-         {fw::Personality::kArduPilotLike, fw::Personality::kPx4Like}) {
-      for (workload::WorkloadId workload : bench::evaluation_workloads()) {
-        const auto cell = bench::run_cell(approach, personality, workload,
-                                          fw::BugRegistry::current_code_base());
-        if (personality == fw::Personality::kArduPilotLike) {
-          row.ap += cell.report.unsafe_count();
-        } else {
-          row.px4 += cell.report.unsafe_count();
-        }
-        row.experiments += cell.report.experiments;
-        row.labels += cell.report.labels;
-      }
+  std::vector<Row> rows;
+  for (Approach approach : approaches) rows.push_back(Row{approach});
+  for (const auto& cell : campaign.cells) {
+    Row& row = *std::find_if(rows.begin(), rows.end(), [&](const Row& r) {
+      return bench::to_string(r.approach) == cell.spec.approach;
+    });
+    if (cell.spec.personality == fw::Personality::kArduPilotLike) {
+      row.ap += cell.report.unsafe_count();
+    } else {
+      row.px4 += cell.report.unsafe_count();
     }
-    rows.push_back(row);
+    row.experiments += cell.report.experiments;
+    row.labels += cell.report.labels;
   }
 
   util::TextTable t({"Approach", "ArduPilot Unsafe #", "PX4 Unsafe #", "Total #",
@@ -64,5 +63,6 @@ int main() {
     std::cout << "Avis vs BFI: BFI found none within budget (paper: 82x)\n";
   }
   std::cout << "paper: Avis 104/61/165, Strat. BFI 61/9/70, BFI 1/1/2, Random 2/3/5\n";
+  bench::print_campaign_footer(std::cout, campaign);
   return 0;
 }

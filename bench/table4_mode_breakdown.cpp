@@ -11,22 +11,23 @@ int main() {
   std::cout << "== Table IV: unsafe scenarios per mode ==\n";
   std::cout << "(2h-equivalent budget per workload; both firmware, both workloads)\n\n";
 
+  const std::vector<Approach> approaches = {Approach::kAvis, Approach::kStratifiedBfi,
+                                            Approach::kBfi, Approach::kRandom};
+  const auto campaign = bench::run_campaign(
+      bench::evaluation_grid(approaches, fw::BugRegistry::current_code_base()));
+
   util::TextTable t({"Approach", "Takeoff #", "Manual #", "Waypoint #", "Land #"});
-  for (Approach approach :
-       {Approach::kAvis, Approach::kStratifiedBfi, Approach::kBfi, Approach::kRandom}) {
+  for (Approach approach : approaches) {
     std::array<int, 4> buckets{};
-    for (fw::Personality personality :
-         {fw::Personality::kArduPilotLike, fw::Personality::kPx4Like}) {
-      for (workload::WorkloadId workload : bench::evaluation_workloads()) {
-        const auto cell = bench::run_cell(approach, personality, workload,
-                                          fw::BugRegistry::current_code_base());
-        const auto cell_buckets = cell.report.unsafe_by_bucket();
-        for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += cell_buckets[i];
-      }
+    for (const auto& cell : campaign.cells) {
+      if (cell.spec.approach != bench::to_string(approach)) continue;
+      const auto cell_buckets = cell.report.unsafe_by_bucket();
+      for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += cell_buckets[i];
     }
     t.add(bench::to_string(approach), buckets[0], buckets[1], buckets[2], buckets[3]);
   }
   t.render(std::cout);
   std::cout << "\npaper: Avis 60/37/44/24, Strat. BFI 4/32/35/1, BFI 1/1/0/0, Random 0/2/3/0\n";
+  bench::print_campaign_footer(std::cout, campaign);
   return 0;
 }

@@ -19,41 +19,58 @@ int main() {
   const fw::BugId known[] = {fw::BugId::kApm4455, fw::BugId::kApm4679, fw::BugId::kApm5428,
                              fw::BugId::kApm9349, fw::BugId::kPx413291};
 
-  util::TextTable t({"Bug ID", "Avis found", "Avis sims", "Strat. BFI found",
-                     "Strat. BFI sims"});
+  // One flat campaign grid in (bug, approach, workload) order: each known
+  // bug re-inserted on top of the current code base, run on the workload
+  // pair for the personality that exercises it.
+  std::vector<core::CampaignCellSpec> grid;
   for (fw::BugId bug : known) {
     const fw::BugInfo& info = fw::bug_info(bug);
     fw::BugRegistry registry = fw::BugRegistry::current_code_base();
     registry.enable(bug);
+    for (Approach approach : {Approach::kAvis, Approach::kStratifiedBfi}) {
+      for (workload::WorkloadId workload : bench::evaluation_workloads()) {
+        grid.push_back(bench::make_cell(approach, info.personality, workload, registry));
+      }
+    }
+  }
+  const auto campaign = bench::run_campaign(grid);
 
+  util::TextTable t({"Bug ID", "Avis found", "Avis sims", "Strat. BFI found",
+                     "Strat. BFI sims"});
+  for (fw::BugId bug : known) {
+    const fw::BugInfo& info = fw::bug_info(bug);
     std::string avis_found = "";
     std::string avis_sims = "N/A";
     std::string sbfi_found = "";
     std::string sbfi_sims = "N/A";
 
-    for (workload::WorkloadId workload : bench::evaluation_workloads()) {
-      const auto avis_cell =
-          bench::run_cell(Approach::kAvis, info.personality, workload, registry);
-      if (auto it = avis_cell.report.bug_first_found.find(bug);
-          it != avis_cell.report.bug_first_found.end()) {
-        if (avis_found.empty() || it->second < std::stoi(avis_sims)) {
-          avis_found = "X";
-          avis_sims = std::to_string(it->second);
+    // A cell belongs to this bug's row iff its registry has the bug
+    // re-inserted (each grid cell enables exactly one known bug; the count
+    // check below guards that invariant).
+    int row_cells = 0;
+    for (const auto& cell : campaign.cells) {
+      if (!cell.spec.bugs.enabled(bug)) continue;
+      ++row_cells;
+      const bool is_avis = cell.spec.approach == bench::to_string(Approach::kAvis);
+      std::string& found = is_avis ? avis_found : sbfi_found;
+      std::string& sims = is_avis ? avis_sims : sbfi_sims;
+      if (auto it = cell.report.bug_first_found.find(bug);
+          it != cell.report.bug_first_found.end()) {
+        if (found.empty() || it->second < std::stoi(sims)) {
+          found = "X";
+          sims = std::to_string(it->second);
         }
       }
-      const auto sbfi_cell =
-          bench::run_cell(Approach::kStratifiedBfi, info.personality, workload, registry);
-      if (auto it = sbfi_cell.report.bug_first_found.find(bug);
-          it != sbfi_cell.report.bug_first_found.end()) {
-        if (sbfi_found.empty() || it->second < std::stoi(sbfi_sims)) {
-          sbfi_found = "X";
-          sbfi_sims = std::to_string(it->second);
-        }
-      }
+    }
+    if (row_cells != 4) {  // 2 approaches x 2 workloads per bug
+      std::cerr << info.report_name << ": expected 4 campaign cells, matched " << row_cells
+                << " — a known bug leaked into another cell's registry\n";
+      return 1;
     }
     t.add(info.report_name, avis_found, avis_sims, sbfi_found, sbfi_sims);
   }
   t.render(std::cout);
+  bench::print_campaign_footer(std::cout, campaign);
   std::cout << "\npaper: Avis found all 5 (10/21/5/4/18 sims); Strat. BFI found APM-4679 (3)\n"
                "and APM-9349 (5); BFI and Random found none.\n";
   return 0;

@@ -12,6 +12,8 @@
 // output is experiments per wall second.
 #include <benchmark/benchmark.h>
 
+#include "common.h"
+#include "core/campaign.h"
 #include "core/checker.h"
 #include "core/sabre.h"
 
@@ -82,6 +84,39 @@ BENCHMARK(BM_CheckerCampaign)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// Whole-campaign sharding: a 4-cell Avis grid (both personalities x both
+// default workloads) run at N concurrent cells with a single experiment
+// worker per cell, so the reported wall time isolates cell-level
+// parallelism. experiments/campaign must not vary with N — each cell's
+// report is bit-identical to its serial run (tests/test_campaign.cc).
+static void BM_CampaignGrid(benchmark::State& state) {
+  const int cell_workers = static_cast<int>(state.range(0));
+  const auto grid = bench::evaluation_grid({bench::Approach::kAvis},
+                                           fw::BugRegistry::current_code_base(),
+                                           /*budget_ms=*/kCampaignBudgetMs);
+  core::CampaignOptions options;
+  options.cell_workers = cell_workers;
+  options.experiment_workers = 1;
+  const core::CampaignRunner runner(options);
+
+  std::int64_t experiments = 0;
+  for (auto _ : state) {
+    const core::CampaignResult result = runner.run(grid);
+    experiments += result.total_experiments();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(experiments);
+  state.counters["experiments/campaign"] = benchmark::Counter(
+      static_cast<double>(experiments) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_CampaignGrid)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->Unit(benchmark::kSecond)
     ->UseRealTime()
     ->MeasureProcessCPUTime();

@@ -1,0 +1,155 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <sstream>
+
+#include "util/checked.h"
+#include "util/thread_pool.h"
+
+namespace avis::core {
+
+namespace {
+
+// One cell, end to end: calibrate, build the strategy, run the campaign
+// loop. Everything the cell touches is constructed here, so cells are safe
+// to run on pool threads.
+CampaignCellResult p_run_cell(const CampaignCellSpec& spec, int experiment_workers) {
+  util::expects(static_cast<bool>(spec.make_strategy), "campaign cell needs a strategy factory");
+  CampaignCellResult result;
+  result.spec = spec;
+  const auto start = std::chrono::steady_clock::now();
+  Checker checker(spec.personality, spec.workload, spec.bugs, spec.seed);
+  const MonitorModel& model = checker.model();
+  result.strategy = spec.make_strategy(model, spec.strategy_seed);
+  BudgetClock budget(spec.budget_ms);
+  result.report = checker.run_parallel(*result.strategy, budget, experiment_workers);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+void p_append_escaped(std::ostream& os, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+util::WorkerBudget CampaignRunner::worker_split(std::size_t cells) const {
+  const int total = std::max(1, options_.total_workers);
+  util::WorkerBudget split = util::split_worker_budget(total, static_cast<int>(cells));
+  if (options_.cell_workers > 0 && options_.experiment_workers > 0) {
+    // Both halves pinned: the caller explicitly owns the thread count.
+    split.campaign_workers = options_.cell_workers;
+    split.experiment_workers = options_.experiment_workers;
+  } else if (options_.cell_workers > 0) {
+    // Re-derive the free half from the pinned one so a single-sided
+    // override still honours the no-oversubscription budget.
+    split.campaign_workers = options_.cell_workers;
+    split.experiment_workers = std::max(1, total / options_.cell_workers);
+  } else if (options_.experiment_workers > 0) {
+    split.experiment_workers = options_.experiment_workers;
+    split.campaign_workers = std::max(
+        1, std::min(static_cast<int>(std::max<std::size_t>(cells, 1)),
+                    total / options_.experiment_workers));
+  }
+  return split;
+}
+
+CampaignResult CampaignRunner::run(const std::vector<CampaignCellSpec>& grid) const {
+  CampaignResult result;
+  result.split = worker_split(grid.size());
+  result.cells.reserve(grid.size());
+  const auto start = std::chrono::steady_clock::now();
+  if (result.split.campaign_workers <= 1 || grid.size() <= 1) {
+    for (const auto& spec : grid) {
+      result.cells.push_back(p_run_cell(spec, result.split.experiment_workers));
+    }
+  } else {
+    util::ThreadPool pool(result.split.campaign_workers);
+    std::vector<std::future<CampaignCellResult>> in_flight;
+    in_flight.reserve(grid.size());
+    for (const auto& spec : grid) {
+      in_flight.push_back(pool.submit([&spec, workers = result.split.experiment_workers] {
+        return p_run_cell(spec, workers);
+      }));
+    }
+    // Collection in submission order keeps the result vector in grid order
+    // no matter which cell finishes first.
+    for (auto& future : in_flight) result.cells.push_back(future.get());
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+std::string campaign_report_json(const CampaignResult& result) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\n";
+  os << "  \"campaign\": {\n";
+  os << "    \"cells\": " << result.cells.size() << ",\n";
+  os << "    \"cell_workers\": " << result.split.campaign_workers << ",\n";
+  os << "    \"experiment_workers\": " << result.split.experiment_workers << ",\n";
+  os << "    \"wall_seconds\": " << result.wall_seconds << ",\n";
+  os << "    \"total_experiments\": " << result.total_experiments() << "\n";
+  os << "  },\n";
+  os << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CampaignCellResult& cell = result.cells[i];
+    const CheckerReport& report = cell.report;
+    os << "    {\n";
+    os << "      \"index\": " << i << ",\n";
+    os << "      \"approach\": \"";
+    p_append_escaped(os, cell.spec.approach);
+    os << "\",\n";
+    os << "      \"strategy\": \"";
+    p_append_escaped(os, report.strategy_name);
+    os << "\",\n";
+    os << "      \"personality\": \"" << fw::to_string(cell.spec.personality) << "\",\n";
+    os << "      \"workload\": \"" << workload::to_string(cell.spec.workload) << "\",\n";
+    os << "      \"budget_ms\": " << cell.spec.budget_ms << ",\n";
+    os << "      \"budget_used_ms\": " << report.budget_used_ms << ",\n";
+    os << "      \"seed\": " << cell.spec.seed << ",\n";
+    os << "      \"experiments\": " << report.experiments << ",\n";
+    os << "      \"labels\": " << report.labels << ",\n";
+    os << "      \"unsafe_count\": " << report.unsafe_count() << ",\n";
+    const auto buckets = report.unsafe_by_bucket();
+    os << "      \"unsafe_by_bucket\": [" << buckets[0] << ", " << buckets[1] << ", "
+       << buckets[2] << ", " << buckets[3] << "],\n";
+    os << "      \"bug_first_found\": {";
+    bool first = true;
+    for (const auto& [bug, index] : report.bug_first_found) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << fw::bug_info(bug).report_name << "\": " << index;
+    }
+    os << "},\n";
+    os << "      \"wall_seconds\": " << cell.wall_seconds << ",\n";
+    os << "      \"experiments_per_sec\": " << cell.experiments_per_sec() << "\n";
+    os << "    }" << (i + 1 < result.cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace avis::core

@@ -1,0 +1,95 @@
+// Campaign-level parallel execution (ROADMAP: "shard whole campaigns").
+//
+// A campaign is a grid of independent cells — (approach, personality,
+// workload) triples, each owning its own Checker (and therefore its own
+// profiling runs and monitor model), its own strategy, and its own
+// BudgetClock. Cells share nothing mutable, so the runner executes them
+// concurrently on a cell-level ThreadPool layered on top of each cell's
+// in-process experiment pool, and collects results in deterministic grid
+// order. Every cell report is bit-identical to a serial run of the same
+// cell regardless of either worker count (tests/test_campaign.cc;
+// docs/PERFORMANCE.md has the full contract).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checker.h"
+#include "util/concurrency.h"
+
+namespace avis::core {
+
+// Builds a cell's strategy once its monitor model is calibrated. The second
+// argument is the cell's strategy seed.
+using StrategyFactory =
+    std::function<std::unique_ptr<InjectionStrategy>(const MonitorModel&, std::uint64_t)>;
+
+struct CampaignCellSpec {
+  std::string approach;  // display label, e.g. "Avis"
+  fw::Personality personality = fw::Personality::kArduPilotLike;
+  workload::WorkloadId workload = workload::WorkloadId::kAuto;
+  fw::BugRegistry bugs = fw::BugRegistry::current_code_base();
+  sim::SimTimeMs budget_ms = 7200 * 1000;  // the paper's per-workload budget
+  std::uint64_t seed = 100;                // checker seed (profiling + experiments)
+  std::uint64_t strategy_seed = 107;
+  StrategyFactory make_strategy;
+};
+
+struct CampaignCellResult {
+  CampaignCellSpec spec;
+  CheckerReport report;
+  // The cell's strategy, kept alive for post-run inspection (the ablation
+  // benches read SABRE's pruning counters through it).
+  std::unique_ptr<InjectionStrategy> strategy;
+  double wall_seconds = 0.0;
+
+  double experiments_per_sec() const {
+    return wall_seconds > 0.0 ? report.experiments / wall_seconds : 0.0;
+  }
+};
+
+struct CampaignResult {
+  util::WorkerBudget split;       // worker split the campaign actually ran with
+  double wall_seconds = 0.0;      // whole-campaign wall time
+  std::vector<CampaignCellResult> cells;  // deterministic grid order
+
+  int total_experiments() const {
+    int total = 0;
+    for (const auto& cell : cells) total += cell.report.experiments;
+    return total;
+  }
+};
+
+struct CampaignOptions {
+  // Hardware budget divided between the two pool levels via
+  // util::split_worker_budget; an explicit cell_workers / experiment_workers
+  // (> 0) overrides the corresponding half of the split.
+  int total_workers = util::default_worker_count();
+  int cell_workers = 0;
+  int experiment_workers = 0;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {}) : options_(options) {}
+
+  // Runs every cell of the grid and returns their results in grid order.
+  // Exceptions thrown inside a cell (propagated through the pool's futures)
+  // surface on the calling thread.
+  CampaignResult run(const std::vector<CampaignCellSpec>& grid) const;
+
+  // The worker split `run` would use for a grid of this size.
+  util::WorkerBudget worker_split(std::size_t cells) const;
+
+ private:
+  CampaignOptions options_;
+};
+
+// Machine-readable campaign report for the bench trajectory: one object per
+// cell in grid order with throughput (experiments/sec), unsafe counts, and
+// bug-first-found simulation indices.
+std::string campaign_report_json(const CampaignResult& result);
+
+}  // namespace avis::core

@@ -11,7 +11,6 @@
 // and arms the event when its anchor re-occurs.
 #pragma once
 
-#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -34,21 +33,22 @@ struct ReplayRecord {
 };
 
 // Build a replay record from an unsafe run's plan and observed transitions.
+// Plan events are time-sorted (FaultPlan::normalize), so a single forward
+// walk over the transitions anchors every event: the cursor tracks the
+// active mode and per-mode occurrence counts as it advances.
 inline ReplayRecord make_replay_record(const ExperimentSpec& spec,
                                        const std::vector<ModeTransition>& transitions) {
   ReplayRecord record;
   record.spec = spec;
-  std::map<std::uint16_t, int> occurrence_so_far;
-  // Walk transitions in order, tracking the active mode; attribute each
-  // fault to the mode interval containing it.
+  std::map<std::uint16_t, int> occurrences;
+  const ModeTransition* anchor = nullptr;
+  int anchor_occurrence = 0;
+  std::size_t cursor = 0;
   for (const auto& event : spec.plan.events) {
-    const ModeTransition* anchor = nullptr;
-    int anchor_occurrence = 0;
-    std::map<std::uint16_t, int> counts;
-    for (const auto& t : transitions) {
-      if (t.time_ms > event.time_ms) break;
-      anchor = &t;
-      anchor_occurrence = counts[t.mode_id]++;
+    while (cursor < transitions.size() && transitions[cursor].time_ms <= event.time_ms) {
+      anchor = &transitions[cursor];
+      anchor_occurrence = occurrences[anchor->mode_id]++;
+      ++cursor;
     }
     AnchoredFault fault;
     fault.sensor = event.sensor;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <unordered_set>
 
 #include "util/log.h"
 
@@ -35,21 +36,46 @@ SabreScheduler::SabreScheduler(sensors::SuiteConfig suite,
   }
 }
 
+std::vector<std::string> signature_tokens(const std::string& sig) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start < sig.size()) {
+    std::size_t end = sig.find(';', start);
+    if (end == std::string::npos) end = sig.size();
+    if (end > start) tokens.push_back(sig.substr(start, end - start));
+    start = end + 1;
+  }
+  return tokens;
+}
+
+bool role_signature_subset(const std::string& subset_sig,
+                           const std::unordered_set<std::string>& superset_tokens) {
+  // Token-exact comparison: a raw substring search would false-positive when
+  // one token is a suffix of another (e.g. "1:P2" inside "11:P2").
+  for (const auto& token : signature_tokens(subset_sig)) {
+    if (!superset_tokens.contains(token)) return false;
+  }
+  return true;
+}
+
+bool role_signature_subset(const std::string& subset_sig, const std::string& superset_sig) {
+  const std::vector<std::string> super_tokens = signature_tokens(superset_sig);
+  return role_signature_subset(
+      subset_sig, std::unordered_set<std::string>(super_tokens.begin(), super_tokens.end()));
+}
+
 bool SabreScheduler::p_superset_of_seen_bug(sim::SimTimeMs timestamp,
                                             const std::string& sig) const {
+  // The candidate's token set is loop-invariant; build it once and test
+  // every same-timestamp bug signature against it.
+  std::optional<std::unordered_set<std::string>> sig_tokens;
   for (const auto& [bug_time, bug_sig] : seen_bugs_) {
     if (bug_time != timestamp) continue;
-    bool subset = true;
-    std::istringstream tokens(bug_sig);
-    std::string token;
-    while (std::getline(tokens, token, ';')) {
-      if (token.empty()) continue;
-      if (sig.find(token + ";") == std::string::npos) {
-        subset = false;
-        break;
-      }
+    if (!sig_tokens) {
+      const std::vector<std::string> tokens = signature_tokens(sig);
+      sig_tokens.emplace(tokens.begin(), tokens.end());
     }
-    if (subset) return true;
+    if (role_signature_subset(bug_sig, *sig_tokens)) return true;
   }
   return false;
 }
@@ -82,11 +108,10 @@ void SabreScheduler::p_emit(sim::SimTimeMs timestamp, const FaultPlan& base,
                             const std::vector<sensors::SensorId>& set) {
   FaultPlan plan = base;
   for (const auto& id : set) plan.add(timestamp, id);
-  const std::string sig =
-      config_.symmetry_pruning ? plan.role_signature() : plan.signature();
-  explored_.insert(sig);
+  std::string exact_sig = plan.signature();
+  explored_.insert(config_.symmetry_pruning ? plan.role_signature() : exact_sig);
   batch_.push_back(plan);
-  pending_.push_back(Pending{plan, timestamp, role_signature_of_set(set)});
+  pending_.emplace(std::move(exact_sig), Pending{timestamp, role_signature_of_set(set)});
 }
 
 void SabreScheduler::p_expand_primary(const QueueEntry& entry) {
@@ -176,15 +201,9 @@ std::optional<FaultPlan> SabreScheduler::p_pop_batch() {
   while (!batch_.empty()) {
     FaultPlan plan = batch_.front();
     batch_.pop_front();
-    auto pending_it = pending_.end();
-    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-      if (it->plan.signature() == plan.signature()) {
-        pending_it = it;
-        break;
-      }
-    }
+    const auto pending_it = pending_.find(plan.signature());
     if (config_.found_bug_pruning && pending_it != pending_.end() &&
-        p_superset_of_seen_bug(pending_it->timestamp, pending_it->role_sig)) {
+        p_superset_of_seen_bug(pending_it->second.timestamp, pending_it->second.role_sig)) {
       ++pruned_found_bug_;
       pending_.erase(pending_it);
       continue;
@@ -197,16 +216,32 @@ std::optional<FaultPlan> SabreScheduler::p_pop_batch() {
 std::optional<FaultPlan> SabreScheduler::next(BudgetClock& budget) {
   if (budget.exhausted()) return std::nullopt;
   for (;;) {
-    while (batch_.empty() && (!queue_.empty() || !pair_queue_.empty())) {
+    while (batch_.empty() &&
+           (!queue_.empty() || !augmented_queue_.empty() || !pair_queue_.empty())) {
+      const bool primaries_empty = queue_.empty() && augmented_queue_.empty();
       const bool pairs_due = !pair_queue_.empty() &&
-                             (queue_.empty() || batches_since_pairs_ >= config_.pair_interleave);
+                             (primaries_empty || batches_since_pairs_ >= config_.pair_interleave);
       if (pairs_due) {
         batches_since_pairs_ = 0;
         PairEntry entry = pair_queue_.front();
         pair_queue_.pop_front();
         p_expand_pairs(std::move(entry));
+        continue;
+      }
+      ++batches_since_pairs_;
+      // The augmented lane outranks the primary queue, rate-limited so the
+      // breadth pass over the seeded transitions still completes within the
+      // paper's budget (see feedback()).
+      const bool augmented_due =
+          !augmented_queue_.empty() &&
+          (queue_.empty() || primary_since_augmented_ >= config_.augmented_interleave);
+      if (augmented_due) {
+        primary_since_augmented_ = 0;
+        const QueueEntry entry = augmented_queue_.front();
+        augmented_queue_.pop_front();
+        p_expand_primary(entry);
       } else {
-        ++batches_since_pairs_;
+        ++primary_since_augmented_;
         const QueueEntry entry = queue_.front();
         queue_.pop_front();
         p_expand_primary(entry);
@@ -256,17 +291,10 @@ std::vector<FaultPlan> SabreScheduler::next_batch(BudgetClock& budget, int max_p
 }
 
 void SabreScheduler::feedback(const FaultPlan& plan, const ExperimentResult& result) {
-  Pending pending;
-  bool found = false;
-  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-    if (it->plan.signature() == plan.signature()) {
-      pending = *it;
-      pending_.erase(it);
-      found = true;
-      break;
-    }
-  }
-  if (!found) return;
+  const auto it = pending_.find(plan.signature());
+  if (it == pending_.end()) return;
+  const Pending pending = it->second;
+  pending_.erase(it);
 
   if (result.unsafe()) {
     // Line 17: remember the triggering (timestamp, set) for pruning.
@@ -282,16 +310,22 @@ void SabreScheduler::feedback(const FaultPlan& plan, const ExperimentResult& res
   // reached within the budget; the cap keeps the frontier from exploding.
   if (plan.size() >= 2) return;  // depth limit for the augmented frontier
   if (static_cast<int>(plan.size()) + 1 > config_.max_plan_events) return;
-  // Augmented entries join the primary queue in FIFO order, exactly as
-  // Algorithm 1 enqueues a bug-free run's transitions: the first handled
-  // failure's follow-up contexts are explored within tens of simulations,
-  // which is how the paper's Avis reaches PX4-13291's GPS-then-battery
-  // chain quickly. They run their singleton stratum but do not crawl.
+  // Queue-front priority: these enter the augmented lane, which next()
+  // services ahead of the primary queue (at most `augmented_interleave`
+  // primary waves between augmented waves), so multi-fault chains (e.g.
+  // PX4-13291's GPS-then-battery) are proposed within tens of simulations
+  // instead of after the whole initial frontier drains. Pushing them raw
+  // onto the queue front would instead let the first transition's
+  // follow-ups starve every later transition window within the paper's
+  // budget — the interleave keeps the breadth pass alive. FIFO within the
+  // lane: the ≤2 entries keep their transition order, and earlier runs'
+  // follow-ups stay ahead of later ones. They run their singleton stratum
+  // but do not crawl; the cap keeps the frontier from exploding.
   int enqueued = 0;
   for (const auto& t : result.transitions) {
     if (t.time_ms <= pending.timestamp) continue;
     if (enqueued >= 2) break;
-    queue_.push_back(QueueEntry{t.time_ms, plan, +1, config_.max_offsets});
+    augmented_queue_.push_back(QueueEntry{t.time_ms, plan, +1, config_.max_offsets});
     ++enqueued;
   }
 }

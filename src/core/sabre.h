@@ -34,6 +34,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -52,6 +53,10 @@ struct SabreConfig {
   int pair_interleave = 3;              // primary batches per multi-failure batch
   int pair_chunk = 10;                  // scenarios per multi-failure batch (covers a
                                         // full singleton stratum on an augmented base)
+  int augmented_interleave = 2;         // primary waves between augmented-frontier waves:
+                                        // chains surface within tens of simulations while
+                                        // the seeded-transition breadth pass still
+                                        // completes within the 2 h budget
   bool full_powerset_batches = false;   // Fig. 5 mode: whole power set per dequeue
   int max_plan_events = 3;              // total concurrent failures per plan
 };
@@ -101,16 +106,24 @@ class SabreScheduler final : public InjectionStrategy {
   sensors::SuiteConfig suite_;
   SabreConfig config_;
   std::deque<QueueEntry> queue_;       // singleton stratum (transitions + crawls)
+  // High-priority lane for a bug-free run's post-injection transitions
+  // (Algorithm 1 lines 11-14): serviced ahead of `queue_` at the
+  // `augmented_interleave` rate so multi-fault chains are reached early
+  // without starving the seeded breadth pass.
+  std::deque<QueueEntry> augmented_queue_;
   std::deque<PairEntry> pair_queue_;   // same-timestamp multi-failure stratum
   std::deque<FaultPlan> batch_;
   int batches_since_pairs_ = 0;
+  int primary_since_augmented_ = 0;
 
   struct Pending {
-    FaultPlan plan;
-    sim::SimTimeMs timestamp;
+    sim::SimTimeMs timestamp = 0;
     std::string role_sig;  // role signature of the set added at `timestamp`
   };
-  std::deque<Pending> pending_;
+  // In-flight plans, keyed by exact plan signature: feedback() and
+  // proposal-time pruning look plans up by identity, and `explored_` blocks
+  // re-emission, so signatures are unique while a plan is in flight.
+  std::unordered_map<std::string, Pending> pending_;
 
   bool p_superset_of_seen_bug(sim::SimTimeMs timestamp, const std::string& sig) const;
 
@@ -124,5 +137,17 @@ class SabreScheduler final : public InjectionStrategy {
 
 // Role signature of a concrete failure set (no timestamps).
 std::string role_signature_of_set(const std::vector<sensors::SensorId>& set);
+
+// Non-empty ';'-separated tokens of a (role or plan) signature.
+std::vector<std::string> signature_tokens(const std::string& sig);
+
+// True when every token of `subset_sig` appears in `superset_sig`,
+// compared token-exactly (a substring match would conflate tokens that are
+// suffixes of one another). Found-bug pruning uses this to test whether a
+// candidate set contains a set that already triggered a bug; the token-set
+// overload lets a caller testing many subsets tokenize the superset once.
+bool role_signature_subset(const std::string& subset_sig, const std::string& superset_sig);
+bool role_signature_subset(const std::string& subset_sig,
+                           const std::unordered_set<std::string>& superset_tokens);
 
 }  // namespace avis::core

@@ -1,0 +1,181 @@
+// Campaign-level parallel execution: a concurrent CampaignRunner run must
+// produce cell reports bit-identical to a serial run_cell-style loop over
+// the same grid, collected in deterministic grid order, regardless of the
+// worker split (docs/PERFORMANCE.md, "Campaign-level parallelism").
+#include <gtest/gtest.h>
+
+#include "baselines/random_injection.h"
+#include "core/campaign.h"
+#include "core/sabre.h"
+#include "test_helpers.h"
+#include "util/checked.h"
+#include "util/concurrency.h"
+
+namespace {
+
+using namespace avis;
+
+// Enough simulated budget for several SABRE waves per cell while keeping
+// the whole grid quick.
+constexpr sim::SimTimeMs kBudgetMs = 300 * 1000;
+
+core::StrategyFactory sabre_factory() {
+  return [](const core::MonitorModel& model, std::uint64_t) {
+    return std::make_unique<core::SabreScheduler>(core::SimulationHarness::iris_suite(),
+                                                  model.golden_transitions());
+  };
+}
+
+core::StrategyFactory random_factory() {
+  return [](const core::MonitorModel& model, std::uint64_t seed) {
+    return std::make_unique<baselines::RandomInjection>(
+        core::SimulationHarness::iris_suite(), model.profiling_duration_ms(), seed);
+  };
+}
+
+std::vector<core::CampaignCellSpec> test_grid() {
+  std::vector<core::CampaignCellSpec> grid;
+  for (workload::WorkloadId workload :
+       {workload::WorkloadId::kAuto, workload::WorkloadId::kBoxManual}) {
+    for (const bool avis_cell : {true, false}) {
+      core::CampaignCellSpec spec;
+      spec.approach = avis_cell ? "Avis" : "Random";
+      spec.personality = fw::Personality::kArduPilotLike;
+      spec.workload = workload;
+      spec.bugs = fw::BugRegistry::current_code_base();
+      spec.budget_ms = kBudgetMs;
+      spec.seed = 100;
+      spec.strategy_seed = 107;
+      spec.make_strategy = avis_cell ? sabre_factory() : random_factory();
+      grid.push_back(std::move(spec));
+    }
+  }
+  return grid;
+}
+
+// The serial reference: the run_cell loop every table bench used before the
+// campaign runner — one Checker, strategy, and budget per cell, run through
+// the serial checker path, in grid order.
+std::vector<core::CheckerReport> serial_reference(
+    const std::vector<core::CampaignCellSpec>& grid) {
+  std::vector<core::CheckerReport> reports;
+  for (const auto& spec : grid) {
+    core::Checker checker(spec.personality, spec.workload, spec.bugs, spec.seed);
+    auto strategy = spec.make_strategy(checker.model(), spec.strategy_seed);
+    core::BudgetClock budget(spec.budget_ms);
+    reports.push_back(checker.run(*strategy, budget));
+  }
+  return reports;
+}
+
+TEST(WorkerBudget, SplitNeverOversubscribes) {
+  for (int total = 1; total <= 16; ++total) {
+    for (int cells = 1; cells <= 24; ++cells) {
+      const util::WorkerBudget split = util::split_worker_budget(total, cells);
+      EXPECT_GE(split.campaign_workers, 1);
+      EXPECT_GE(split.experiment_workers, 1);
+      EXPECT_LE(split.campaign_workers, cells);
+      EXPECT_LE(split.campaign_workers * split.experiment_workers, std::max(total, 1))
+          << "total=" << total << " cells=" << cells;
+    }
+  }
+}
+
+TEST(WorkerBudget, FavoursCellsThenExperiments) {
+  // 8 workers, 4 cells: all four cells run concurrently with 2 experiment
+  // workers each.
+  const util::WorkerBudget split = util::split_worker_budget(8, 4);
+  EXPECT_EQ(split.campaign_workers, 4);
+  EXPECT_EQ(split.experiment_workers, 2);
+  // More cells than workers: one worker per cell, serial experiments.
+  const util::WorkerBudget wide = util::split_worker_budget(4, 16);
+  EXPECT_EQ(wide.campaign_workers, 4);
+  EXPECT_EQ(wide.experiment_workers, 1);
+  // Degenerate inputs clamp instead of dividing by zero.
+  const util::WorkerBudget degenerate = util::split_worker_budget(0, 0);
+  EXPECT_EQ(degenerate.campaign_workers, 1);
+  EXPECT_EQ(degenerate.experiment_workers, 1);
+}
+
+TEST(WorkerBudget, SingleSidedOverrideRederivesTheOtherHalf) {
+  // Pinning one half of the split must not oversubscribe the budget: the
+  // free half is re-derived from what the pinned one leaves over.
+  core::CampaignOptions options;
+  options.total_workers = 8;
+  options.experiment_workers = 4;
+  EXPECT_EQ(core::CampaignRunner(options).worker_split(16).campaign_workers, 2);
+
+  core::CampaignOptions by_cells;
+  by_cells.total_workers = 8;
+  by_cells.cell_workers = 2;
+  EXPECT_EQ(core::CampaignRunner(by_cells).worker_split(16).experiment_workers, 4);
+
+  // Both pinned: the caller owns the thread count verbatim.
+  core::CampaignOptions pinned;
+  pinned.total_workers = 2;
+  pinned.cell_workers = 3;
+  pinned.experiment_workers = 2;
+  const util::WorkerBudget split = core::CampaignRunner(pinned).worker_split(16);
+  EXPECT_EQ(split.campaign_workers, 3);
+  EXPECT_EQ(split.experiment_workers, 2);
+}
+
+TEST(Campaign, ConcurrentCellsMatchSerialRunCellLoop) {
+  const auto grid = test_grid();
+  const std::vector<core::CheckerReport> serial = serial_reference(grid);
+  ASSERT_GE(serial[0].experiments, 3) << "budget too small to exercise the campaign";
+
+  core::CampaignOptions options;
+  options.cell_workers = 3;       // cells genuinely run concurrently
+  options.experiment_workers = 2; // and each cell batches experiments too
+  const core::CampaignResult result = core::CampaignRunner(options).run(grid);
+
+  ASSERT_EQ(result.cells.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    // Deterministic grid order: cell i of the result is cell i of the grid,
+    // no matter which finished first.
+    EXPECT_EQ(result.cells[i].spec.approach, grid[i].approach);
+    EXPECT_EQ(result.cells[i].spec.workload, grid[i].workload);
+    avis::testing::expect_reports_equal(serial[i], result.cells[i].report);
+  }
+  EXPECT_EQ(result.split.campaign_workers, 3);
+  EXPECT_EQ(result.split.experiment_workers, 2);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  for (const auto& cell : result.cells) {
+    EXPECT_GT(cell.wall_seconds, 0.0);
+    EXPECT_GT(cell.experiments_per_sec(), 0.0);
+    EXPECT_NE(cell.strategy, nullptr);
+  }
+}
+
+TEST(Campaign, JsonReportCarriesPerCellMetrics) {
+  auto grid = test_grid();
+  grid.resize(2);
+  core::CampaignOptions options;
+  options.cell_workers = 2;
+  options.experiment_workers = 1;
+  const core::CampaignResult result = core::CampaignRunner(options).run(grid);
+  const std::string json = core::campaign_report_json(result);
+
+  EXPECT_NE(json.find("\"cells\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"cell_workers\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"approach\": \"Avis\""), std::string::npos);
+  EXPECT_NE(json.find("\"approach\": \"Random\""), std::string::npos);
+  EXPECT_NE(json.find("\"experiments\": "), std::string::npos);
+  EXPECT_NE(json.find("\"experiments_per_sec\": "), std::string::npos);
+  EXPECT_NE(json.find("\"unsafe_count\": "), std::string::npos);
+  EXPECT_NE(json.find("\"bug_first_found\": "), std::string::npos);
+  EXPECT_NE(json.find("\"unsafe_by_bucket\": ["), std::string::npos);
+  // Grid order is preserved in the report.
+  EXPECT_LT(json.find("\"index\": 0"), json.find("\"index\": 1"));
+}
+
+TEST(Campaign, MissingStrategyFactoryFailsLoudly) {
+  core::CampaignCellSpec broken;
+  broken.approach = "broken";
+  broken.budget_ms = 1000;
+  EXPECT_THROW(core::CampaignRunner().run({broken}), util::InvariantError);
+}
+
+}  // namespace

@@ -42,6 +42,40 @@ inline core::Checker& cached_checker(fw::Personality personality,
   return *it->second;
 }
 
+// Field-by-field equality of two checker reports; used by the parallel-
+// checker and campaign parity tests, whose contract is that reports are
+// bit-identical regardless of worker count.
+inline void expect_reports_equal(const core::CheckerReport& serial,
+                                 const core::CheckerReport& parallel) {
+  EXPECT_EQ(serial.strategy_name, parallel.strategy_name);
+  EXPECT_EQ(serial.experiments, parallel.experiments);
+  EXPECT_EQ(serial.labels, parallel.labels);
+  EXPECT_EQ(serial.budget_used_ms, parallel.budget_used_ms);
+  EXPECT_EQ(serial.bug_first_found, parallel.bug_first_found);
+  ASSERT_EQ(serial.unsafe.size(), parallel.unsafe.size());
+  for (std::size_t i = 0; i < serial.unsafe.size(); ++i) {
+    const core::UnsafeRecord& a = serial.unsafe[i];
+    const core::UnsafeRecord& b = parallel.unsafe[i];
+    EXPECT_EQ(a.plan.signature(), b.plan.signature()) << "record " << i;
+    EXPECT_EQ(a.violation.type, b.violation.type) << "record " << i;
+    EXPECT_EQ(a.violation.time_ms, b.violation.time_ms) << "record " << i;
+    EXPECT_EQ(a.violation.mode_id, b.violation.mode_id) << "record " << i;
+    EXPECT_EQ(a.fired_bugs, b.fired_bugs) << "record " << i;
+    EXPECT_EQ(a.seed, b.seed) << "record " << i;
+    EXPECT_EQ(a.experiment_index, b.experiment_index) << "record " << i;
+    ASSERT_EQ(a.transitions.size(), b.transitions.size()) << "record " << i;
+    for (std::size_t j = 0; j < a.transitions.size(); ++j) {
+      EXPECT_EQ(a.transitions[j].time_ms, b.transitions[j].time_ms)
+          << "record " << i << " transition " << j;
+      EXPECT_EQ(a.transitions[j].mode_id, b.transitions[j].mode_id)
+          << "record " << i << " transition " << j;
+      EXPECT_EQ(a.transitions[j].mode_name, b.transitions[j].mode_name)
+          << "record " << i << " transition " << j;
+    }
+  }
+  EXPECT_EQ(serial.unsafe_by_bucket(), parallel.unsafe_by_bucket());
+}
+
 // Time of the first transition whose mode name matches, from the golden run.
 inline sim::SimTimeMs transition_time(const core::MonitorModel& model,
                                       const std::string& mode_name) {

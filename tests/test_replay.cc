@@ -1,0 +1,87 @@
+// Replay anchoring (paper §IV-D): faults are re-expressed relative to the
+// k-th occurrence of the composite mode they were injected under, so a
+// replay arms them when the anchor mode re-occurs — including when the same
+// mode is entered more than once (e.g. preflight -> ... -> preflight).
+#include <gtest/gtest.h>
+
+#include "core/replay.h"
+
+namespace avis::core {
+namespace {
+
+const sensors::SensorId kGps{sensors::SensorType::kGps, 0};
+const sensors::SensorId kBaro{sensors::SensorType::kBarometer, 0};
+
+std::vector<ModeTransition> repeated_mode_transitions() {
+  // Mode 0x0400 occurs twice (entries at 1000 and 3000) with another mode
+  // in between — the repeated-mode shape a boxed patrol mission produces.
+  return {{1000, 0x0400, "hold"}, {2000, 0x0501, "auto"}, {3000, 0x0400, "hold"}};
+}
+
+TEST(ReplayRecord, AnchorsToSecondOccurrenceOfRepeatedMode) {
+  ExperimentSpec spec;
+  spec.plan.add(3500, kGps);  // inside the *second* hold interval
+  const ReplayRecord record = make_replay_record(spec, repeated_mode_transitions());
+  ASSERT_EQ(record.anchored.size(), 1u);
+  EXPECT_EQ(record.anchored[0].anchor_mode_id, 0x0400);
+  EXPECT_EQ(record.anchored[0].anchor_occurrence, 1);
+  EXPECT_EQ(record.anchored[0].delta_ms, 500);
+}
+
+TEST(ReplayRecord, SingleForwardPassAnchorsEveryEvent) {
+  // Events in both occurrences of the repeated mode plus the middle mode:
+  // the single forward pass must attribute each to its own interval.
+  ExperimentSpec spec;
+  spec.plan.add(1500, kGps);
+  spec.plan.add(2500, kBaro);
+  spec.plan.add(3500, kBaro);
+  const ReplayRecord record = make_replay_record(spec, repeated_mode_transitions());
+  ASSERT_EQ(record.anchored.size(), 3u);
+
+  EXPECT_EQ(record.anchored[0].anchor_mode_id, 0x0400);
+  EXPECT_EQ(record.anchored[0].anchor_occurrence, 0);
+  EXPECT_EQ(record.anchored[0].delta_ms, 500);
+
+  EXPECT_EQ(record.anchored[1].anchor_mode_id, 0x0501);
+  EXPECT_EQ(record.anchored[1].anchor_occurrence, 0);
+  EXPECT_EQ(record.anchored[1].delta_ms, 500);
+
+  EXPECT_EQ(record.anchored[2].anchor_mode_id, 0x0400);
+  EXPECT_EQ(record.anchored[2].anchor_occurrence, 1);
+  EXPECT_EQ(record.anchored[2].delta_ms, 500);
+}
+
+TEST(ReplayRecord, EventBeforeFirstTransitionKeepsAbsoluteTime) {
+  ExperimentSpec spec;
+  spec.plan.add(400, kGps);
+  const ReplayRecord record = make_replay_record(spec, repeated_mode_transitions());
+  ASSERT_EQ(record.anchored.size(), 1u);
+  EXPECT_EQ(record.anchored[0].anchor_mode_id, 0);
+  EXPECT_EQ(record.anchored[0].anchor_occurrence, 0);
+  EXPECT_EQ(record.anchored[0].delta_ms, 400);
+}
+
+TEST(ReplayDirector, ArmsOnSecondOccurrenceOnly) {
+  AnchoredFault fault;
+  fault.anchor_mode_id = 0x0400;
+  fault.anchor_occurrence = 1;
+  fault.delta_ms = 500;
+  fault.sensor = kGps;
+  ReplayDirector director({fault});
+
+  // First occurrence: must not arm.
+  director.on_mode_update(0x0400, "hold", 1000);
+  EXPECT_FALSE(director.should_fail(kGps, 1600));
+  director.on_mode_update(0x0501, "auto", 2000);
+  EXPECT_FALSE(director.should_fail(kGps, 2600));
+  // Second occurrence at a shifted time (replay non-determinism): the fault
+  // fires delta_ms after the re-occurrence.
+  director.on_mode_update(0x0400, "hold", 3100);
+  EXPECT_FALSE(director.should_fail(kGps, 3500));
+  EXPECT_TRUE(director.should_fail(kGps, 3600));
+  // Other sensors stay untouched.
+  EXPECT_FALSE(director.should_fail(kBaro, 4000));
+}
+
+}  // namespace
+}  // namespace avis::core

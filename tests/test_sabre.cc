@@ -178,6 +178,68 @@ TEST_F(SabreTest, OkRunsSpawnAugmentedPlans) {
   EXPECT_TRUE(found_augmented);
 }
 
+TEST_F(SabreTest, AugmentedFrontierOutranksInitialFrontier) {
+  // Regression for the buried augmented frontier: entries contributed by a
+  // bug-free run's post-injection transitions must be serviced with queue-
+  // front priority (rate-limited by augmented_interleave), not appended
+  // behind the seeded transitions and their crawl refinements. The paper's
+  // multi-fault chains (PX4-13291's GPS-then-battery) hinge on this.
+  SabreScheduler sabre(suite_, toy_transitions());
+  auto first = sabre.next(budget_);
+  ASSERT_TRUE(first.has_value());
+  // The first run is clean and observed transitions at 20000 and 25000,
+  // both after the injection.
+  ExperimentResult clean;
+  clean.workload_passed = true;
+  clean.transitions = {{0, 0, "preflight"}, {20000, 0x0900, "land"}, {25000, 0, "preflight"}};
+  sabre.feedback(*first, clean);
+
+  int chain_index = -1;        // first two-fault chain through t=20000
+  int second_chain_index = -1; // companion entry at t=25000 (order preserved)
+  int last_transition_index = -1;  // first singleton at the last seed (34000)
+  for (int i = 1; i < 100; ++i) {
+    auto plan = sabre.next(budget_);
+    ASSERT_TRUE(plan.has_value());
+    if (plan->size() == 2 && plan->events[0] == first->events[0]) {
+      if (chain_index < 0 && plan->events[1].time_ms == 20000) chain_index = i;
+      if (second_chain_index < 0 && plan->events[1].time_ms == 25000) second_chain_index = i;
+    }
+    if (last_transition_index < 0 && plan->size() == 1 && plan->events[0].time_ms == 34000) {
+      last_transition_index = i;
+    }
+    sabre.feedback(*plan, ExperimentResult{});
+  }
+  // The chain surfaces within the first expansion waves — tens of
+  // simulations — rather than after the initial frontier (seeds + crawls)
+  // drains. Before the fix it appeared only behind the crawl refinements.
+  ASSERT_GT(chain_index, 0);
+  EXPECT_LE(chain_index, 30);
+  ASSERT_GT(second_chain_index, 0);
+  // The <=2 enqueued transitions keep their relative order.
+  EXPECT_LT(chain_index, second_chain_index);
+  // ...and the chain outranks the last seeded transition's own wave.
+  ASSERT_GT(last_transition_index, 0);
+  EXPECT_LT(chain_index, last_transition_index);
+}
+
+TEST(SabreSignatures, SubsetComparisonIsTokenExact) {
+  // "1:P2" is a raw substring of "11:P2" — the old substring scan counted
+  // that as a subset and pruned scenarios that share no failure set.
+  EXPECT_FALSE(role_signature_subset("1:P2;", "11:P2;"));
+  EXPECT_FALSE(role_signature_subset("1:P1;", "21:P1;"));
+  // Real subsets and equal sets still match.
+  EXPECT_TRUE(role_signature_subset("1:P2;", "0:-1;1:P2;"));
+  EXPECT_TRUE(role_signature_subset("1:P2;", "1:P2;"));
+  EXPECT_TRUE(role_signature_subset("", "1:P2;"));
+  // Supersets are not subsets.
+  EXPECT_FALSE(role_signature_subset("0:-1;1:P2;", "1:P2;"));
+  // Tokenization drops empty segments and is delimiter-aware.
+  const auto tokens = signature_tokens("0:-1;1:P2;");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "0:-1");
+  EXPECT_EQ(tokens[1], "1:P2");
+}
+
 TEST_F(SabreTest, NeverProposesDuplicateScenario) {
   SabreScheduler sabre(suite_, toy_transitions());
   std::set<std::string> seen;

@@ -1,0 +1,241 @@
+// Campaign CLI: run an (approach x personality x workload) grid through
+// core::CampaignRunner and emit the machine-readable JSON report the bench
+// trajectory tracks (per-cell experiments/sec, unsafe counts, bug-first-
+// found simulation indices).
+//
+// Examples:
+//   avis_campaign                                   # full 4x2x2 grid, 2 h budget
+//   avis_campaign --approaches avis,random --personalities ardupilot \
+//                 --workloads box-manual,fence-mission \
+//                 --budget-ms 60000 --out report.json   # CI smoke grid
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../bench/common.h"
+#include "core/campaign.h"
+
+using namespace avis;
+
+namespace {
+
+struct Options {
+  sim::SimTimeMs budget_ms = 7200 * 1000;
+  std::uint64_t seed = 100;
+  int total_workers = util::default_worker_count();
+  int cell_workers = 0;        // 0 = derive from total via split_worker_budget
+  int experiment_workers = 0;  // 0 = derive
+  std::vector<bench::Approach> approaches = {bench::Approach::kAvis,
+                                             bench::Approach::kStratifiedBfi,
+                                             bench::Approach::kBfi, bench::Approach::kRandom};
+  std::vector<fw::Personality> personalities = bench::evaluation_personalities();
+  std::vector<workload::WorkloadId> workloads = bench::evaluation_workloads();
+  std::string out;  // JSON path; "-" = stdout; empty = no JSON
+  bool quiet = false;
+};
+
+std::vector<std::string> split_csv(const std::string& arg) {
+  std::vector<std::string> parts;
+  std::istringstream is(arg);
+  std::string part;
+  while (std::getline(is, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+// Whole-string numeric parse: trailing garbage ("60s") is an error, not a
+// silent zero that would make every cell's budget start exhausted.
+bool parse_number(const char* text, long long& out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  out = std::strtoll(text, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_approach(const std::string& name, bench::Approach& out) {
+  if (name == "avis") out = bench::Approach::kAvis;
+  else if (name == "sbfi" || name == "stratified-bfi") out = bench::Approach::kStratifiedBfi;
+  else if (name == "bfi") out = bench::Approach::kBfi;
+  else if (name == "random") out = bench::Approach::kRandom;
+  else return false;
+  return true;
+}
+
+bool parse_personality(const std::string& name, fw::Personality& out) {
+  if (name == "ardupilot") out = fw::Personality::kArduPilotLike;
+  else if (name == "px4") out = fw::Personality::kPx4Like;
+  else return false;
+  return true;
+}
+
+bool parse_workload(const std::string& name, workload::WorkloadId& out) {
+  if (name == "auto") out = workload::WorkloadId::kAuto;
+  else if (name == "box-manual") out = workload::WorkloadId::kBoxManual;
+  else if (name == "fence-mission") out = workload::WorkloadId::kFenceMission;
+  else return false;
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --budget-ms N            per-cell simulated budget (default 7200000 = 2 h)\n"
+      << "  --seed N                 checker seed per cell (default 100)\n"
+      << "  --workers N              total hardware budget for the worker split\n"
+      << "  --cell-workers N         override: cells run concurrently\n"
+      << "  --experiment-workers N   override: experiment pool size per cell\n"
+      << "  --approaches LIST        csv of avis,sbfi,bfi,random (default all)\n"
+      << "  --personalities LIST     csv of ardupilot,px4 (default both)\n"
+      << "  --workloads LIST         csv of auto,box-manual,fence-mission\n"
+      << "                           (default box-manual,fence-mission)\n"
+      << "  --out FILE               write the JSON report to FILE ('-' = stdout)\n"
+      << "  --quiet                  suppress the text table\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto number = [&](long long& out) {
+      const char* v = value();
+      if (!parse_number(v, out)) {
+        std::cerr << "bad numeric value for " << arg << ": " << (v ? v : "(missing)") << "\n";
+        return false;
+      }
+      return true;
+    };
+    long long n = 0;
+    if (arg == "--budget-ms") {
+      if (!number(n)) return usage(argv[0]);
+      if (n <= 0) {
+        std::cerr << "--budget-ms must be positive (got " << n << ")\n";
+        return usage(argv[0]);
+      }
+      options.budget_ms = n;
+    } else if (arg == "--seed") {
+      if (!number(n)) return usage(argv[0]);
+      options.seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--workers") {
+      if (!number(n)) return usage(argv[0]);
+      options.total_workers = static_cast<int>(n);
+    } else if (arg == "--cell-workers") {
+      if (!number(n)) return usage(argv[0]);
+      options.cell_workers = static_cast<int>(n);
+    } else if (arg == "--experiment-workers") {
+      if (!number(n)) return usage(argv[0]);
+      options.experiment_workers = static_cast<int>(n);
+    } else if (arg == "--approaches") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.approaches.clear();
+      for (const auto& name : split_csv(v)) {
+        bench::Approach approach;
+        if (!parse_approach(name, approach)) {
+          std::cerr << "unknown approach: " << name << "\n";
+          return usage(argv[0]);
+        }
+        options.approaches.push_back(approach);
+      }
+    } else if (arg == "--personalities") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.personalities.clear();
+      for (const auto& name : split_csv(v)) {
+        fw::Personality personality;
+        if (!parse_personality(name, personality)) {
+          std::cerr << "unknown personality: " << name << "\n";
+          return usage(argv[0]);
+        }
+        options.personalities.push_back(personality);
+      }
+    } else if (arg == "--workloads") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.workloads.clear();
+      for (const auto& name : split_csv(v)) {
+        workload::WorkloadId workload;
+        if (!parse_workload(name, workload)) {
+          std::cerr << "unknown workload: " << name << "\n";
+          return usage(argv[0]);
+        }
+        options.workloads.push_back(workload);
+      }
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.out = v;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+  if (options.approaches.empty() || options.personalities.empty() ||
+      options.workloads.empty()) {
+    std::cerr << "empty grid\n";
+    return usage(argv[0]);
+  }
+
+  std::vector<core::CampaignCellSpec> grid;
+  for (bench::Approach approach : options.approaches) {
+    for (fw::Personality personality : options.personalities) {
+      for (workload::WorkloadId workload : options.workloads) {
+        grid.push_back(bench::make_cell(approach, personality, workload,
+                                        fw::BugRegistry::current_code_base(),
+                                        options.budget_ms, options.seed));
+      }
+    }
+  }
+
+  core::CampaignOptions campaign_options;
+  campaign_options.total_workers = options.total_workers;
+  campaign_options.cell_workers = options.cell_workers;
+  campaign_options.experiment_workers = options.experiment_workers;
+  const core::CampaignRunner runner(campaign_options);
+  const core::CampaignResult result = runner.run(grid);
+
+  if (!options.quiet) {
+    util::TextTable t({"#", "approach", "firmware", "workload", "sims", "labels", "unsafe #",
+                       "bugs", "exp/s"});
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+      const auto& cell = result.cells[i];
+      char rate[32];
+      std::snprintf(rate, sizeof(rate), "%.2f", cell.experiments_per_sec());
+      t.add(static_cast<int>(i), cell.spec.approach, fw::to_string(cell.spec.personality),
+            workload::to_string(cell.spec.workload), cell.report.experiments,
+            cell.report.labels, cell.report.unsafe_count(),
+            static_cast<int>(cell.report.bug_first_found.size()), rate);
+    }
+    t.render(std::cout);
+    bench::print_campaign_footer(std::cout, result);
+  }
+
+  if (!options.out.empty()) {
+    const std::string json = core::campaign_report_json(result);
+    if (options.out == "-") {
+      std::cout << json;
+    } else {
+      std::ofstream file(options.out);
+      if (!file) {
+        std::cerr << "cannot open " << options.out << " for writing\n";
+        return 1;
+      }
+      file << json;
+      if (!options.quiet) std::cout << "JSON report written to " << options.out << "\n";
+    }
+  }
+  return 0;
+}
