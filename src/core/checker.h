@@ -72,7 +72,10 @@ class Checker {
   // across strategies so comparisons share the same model.
   const MonitorModel& model() {
     if (!model_) {
-      model_ = harness_.profile(personality_, workload_, bugs_, /*runs=*/3, seed_base_);
+      auto context = contexts_.acquire();
+      model_ = harness_.profile(personality_, workload_, bugs_, /*runs=*/3, seed_base_,
+                                context.get());
+      contexts_.release(std::move(context));
     }
     return *model_;
   }
@@ -81,13 +84,15 @@ class Checker {
     const MonitorModel& monitor = model();
     CheckerReport report;
     report.strategy_name = strategy.name();
+    auto context = contexts_.acquire();
     while (!budget.exhausted()) {
       auto plan = strategy.next(budget);
       if (!plan) break;
       const ExperimentSpec spec = p_make_spec(*plan, monitor);
-      ExperimentResult result = harness_.run(spec, &monitor);
+      ExperimentResult result = harness_.run(spec, &monitor, context.get());
       p_apply(report, strategy, budget, *plan, std::move(result));
     }
+    contexts_.release(std::move(context));
     report.labels = budget.labels();
     report.budget_used_ms = budget.used_ms();
     return report;
@@ -122,7 +127,15 @@ class Checker {
       for (const FaultPlan& plan : plans) {
         in_flight.push_back(pool.submit(
             [this, spec = p_make_spec(plan, monitor), &monitor] {
-              return harness_.run(spec, &monitor);
+              // Per-worker arena: whichever worker picks this task up checks
+              // a context out for the duration of the experiment, so the
+              // simulator/suite/firmware storage is reset, not reallocated,
+              // from one experiment to the next. An exception skips the
+              // release and simply retires the context.
+              auto context = contexts_.acquire();
+              ExperimentResult result = harness_.run(spec, &monitor, context.get());
+              contexts_.release(std::move(context));
+              return result;
             }));
       }
       for (std::size_t i = 0; i < in_flight.size(); ++i) {
@@ -190,6 +203,7 @@ class Checker {
   fw::BugRegistry bugs_;
   std::uint64_t seed_base_;
   SimulationHarness harness_;
+  ExperimentContextPool contexts_;
   std::optional<MonitorModel> model_;
 };
 

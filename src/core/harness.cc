@@ -16,43 +16,79 @@ constexpr sim::SimTimeMs kGraceMs = 4000;
 }  // namespace
 
 ExperimentResult SimulationHarness::run(const ExperimentSpec& spec,
-                                        const MonitorModel* monitor_model) const {
+                                        const MonitorModel* monitor_model,
+                                        ExperimentContext* context) const {
   ScheduledDirector director(spec.plan);
-  return run_with_director(spec, director, monitor_model);
+  return run_with_director(spec, director, monitor_model, context);
 }
 
 ExperimentResult SimulationHarness::run_with_director(const ExperimentSpec& spec,
                                                       hinj::FaultDirector& custom_director,
-                                                      const MonitorModel* monitor_model) const {
+                                                      const MonitorModel* monitor_model,
+                                                      ExperimentContext* context) const {
+  // Without a caller-supplied arena, provision into a one-shot local one —
+  // same code path, same construction order, the storage just dies with the
+  // run. The reset protocol below must mirror from-scratch construction
+  // exactly (same seed draws in the same order, same boot traffic) so that
+  // a run is a pure function of its spec either way.
+  ExperimentContext local_context;
+  ExperimentContext& arena = context != nullptr ? *context : local_context;
+
   util::Rng seed_source(spec.seed);
 
-  sim::Environment env;  // default: flat field, no wind, no obstacles
-  sim::Simulator simulator(env, sim::QuadcopterParams{}, seed_source.next_u64());
+  // Simulator: re-emplace in place (the environment is the default flat
+  // field; the emplace costs no heap traffic — observers start empty).
+  arena.simulator_.emplace(sim::Environment{}, sim::QuadcopterParams{}, seed_source.next_u64());
+  sim::Simulator& simulator = *arena.simulator_;
 
+  // Sensor suite: the expensive one (12 heap-allocated instances). Reset
+  // re-seeds the existing instances with the same fork sequence the
+  // constructor would draw.
   util::Rng sensor_seeds = seed_source.fork(1);
-  sensors::SensorSuite suite(iris_suite(), sensor_seeds);
+  if (arena.suite_) {
+    arena.suite_->reset(iris_suite(), sensor_seeds);
+  } else {
+    arena.suite_.emplace(iris_suite(), sensor_seeds);
+  }
 
   RecordingDirector director(custom_director);
-  hinj::Server hinj_server(director);
-  hinj::Client hinj_client(hinj_server);
+  if (arena.server_) {
+    arena.server_->set_director(director);
+  } else {
+    arena.server_.emplace(director);
+  }
+  // The client persists across runs: it is stateless between frames but
+  // owns the warmed-up request/response buffers.
+  if (!arena.client_) arena.client_.emplace(*arena.server_);
 
-  mavlink::Channel channel;
-  fw::SensorBus bus(suite, hinj_client);
+  arena.channel_.reset_link();
+  if (!arena.bus_) arena.bus_.emplace(*arena.suite_, *arena.client_);
 
   fw::FirmwareConfig fw_config = spec.personality == fw::Personality::kArduPilotLike
                                      ? fw::FirmwareConfig::ardupilot()
                                      : fw::FirmwareConfig::px4();
   fw_config.bugs = spec.bugs;
-  fw::Firmware firmware(fw_config, bus, hinj_client, channel.vehicle(),
-                        simulator.environment());
+  // Firmware state is rebuilt per run (its constructor reports the boot
+  // mode through hinj, which must land after the director swap above);
+  // emplacing into retained storage keeps the object off the heap.
+  arena.firmware_.emplace(std::move(fw_config), *arena.bus_, *arena.client_,
+                          arena.channel_.vehicle(), simulator.environment());
+  fw::Firmware& firmware = *arena.firmware_;
 
   auto workload_ptr =
       spec.workload_factory ? spec.workload_factory() : workload::make_workload(spec.workload);
   util::expects(workload_ptr != nullptr, "unknown workload id");
-  workload::GcsContext gcs(channel.gcs(), simulator.environment().frame());
+  workload::GcsContext gcs(arena.channel_.gcs(), simulator.environment().frame());
 
-  std::optional<MonitorSession> monitor;
-  if (monitor_model != nullptr) monitor.emplace(*monitor_model);
+  MonitorSession* monitor = nullptr;
+  if (monitor_model != nullptr) {
+    if (arena.monitor_) {
+      arena.monitor_->restart(*monitor_model);
+    } else {
+      arena.monitor_.emplace(*monitor_model);
+    }
+    monitor = &*arena.monitor_;
+  }
 
   ExperimentResult result;
   result.trace.reserve(static_cast<std::size_t>(spec.max_duration_ms / kSamplePeriodMs) + 1);
@@ -106,7 +142,7 @@ ExperimentResult SimulationHarness::run_with_director(const ExperimentSpec& spec
       sample.armed = firmware.armed();
       result.trace.push_back(sample);
 
-      if (monitor) {
+      if (monitor != nullptr) {
         const bool workload_failed =
             workload_done_at >= 0 && workload_ptr->status() == workload::WorkloadStatus::kFailed;
         const auto violation =
@@ -135,16 +171,20 @@ ExperimentResult SimulationHarness::run_with_director(const ExperimentSpec& spec
   }
 
   if (result.duration_ms == 0) result.duration_ms = spec.max_duration_ms;
-  result.transitions = director.transitions();
+  result.transitions = director.take_transitions();
   result.fired_bugs = firmware.fired_bugs();
   result.crash_cause = simulator.last_crash();
+  // The run's RecordingDirector is about to leave scope; park the retained
+  // server on the context's inert director so a pooled arena never dangles.
+  arena.server_->set_director(arena.parked_director_);
   return result;
 }
 
 MonitorModel SimulationHarness::profile(fw::Personality personality,
                                         workload::WorkloadId workload,
                                         const fw::BugRegistry& bugs, int runs,
-                                        std::uint64_t seed_base) const {
+                                        std::uint64_t seed_base,
+                                        ExperimentContext* context) const {
   std::vector<ExperimentResult> profiling;
   for (int i = 0; i < runs; ++i) {
     ExperimentSpec spec;
@@ -152,7 +192,7 @@ MonitorModel SimulationHarness::profile(fw::Personality personality,
     spec.workload = workload;
     spec.bugs = bugs;
     spec.seed = seed_base + static_cast<std::uint64_t>(i);
-    profiling.push_back(run(spec, nullptr));
+    profiling.push_back(run(spec, nullptr, context));
     util::expects(profiling.back().workload_passed,
                   "profiling run did not complete its workload");
   }

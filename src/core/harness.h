@@ -2,19 +2,27 @@
 // and workload into one experiment (the full loop of the paper's Fig. 7).
 //
 // "At the start of each test, Avis provisions a new instance of the
-// simulator and firmware" — run() builds everything from scratch, making an
-// experiment a pure function of its spec.
+// simulator and firmware" — every run() starts from a state that is a pure
+// function of its spec. Callers that run many experiments back to back hand
+// run() a reusable ExperimentContext: the same provisioning happens by
+// resetting retained storage in place instead of reallocating it, with
+// bit-identical results (the arena reset contract, docs/PERFORMANCE.md).
 #pragma once
 
 #include <array>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/invariant_monitor.h"
 #include "fw/firmware.h"
 #include "hinj/hinj.h"
+#include "mavlink/channel.h"
 #include "sensors/sensor_models.h"
 #include "sim/simulator.h"
 #include "util/checked.h"
@@ -44,7 +52,7 @@ class ScheduledDirector final : public hinj::FaultDirector {
     return time_ms >= activation_[static_cast<std::size_t>(sensor.type)][sensor.instance];
   }
 
-  void on_mode_update(std::uint16_t, const std::string&, std::int64_t) override {}
+  void on_mode_update(std::uint16_t, std::string_view, std::int64_t) override {}
 
  private:
   static constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
@@ -55,7 +63,9 @@ class ScheduledDirector final : public hinj::FaultDirector {
 
 // Wraps any director and records the mode trace and heartbeats the firmware
 // reports through hinj; the harness always interposes one of these so every
-// experiment result carries its transition list.
+// experiment result carries its transition list. The wire hands mode names
+// over as views into the frame buffer; the recorded transitions own their
+// copies.
 class RecordingDirector final : public hinj::FaultDirector {
  public:
   explicit RecordingDirector(hinj::FaultDirector& inner) : inner_(&inner) {
@@ -68,9 +78,9 @@ class RecordingDirector final : public hinj::FaultDirector {
     return inner_->should_fail(sensor, time_ms);
   }
 
-  void on_mode_update(std::uint16_t mode_id, const std::string& mode_name,
+  void on_mode_update(std::uint16_t mode_id, std::string_view mode_name,
                       std::int64_t time_ms) override {
-    transitions_.push_back({time_ms, mode_id, mode_name});
+    transitions_.push_back({time_ms, mode_id, std::string(mode_name)});
     current_mode_ = mode_id;
     inner_->on_mode_update(mode_id, mode_name, time_ms);
   }
@@ -81,6 +91,9 @@ class RecordingDirector final : public hinj::FaultDirector {
   }
 
   const std::vector<ModeTransition>& transitions() const { return transitions_; }
+  // Move the trace out into the experiment result instead of copying a
+  // vector of strings; the director is done once its run ends.
+  std::vector<ModeTransition> take_transitions() { return std::move(transitions_); }
   std::uint16_t current_mode() const { return current_mode_; }
   std::int64_t last_heartbeat_ms() const { return last_heartbeat_ms_; }
 
@@ -89,6 +102,65 @@ class RecordingDirector final : public hinj::FaultDirector {
   std::vector<ModeTransition> transitions_;
   std::uint16_t current_mode_ = 0;
   std::int64_t last_heartbeat_ms_ = 0;
+};
+
+// Reusable per-worker experiment arena (ROADMAP: "per-worker experiment
+// arenas"). Holds the storage for everything a run provisions — simulator,
+// sensor suite, hinj connection, MAVLink channel, firmware, monitor session
+// — so consecutive runs on the same worker reset state in place instead of
+// rebuilding it on the heap. The harness owns the reset protocol; callers
+// just keep the context alive and pass it back in. One context serves one
+// run at a time (it is a worker's scratch space, not shared state).
+class ExperimentContext {
+ public:
+  ExperimentContext() = default;
+  ExperimentContext(const ExperimentContext&) = delete;
+  ExperimentContext& operator=(const ExperimentContext&) = delete;
+
+ private:
+  friend class SimulationHarness;
+
+  std::optional<sim::Simulator> simulator_;
+  std::optional<sensors::SensorSuite> suite_;
+  // Between runs the server is parked on this inert director, so a pooled
+  // context never holds a pointer to a finished run's stack-local
+  // RecordingDirector.
+  hinj::NullDirector parked_director_;
+  std::optional<hinj::Server> server_;
+  std::optional<hinj::Client> client_;  // owns the warmed-up hinj frame buffers
+  mavlink::Channel channel_;            // owns the warmed-up frame freelist
+  std::optional<fw::SensorBus> bus_;
+  std::optional<fw::Firmware> firmware_;
+  std::optional<MonitorSession> monitor_;
+};
+
+// Hands contexts to pool workers: a worker checks one out per experiment
+// and returns it afterwards, so the pool never holds more contexts than the
+// peak number of concurrent experiments, and each context is reused by
+// whichever worker runs the next one. The lock is per experiment (hundreds
+// of milliseconds of simulation), so contention is irrelevant.
+class ExperimentContextPool {
+ public:
+  std::unique_ptr<ExperimentContext> acquire() {
+    {
+      std::lock_guard lock(mutex_);
+      if (!free_.empty()) {
+        std::unique_ptr<ExperimentContext> ctx = std::move(free_.back());
+        free_.pop_back();
+        return ctx;
+      }
+    }
+    return std::make_unique<ExperimentContext>();
+  }
+
+  void release(std::unique_ptr<ExperimentContext> ctx) {
+    std::lock_guard lock(mutex_);
+    free_.push_back(std::move(ctx));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<ExperimentContext>> free_;
 };
 
 class SimulationHarness {
@@ -112,22 +184,25 @@ class SimulationHarness {
 
   // Run one experiment. If `monitor_model` is non-null the invariant monitor
   // runs alongside and, when spec.stop_on_violation, ends the run at the
-  // first violation. Profiling runs pass nullptr.
-  ExperimentResult run(const ExperimentSpec& spec,
-                       const MonitorModel* monitor_model = nullptr) const;
+  // first violation. Profiling runs pass nullptr. `context`, when given, is
+  // the worker's reusable arena; nullptr provisions (and discards) a fresh
+  // one, which is bit-identical but pays the allocations.
+  ExperimentResult run(const ExperimentSpec& spec, const MonitorModel* monitor_model = nullptr,
+                       ExperimentContext* context = nullptr) const;
 
   // Same, but with a caller-supplied fault director (the replayer injects
   // relative to observed mode transitions rather than absolute timestamps).
   ExperimentResult run_with_director(const ExperimentSpec& spec,
                                      hinj::FaultDirector& director,
-                                     const MonitorModel* monitor_model) const;
+                                     const MonitorModel* monitor_model,
+                                     ExperimentContext* context = nullptr) const;
 
   // Convenience: N fault-free profiling runs with distinct seeds, then
   // monitor calibration (paper: "We assume runs without sensor failures are
   // correct").
   MonitorModel profile(fw::Personality personality, workload::WorkloadId workload,
                        const fw::BugRegistry& bugs, int runs = 3,
-                       std::uint64_t seed_base = 1) const;
+                       std::uint64_t seed_base = 1, ExperimentContext* context = nullptr) const;
 
   // Per-run step hook for benches that need full-rate traces (Fig. 9/10).
   using StepHook = std::function<void(sim::SimTimeMs, const sim::VehicleState&,

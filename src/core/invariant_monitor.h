@@ -75,6 +75,18 @@ class MonitorSession {
  public:
   explicit MonitorSession(const MonitorModel& model) : model_(&model) {}
 
+  // Rebind to a model and forget the previous run, keeping the history
+  // buffer's capacity — the arena-reuse path (core::ExperimentContext)
+  // restarts one session per run instead of growing a fresh history vector.
+  void restart(const MonitorModel& model) {
+    model_ = &model;
+    history_.clear();
+    violation_.reset();
+    consecutive_eq1_ = 0;
+    eq1_started_ms_ = 0;
+    eq1_mode_ = 0;
+  }
+
   // Feed the sample taken at the end of a simulation step window. `crashed`
   // and `crash_cause` reflect the simulator's safety state; `firmware_dead`
   // is true if firmware raised an InvariantError this run; `workload_failed`

@@ -73,7 +73,7 @@ class ReplayDirector final : public hinj::FaultDirector {
     armed_at_.assign(faults_.size(), -1);
   }
 
-  void on_mode_update(std::uint16_t mode_id, const std::string&, std::int64_t time_ms) override {
+  void on_mode_update(std::uint16_t mode_id, std::string_view, std::int64_t time_ms) override {
     const int occurrence = occurrences_[mode_id]++;
     for (std::size_t i = 0; i < faults_.size(); ++i) {
       if (armed_at_[i] < 0 && faults_[i].anchor_mode_id == mode_id &&

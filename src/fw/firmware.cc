@@ -239,7 +239,9 @@ void Firmware::p_set_mode(Mode m, std::uint8_t submode, sim::SimTimeMs now,
   }
   cascade_.reset();
   // The paper's single instrumented call site: every mode change is
-  // reported to the engine through hinj_update_mode().
+  // reported to the engine through hinj_update_mode(). The name crosses the
+  // wire as a length-prefixed field the engine decodes as a view; only
+  // directors that record the trace copy it.
   const CompositeMode cm = composite_mode();
   hinj_->update_mode(cm.id(), cm.name(), now);
   p_status(std::string("mode: ") + personality_mode_name(config_.personality, m) + " (" +

@@ -66,7 +66,10 @@ class SensorBus {
   sensors::ReadStatus p_read(SensorT& sensor, sim::SimTimeMs now,
                              const sim::VehicleState& truth, const sim::Environment& env,
                              Sample& out) {
-    // Instrumentation point: ask the engine whether this read fails.
+    // Instrumentation point: ask the engine whether this read fails. This
+    // runs for every live sensor on every 1 kHz step, so it rides the hinj
+    // client's fixed-size zero-allocation frame path; an already-failed
+    // instance stops asking (clean failures never recover within a run).
     if (!sensor.failed() && hinj_->sensor_read(sensor.id(), now)) {
       sensor.fail();
     }

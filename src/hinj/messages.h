@@ -4,9 +4,19 @@
 // hinj_update_mode, inserted at the firmware's single mode-set call site)
 // and sensor reads (via the call inserted into each driver's read()) — and
 // receives one thing back: the scheduler's per-read fail/pass decision.
+//
+// Two encode/decode paths share one wire layout:
+//  * the per-message-type encode_*() helpers write straight into a reusable
+//    ByteWriter — the zero-allocation path the Client/Server round trip
+//    uses for every instrumented sensor read;
+//  * encode(Message)/decode(bytes) wrap the same helpers behind the
+//    std::variant, for tests and any caller that wants owned values.
+// Because encode(Message) is implemented on top of the helpers, the two
+// paths are byte-identical by construction (tests/test_hinj.cc pins this).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <variant>
 
@@ -48,29 +58,56 @@ struct Heartbeat {
 
 using Message = std::variant<ModeUpdate, ReadRequest, ReadResponse, Heartbeat>;
 
+// Largest fixed-size frame (ReadRequest: type + i64 + 2x u8); reserving this
+// up front makes even the first frame through a fresh writer allocation-free
+// after the single warm-up growth.
+inline constexpr std::size_t kFixedFrameCapacity = 11;
+
+// --- direct frame encoders (the zero-allocation path) ----------------------
+
+inline void encode_mode_update(ByteWriter& w, std::int64_t time_ms, std::uint16_t mode_id,
+                               std::string_view mode_name) {
+  w.u8(static_cast<std::uint8_t>(MessageType::kModeUpdate));
+  w.i64(time_ms);
+  w.u16(mode_id);
+  w.str(mode_name);
+}
+
+inline void encode_read_request(ByteWriter& w, std::int64_t time_ms,
+                                const sensors::SensorId& sensor) {
+  w.u8(static_cast<std::uint8_t>(MessageType::kReadRequest));
+  w.i64(time_ms);
+  w.u8(static_cast<std::uint8_t>(sensor.type));
+  w.u8(sensor.instance);
+}
+
+inline void encode_read_response(ByteWriter& w, bool fail) {
+  w.u8(static_cast<std::uint8_t>(MessageType::kReadResponse));
+  w.u8(fail ? 1 : 0);
+}
+
+inline void encode_heartbeat(ByteWriter& w, std::int64_t time_ms) {
+  w.u8(static_cast<std::uint8_t>(MessageType::kHeartbeat));
+  w.i64(time_ms);
+}
+
+// --- variant wrappers -------------------------------------------------------
+
 inline std::vector<std::uint8_t> encode(const Message& msg) {
   ByteWriter w;
   if (const auto* m = std::get_if<ModeUpdate>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageType::kModeUpdate));
-    w.i64(m->time_ms);
-    w.u16(m->mode_id);
-    w.str(m->mode_name);
+    encode_mode_update(w, m->time_ms, m->mode_id, m->mode_name);
   } else if (const auto* r = std::get_if<ReadRequest>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageType::kReadRequest));
-    w.i64(r->time_ms);
-    w.u8(static_cast<std::uint8_t>(r->sensor.type));
-    w.u8(r->sensor.instance);
+    encode_read_request(w, r->time_ms, r->sensor);
   } else if (const auto* resp = std::get_if<ReadResponse>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageType::kReadResponse));
-    w.u8(resp->fail ? 1 : 0);
+    encode_read_response(w, resp->fail);
   } else if (const auto* h = std::get_if<Heartbeat>(&msg)) {
-    w.u8(static_cast<std::uint8_t>(MessageType::kHeartbeat));
-    w.i64(h->time_ms);
+    encode_heartbeat(w, h->time_ms);
   }
   return w.take();
 }
 
-inline Message decode(const std::vector<std::uint8_t>& bytes) {
+inline Message decode(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   const auto type = static_cast<MessageType>(r.u8());
   switch (type) {

@@ -1,11 +1,18 @@
 // In-memory duplex link between the ground-control station (workload) and
 // the vehicle. Messages cross the link as encoded frames — each endpoint
 // only sees bytes, mirroring the UDP link to SITL in the paper's setup.
+//
+// Frame vectors are recycled through a channel-owned freelist: send() packs
+// into a recycled buffer, receive() returns the consumed buffer to the
+// freelist. At the 20 ms GCS pump rate this makes steady-state traffic
+// allocation-free (telemetry frames all reuse the same few buffers) without
+// changing a byte on the wire.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "mavlink/codec.h"
@@ -25,6 +32,10 @@ class Endpoint {
   std::optional<Message> receive();
   bool has_pending() const;
 
+  // Back to the boot state (sequence numbers restart); part of
+  // Channel::reset_link.
+  void reset_seq() { next_seq_ = 0; }
+
  private:
   Channel* channel_;
   bool is_vehicle_;
@@ -43,19 +54,55 @@ class Channel {
   std::deque<std::vector<std::uint8_t>> to_vehicle;
   std::deque<std::vector<std::uint8_t>> to_gcs;
 
-  // Drop all in-flight traffic (used when a test run is torn down).
-  void clear() {
-    to_vehicle.clear();
-    to_gcs.clear();
+  // Return the link to its just-constructed observable state — no traffic
+  // in flight, sequence numbers at zero — while keeping the warmed-up frame
+  // freelist, so a reused channel (core::ExperimentContext) starts the next
+  // run allocation-free.
+  void reset_link() {
+    while (!to_vehicle.empty()) {
+      recycle_frame(std::move(to_vehicle.front()));
+      to_vehicle.pop_front();
+    }
+    while (!to_gcs.empty()) {
+      recycle_frame(std::move(to_gcs.front()));
+      to_gcs.pop_front();
+    }
+    gcs_.reset_seq();
+    vehicle_.reset_seq();
   }
 
+  // Freelist of retired frame vectors. acquire hands back an empty vector
+  // that keeps its old capacity; recycle caps the list so a traffic burst
+  // cannot pin unbounded memory.
+  std::vector<std::uint8_t> acquire_frame() {
+    if (free_frames_.empty()) return {};
+    std::vector<std::uint8_t> frame = std::move(free_frames_.back());
+    free_frames_.pop_back();
+    frame.clear();
+    return frame;
+  }
+
+  void recycle_frame(std::vector<std::uint8_t>&& frame) {
+    if (free_frames_.size() < kMaxFreeFrames) free_frames_.push_back(std::move(frame));
+  }
+
+  // Scratch writer for payload staging in Endpoint::send. The channel is
+  // single-threaded by construction (one simulated vehicle, one GCS, both
+  // pumped from the harness loop), so one scratch buffer serves both ends.
+  util::ByteWriter& payload_scratch() { return payload_scratch_; }
+
  private:
+  static constexpr std::size_t kMaxFreeFrames = 64;
+
   Endpoint gcs_;
   Endpoint vehicle_;
+  std::vector<std::vector<std::uint8_t>> free_frames_;
+  util::ByteWriter payload_scratch_;
 };
 
 inline void Endpoint::send(const Message& m) {
-  auto frame = pack(m, next_seq_++, system_id_, 1);
+  std::vector<std::uint8_t> frame = channel_->acquire_frame();
+  pack_into(m, next_seq_++, system_id_, 1, channel_->payload_scratch(), frame);
   if (is_vehicle_) {
     channel_->to_gcs.push_back(std::move(frame));
   } else {
@@ -66,9 +113,11 @@ inline void Endpoint::send(const Message& m) {
 inline std::optional<Message> Endpoint::receive() {
   auto& queue = is_vehicle_ ? channel_->to_vehicle : channel_->to_gcs;
   while (!queue.empty()) {
-    const auto bytes = std::move(queue.front());
+    auto bytes = std::move(queue.front());
     queue.pop_front();
-    if (auto msg = unpack(bytes)) return msg;  // corrupted frames are dropped
+    auto msg = unpack(bytes);  // corrupted frames are dropped
+    channel_->recycle_frame(std::move(bytes));
+    if (msg) return msg;
   }
   return std::nullopt;
 }

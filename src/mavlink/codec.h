@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "mavlink/messages.h"
@@ -52,9 +53,11 @@ inline std::vector<std::uint8_t> encode_frame(const Frame& f) {
   return out;
 }
 
-// Parses wire bytes back into a frame. Returns nullopt on any corruption
-// (bad STX, truncation, CRC mismatch).
-inline std::optional<Frame> decode_frame(const std::vector<std::uint8_t>& bytes) {
+// Validates frame structure (STX, declared length, CRC) and returns the
+// payload slice, or nullopt on any corruption. Single source of truth for
+// the checks both decode paths (Frame-building and in-place) rely on.
+inline std::optional<std::span<const std::uint8_t>> validate_frame(
+    std::span<const std::uint8_t> bytes) {
   if (bytes.size() < 9 || bytes[0] != kStx) return std::nullopt;
   const std::size_t payload_len =
       static_cast<std::size_t>(bytes[1]) | (static_cast<std::size_t>(bytes[2]) << 8);
@@ -63,31 +66,64 @@ inline std::optional<Frame> decode_frame(const std::vector<std::uint8_t>& bytes)
       static_cast<std::uint16_t>(bytes[bytes.size() - 2]) |
       (static_cast<std::uint16_t>(bytes[bytes.size() - 1]) << 8));
   if (crc_x25(bytes.data() + 1, bytes.size() - 3) != wire_crc) return std::nullopt;
+  return bytes.subspan(7, payload_len);
+}
+
+// Parses wire bytes back into a frame. Returns nullopt on any corruption
+// (bad STX, truncation, CRC mismatch).
+inline std::optional<Frame> decode_frame(const std::vector<std::uint8_t>& bytes) {
+  const auto payload = validate_frame(bytes);
+  if (!payload) return std::nullopt;
   Frame f;
   f.seq = bytes[3];
   f.system_id = bytes[4];
   f.component_id = bytes[5];
   f.msg_id = static_cast<MsgId>(bytes[6]);
-  f.payload.assign(bytes.begin() + 7, bytes.end() - 2);
+  f.payload.assign(payload->begin(), payload->end());
   return f;
+}
+
+// Message -> frame bytes, written into a caller-owned buffer. The payload
+// is staged through a reusable scratch writer and the frame vector is
+// cleared and overwritten, so a send path that recycles both (see
+// mavlink::Channel) allocates nothing once warmed up. Byte layout is
+// identical to encode_frame (the wrapper below shares this code).
+inline void pack_into(const Message& m, std::uint8_t seq, std::uint8_t sys, std::uint8_t comp,
+                      util::ByteWriter& payload_scratch, std::vector<std::uint8_t>& out) {
+  payload_scratch.clear();
+  encode_payload_into(m, payload_scratch);
+  const auto payload = payload_scratch.span();
+  out.clear();
+  out.reserve(9 + payload.size());
+  out.push_back(kStx);
+  out.push_back(static_cast<std::uint8_t>(payload.size() & 0xff));
+  out.push_back(static_cast<std::uint8_t>(payload.size() >> 8));
+  out.push_back(seq);
+  out.push_back(sys);
+  out.push_back(comp);
+  out.push_back(static_cast<std::uint8_t>(message_id(m)));
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint16_t crc = crc_x25(out.data() + 1, out.size() - 1);
+  out.push_back(static_cast<std::uint8_t>(crc & 0xff));
+  out.push_back(static_cast<std::uint8_t>(crc >> 8));
 }
 
 // Convenience: full message -> frame bytes and back.
 inline std::vector<std::uint8_t> pack(const Message& m, std::uint8_t seq, std::uint8_t sys,
                                       std::uint8_t comp) {
-  Frame f;
-  f.seq = seq;
-  f.system_id = sys;
-  f.component_id = comp;
-  f.msg_id = message_id(m);
-  f.payload = encode_payload(m);
-  return encode_frame(f);
+  util::ByteWriter payload;
+  std::vector<std::uint8_t> out;
+  pack_into(m, seq, sys, comp, payload, out);
+  return out;
 }
 
+// Frame bytes -> message, decoding the payload in place (no Frame struct,
+// no payload copy). Same validation as decode_frame: nullopt on bad STX,
+// truncation, or CRC mismatch.
 inline std::optional<Message> unpack(const std::vector<std::uint8_t>& bytes) {
-  const auto frame = decode_frame(bytes);
-  if (!frame) return std::nullopt;
-  return decode_payload(frame->msg_id, frame->payload);
+  const auto payload = validate_frame(bytes);
+  if (!payload) return std::nullopt;
+  return decode_payload(static_cast<MsgId>(bytes[6]), *payload);
 }
 
 }  // namespace avis::mavlink

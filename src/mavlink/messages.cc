@@ -54,8 +54,7 @@ MsgId message_id(const Message& m) {
   return std::visit(Visitor{}, m);
 }
 
-std::vector<std::uint8_t> encode_payload(const Message& m) {
-  util::ByteWriter w;
+void encode_payload_into(const Message& m, util::ByteWriter& w) {
   if (const auto* hb = std::get_if<Heartbeat>(&m)) {
     w.u8(hb->system_status);
     w.u32(hb->custom_mode);
@@ -111,10 +110,15 @@ std::vector<std::uint8_t> encode_payload(const Message& m) {
     w.u8(st->severity);
     w.str(st->text);
   }
+}
+
+std::vector<std::uint8_t> encode_payload(const Message& m) {
+  util::ByteWriter w;
+  encode_payload_into(m, w);
   return w.take();
 }
 
-Message decode_payload(MsgId id, const std::vector<std::uint8_t>& payload) {
+Message decode_payload(MsgId id, std::span<const std::uint8_t> payload) {
   util::ByteReader r(payload);
   switch (id) {
     case MsgId::kHeartbeat: {

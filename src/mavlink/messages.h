@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -139,7 +140,11 @@ using Message =
                  CommandLong, CommandAck, FenceEnable, StatusText>;
 
 MsgId message_id(const Message& m);
+// Append the payload bytes to a (caller-cleared) reusable writer; the
+// allocation-free path Endpoint::send packs through.
+void encode_payload_into(const Message& m, util::ByteWriter& w);
 std::vector<std::uint8_t> encode_payload(const Message& m);
-Message decode_payload(MsgId id, const std::vector<std::uint8_t>& payload);
+// Decodes in place from any contiguous byte range (vector, frame slice).
+Message decode_payload(MsgId id, std::span<const std::uint8_t> payload);
 
 }  // namespace avis::mavlink

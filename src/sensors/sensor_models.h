@@ -18,6 +18,7 @@
 #include "sim/environment.h"
 #include "sim/simulator.h"
 #include "sim/vehicle_state.h"
+#include "util/checked.h"
 #include "util/rng.h"
 
 namespace avis::sensors {
@@ -40,6 +41,19 @@ class SensorInstance {
 
   // Clean failure: the device stops communicating for the rest of the run.
   void fail() { failed_ = true; }
+
+  // Return the instance to its just-constructed state with a fresh noise
+  // stream, as if it had been rebuilt with `rng`. Lets a reused suite start
+  // a new run without reallocating the instance (core::ExperimentContext);
+  // identity, rate, and the model parameters of the derived class are
+  // construction-time constants and stay put.
+  void reset(util::Rng rng) {
+    rng_ = rng;
+    held_ = Sample{};
+    has_sample_ = false;
+    last_sample_ms_ = 0;
+    failed_ = false;
+  }
 
   // Driver read path. Returns kFailed (and leaves `out` untouched) once the
   // instance has failed; otherwise returns the held sample, refreshing it
@@ -209,6 +223,8 @@ struct SuiteConfig {
   int total() const {
     return gyroscopes + accelerometers + barometers + gpses + compasses + batteries;
   }
+
+  bool operator==(const SuiteConfig&) const = default;
 };
 
 // The vehicle's full sensor complement. Owns every instance; exposes typed
@@ -242,6 +258,21 @@ class SensorSuite {
   }
 
   const SuiteConfig& config() const { return config_; }
+
+  // Re-seed every instance in place, drawing fork ids in exactly the order
+  // the constructor does, so a reset suite is state-identical to a freshly
+  // built one (the arena-reuse determinism contract, docs/PERFORMANCE.md)
+  // without re-doing the per-instance heap allocations. The complement must
+  // match — a different config means a different vehicle, not a new run.
+  void reset(const SuiteConfig& config, util::Rng& seed_source) {
+    util::expects(config == config_, "suite reset must keep the sensor complement");
+    for (int i = 0; i < config.gyroscopes; ++i) gyros_[i]->reset(seed_source.fork(i));
+    for (int i = 0; i < config.accelerometers; ++i) accels_[i]->reset(seed_source.fork(16 + i));
+    for (int i = 0; i < config.barometers; ++i) baros_[i]->reset(seed_source.fork(32 + i));
+    for (int i = 0; i < config.gpses; ++i) gpses_[i]->reset(seed_source.fork(48 + i));
+    for (int i = 0; i < config.compasses; ++i) compasses_[i]->reset(seed_source.fork(64 + i));
+    for (int i = 0; i < config.batteries; ++i) batteries_[i]->reset(seed_source.fork(80 + i));
+  }
 
   Gyroscope& gyro(int i) { return *gyros_.at(i); }
   Accelerometer& accel(int i) { return *accels_.at(i); }

@@ -2,10 +2,16 @@
 // the MAVLink-like codec. Keeping real serialization boundaries between the
 // firmware, the engine, and the ground-control station reproduces the
 // process isolation of the paper's artifact while staying in-process.
+//
+// Both ends are built for reuse: a ByteWriter can be clear()ed between
+// frames (retaining its capacity, so a steady-state encode touches no
+// allocator), and a ByteReader reads from a std::span, so callers can decode
+// straight out of a connection-owned buffer without copying.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -49,6 +55,18 @@ class ByteWriter {
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
+  // Drop the current frame but keep the capacity, so the next frame written
+  // through this writer is allocation-free once the buffer has warmed up.
+  void clear() { buf_.clear(); }
+
+  // Grow the retained capacity up front (e.g. to a protocol's largest
+  // fixed-size frame) so even the first frame avoids reallocation steps.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
+  bool empty() const { return buf_.empty(); }
+  std::size_t size() const { return buf_.size(); }
+  std::span<const std::uint8_t> span() const { return {buf_.data(), buf_.size()}; }
+
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
 
@@ -58,7 +76,9 @@ class ByteWriter {
 
 class ByteReader {
  public:
-  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+  // Spans (and anything convertible to one, e.g. std::vector<uint8_t>) are
+  // read in place — the reader never copies or owns the bytes.
+  explicit ByteReader(std::span<const std::uint8_t> buf) : buf_(buf) {}
 
   std::uint8_t u8() {
     p_need(1);
@@ -98,14 +118,19 @@ class ByteReader {
     return v;
   }
 
-  std::string str() {
+  // Zero-copy string read: a view over the underlying frame bytes, valid
+  // only as long as the frame buffer is. Hot-path decoders (the hinj
+  // server's ModeUpdate dispatch) consume the view before the connection
+  // buffer is reused; anything that outlives the frame must copy.
+  std::string_view str_view() {
     const std::uint16_t n = u16();
     p_need(n);
-    std::string s(buf_.begin() + static_cast<long>(pos_),
-                  buf_.begin() + static_cast<long>(pos_ + n));
+    std::string_view s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
     pos_ += n;
     return s;
   }
+
+  std::string str() { return std::string(str_view()); }
 
   bool exhausted() const { return pos_ == buf_.size(); }
 
@@ -114,7 +139,7 @@ class ByteReader {
     if (pos_ + n > buf_.size()) throw WireError("truncated message");
   }
 
-  const std::vector<std::uint8_t>& buf_;
+  std::span<const std::uint8_t> buf_;
   std::size_t pos_ = 0;
 };
 

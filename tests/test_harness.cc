@@ -42,6 +42,61 @@ TEST(Harness, NoFaultPlanEqualsGoldenRun) {
   }
 }
 
+TEST(Harness, ReusedContextIsBitIdenticalToFreshProvisioning) {
+  // The arena reset contract: a run through a context that already hosted
+  // other experiments must equal a from-scratch run of the same spec in
+  // every observable field. Interleave different specs through one context
+  // so stale state from run N-1 would be caught in run N.
+  SimulationHarness harness;
+  ExperimentContext context;
+
+  FaultPlan baro_plan;
+  baro_plan.add(5000, {sensors::SensorType::kBarometer, 0});
+  std::vector<ExperimentSpec> specs(3);
+  specs[0].plan = baro_plan;
+  specs[1].seed = 101;  // golden-style run, different seed
+  specs[2].plan = baro_plan;
+  specs[2].personality = fw::Personality::kPx4Like;
+
+  // Monitored runs interleave too: the restarted MonitorSession (violation
+  // timing, stop_on_violation truncation) must match a fresh session.
+  auto& checker = cached_checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kAuto);
+  const MonitorModel& model = checker.model();
+  std::vector<const MonitorModel*> models = {nullptr, nullptr, nullptr, &model, &model};
+  specs.push_back(specs[0]);  // baro fault, now under the monitor
+  specs.back().seed = 100;    // the model's golden seed
+  specs.push_back(specs.back());
+  specs.back().plan.add(8000, {sensors::SensorType::kGps, 0});
+
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const ExperimentSpec& spec = specs[s];
+    const ExperimentResult fresh = harness.run(spec, models[s]);
+    const ExperimentResult reused = harness.run(spec, models[s], &context);
+    EXPECT_EQ(fresh.workload_passed, reused.workload_passed);
+    EXPECT_EQ(fresh.duration_ms, reused.duration_ms);
+    EXPECT_EQ(fresh.fired_bugs, reused.fired_bugs);
+    ASSERT_EQ(fresh.violation.has_value(), reused.violation.has_value()) << "spec " << s;
+    if (fresh.violation) {
+      EXPECT_EQ(fresh.violation->type, reused.violation->type);
+      EXPECT_EQ(fresh.violation->time_ms, reused.violation->time_ms);
+      EXPECT_EQ(fresh.violation->mode_id, reused.violation->mode_id);
+      EXPECT_EQ(fresh.violation->details, reused.violation->details);
+    }
+    ASSERT_EQ(fresh.transitions.size(), reused.transitions.size());
+    for (std::size_t i = 0; i < fresh.transitions.size(); ++i) {
+      EXPECT_EQ(fresh.transitions[i].time_ms, reused.transitions[i].time_ms);
+      EXPECT_EQ(fresh.transitions[i].mode_id, reused.transitions[i].mode_id);
+      EXPECT_EQ(fresh.transitions[i].mode_name, reused.transitions[i].mode_name);
+    }
+    ASSERT_EQ(fresh.trace.size(), reused.trace.size());
+    for (std::size_t i = 0; i < fresh.trace.size(); ++i) {
+      EXPECT_EQ(fresh.trace[i].position, reused.trace[i].position) << "i=" << i;
+      EXPECT_EQ(fresh.trace[i].acceleration, reused.trace[i].acceleration) << "i=" << i;
+      EXPECT_EQ(fresh.trace[i].mode_id, reused.trace[i].mode_id) << "i=" << i;
+    }
+  }
+}
+
 TEST(Harness, InjectedFaultLatchesSensor) {
   // Baro fails at 5 s into the auto mission: the honest failsafe lands.
   FaultPlan plan;

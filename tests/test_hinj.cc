@@ -61,6 +61,74 @@ TEST(HinjMessages, UnknownTypeThrows) {
   EXPECT_THROW(decode(bytes), WireError);
 }
 
+// The fixed-size fast-path encoders must emit frames byte-identical to the
+// general encode(Message) path — the wire format is the isolation boundary,
+// so the fast path may not change a single byte of it.
+TEST(HinjMessages, FastPathFramesMatchGeneralEncode) {
+  ByteWriter w;
+
+  encode_read_request(w, 777, {sensors::SensorType::kCompass, 2});
+  EXPECT_EQ(w.bytes(), encode(ReadRequest{777, {sensors::SensorType::kCompass, 2}}));
+
+  for (bool fail : {true, false}) {
+    w.clear();
+    encode_read_response(w, fail);
+    EXPECT_EQ(w.bytes(), encode(ReadResponse{fail}));
+  }
+
+  w.clear();
+  encode_heartbeat(w, 999);
+  EXPECT_EQ(w.bytes(), encode(Heartbeat{999}));
+
+  w.clear();
+  encode_mode_update(w, 12345, 0x0501, "auto-wp1");
+  EXPECT_EQ(w.bytes(), encode(ModeUpdate{12345, 0x0501, "auto-wp1"}));
+}
+
+// Server::handle_frame (the in-place dispatch the client's fast path uses)
+// must produce exactly the response bytes of the general handle() path.
+TEST(HinjMessages, HandleFrameResponsesMatchGeneralHandle) {
+  NullDirector director;
+  Server server(director);
+
+  const auto request = encode(ReadRequest{42, {sensors::SensorType::kGps, 0}});
+  ByteWriter response;
+  server.handle_frame(request, response);
+  EXPECT_EQ(response.bytes(), server.handle(request));
+
+  // Messages without a response leave the (cleared) buffer empty, exactly
+  // as handle() returns an empty frame.
+  server.handle_frame(encode(Heartbeat{500}), response);
+  EXPECT_TRUE(response.empty());
+  EXPECT_TRUE(server.handle(encode(Heartbeat{500})).empty());
+}
+
+TEST(HinjMessages, ByteWriterClearRetainsCapacity) {
+  ByteWriter w;
+  encode_read_request(w, 1, {sensors::SensorType::kGyroscope, 0});
+  const auto first = w.bytes();
+  w.clear();
+  EXPECT_TRUE(w.empty());
+  encode_read_request(w, 1, {sensors::SensorType::kGyroscope, 0});
+  EXPECT_EQ(w.bytes(), first);
+}
+
+TEST(HinjMessages, ByteReaderStrViewPointsIntoFrame) {
+  ByteWriter w;
+  encode_mode_update(w, 7, 0x0400, "takeoff");
+  ByteReader r(w.span());
+  EXPECT_EQ(static_cast<MessageType>(r.u8()), MessageType::kModeUpdate);
+  EXPECT_EQ(r.i64(), 7);
+  EXPECT_EQ(r.u16(), 0x0400);
+  const std::string_view name = r.str_view();
+  EXPECT_EQ(name, "takeoff");
+  // Zero-copy: the view aliases the writer's buffer, no owned string.
+  EXPECT_GE(reinterpret_cast<const std::uint8_t*>(name.data()), w.span().data());
+  EXPECT_LT(reinterpret_cast<const std::uint8_t*>(name.data()),
+            w.span().data() + w.size());
+  EXPECT_TRUE(r.exhausted());
+}
+
 class CountingDirector final : public FaultDirector {
  public:
   bool should_fail(const sensors::SensorId& sensor, std::int64_t time_ms) override {
@@ -69,9 +137,9 @@ class CountingDirector final : public FaultDirector {
     last_time = time_ms;
     return fail_next;
   }
-  void on_mode_update(std::uint16_t mode_id, const std::string& name,
+  void on_mode_update(std::uint16_t mode_id, std::string_view name,
                       std::int64_t time_ms) override {
-    modes.emplace_back(mode_id, name, time_ms);
+    modes.emplace_back(mode_id, std::string(name), time_ms);
   }
   void on_heartbeat(std::int64_t time_ms) override { last_heartbeat = time_ms; }
 
