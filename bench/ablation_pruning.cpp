@@ -27,16 +27,18 @@ int main() {
       {"no pruning at all", false, false},
   };
 
-  // One campaign cell per configuration; the runner keeps each cell's
-  // strategy alive so the pruning counters can be read after the run.
+  // One campaign cell per configuration; per-cell SabreConfig variants are
+  // not registry approaches, so each cell pins a custom strategy factory
+  // (and a display label). The runner keeps each cell's strategy alive so
+  // the pruning counters can be read after the run.
   std::vector<core::CampaignCellSpec> grid;
   for (const Config& config : configs) {
     core::CampaignCellSpec spec;
-    spec.approach = config.name;
-    spec.personality = fw::Personality::kArduPilotLike;
-    spec.workload = workload::WorkloadId::kFenceMission;
-    spec.bugs = fw::BugRegistry::current_code_base();
-    spec.budget_ms = 7200 * 1000;
+    spec.scenario.approach = "avis";
+    spec.scenario.personality = "ardupilot";
+    spec.scenario.workload = "fence-mission";
+    spec.scenario.budget_ms = 7200 * 1000;
+    spec.label = config.name;
     spec.make_strategy = [config](const core::MonitorModel& model, std::uint64_t) {
       core::SabreConfig sabre_config;
       sabre_config.symmetry_pruning = config.symmetry;
@@ -54,10 +56,10 @@ int main() {
     const auto& report = cell.report;
     const auto* sabre = dynamic_cast<const core::SabreScheduler*>(cell.strategy.get());
     if (sabre == nullptr) {
-      std::cerr << "cell '" << cell.spec.approach << "' did not run a SabreScheduler\n";
+      std::cerr << "cell '" << cell.spec.display_label() << "' did not run a SabreScheduler\n";
       return 1;
     }
-    t.add(cell.spec.approach, report.experiments, report.unsafe_count(),
+    t.add(cell.spec.display_label(), report.experiments, report.unsafe_count(),
           static_cast<int>(report.bug_first_found.size()), sabre->pruned_by_symmetry(),
           sabre->pruned_by_found_bug(), sabre->pruned_as_duplicate());
   }

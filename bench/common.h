@@ -3,125 +3,85 @@
 // Every table bench runs one or more of the four approaches — Avis (SABRE),
 // Stratified BFI, BFI, Random — against a (personality, workload) pair for a
 // two-hour-equivalent budget and aggregates the unsafe conditions found.
-// The multi-cell benches build a campaign grid and run it through
-// core::CampaignRunner, which shards whole cells across the machine on top
-// of the per-cell experiment pool; cell reports are bit-identical to the
-// serial run_cell loop (tests/test_campaign.cc).
+// Approaches, personalities, workloads and environments are registry names
+// (core/scenario.h): a bench describes its grid as a list of ScenarioSpec
+// cells and runs it through core::CampaignRunner, which shards whole cells
+// across the machine on top of the per-cell experiment pool; cell reports
+// are bit-identical to the serial run_cell loop (tests/test_campaign.cc).
 #pragma once
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
-#include "baselines/bfi.h"
-#include "baselines/random_injection.h"
-#include "baselines/stratified_bfi.h"
 #include "core/campaign.h"
 #include "core/checker.h"
-#include "core/sabre.h"
+#include "core/scenario.h"
 #include "util/concurrency.h"
 #include "util/table.h"
 
 namespace avis::bench {
 
-enum class Approach { kAvis = 0, kStratifiedBfi = 1, kBfi = 2, kRandom = 3 };
-
-inline const char* to_string(Approach a) {
-  switch (a) {
-    case Approach::kAvis: return "Avis";
-    case Approach::kStratifiedBfi: return "Strat. BFI";
-    case Approach::kBfi: return "BFI";
-    case Approach::kRandom: return "Random";
-  }
-  return "?";
+// The four paper approaches, in Table I/III row order.
+inline std::vector<std::string> paper_approaches() {
+  return {"avis", "stratified-bfi", "bfi", "random"};
 }
 
-// One process-wide Bayes model shared by every BFI-family cell. It is
-// immutable after construction (scoring is the only API), so concurrent
-// campaign cells can read it without synchronization; the magic-static
-// guarantees thread-safe initialization even when the first two cells race
-// to construct it.
-inline const baselines::NaiveBayesModel& shared_bayes() {
-  static const baselines::NaiveBayesModel model(baselines::default_training_corpus());
-  return model;
-}
-
-inline std::unique_ptr<core::InjectionStrategy> make_strategy(
-    Approach approach, const core::MonitorModel& model,
-    const baselines::NaiveBayesModel& bayes, std::uint64_t seed) {
-  const auto suite = core::SimulationHarness::iris_suite();
-  switch (approach) {
-    case Approach::kAvis:
-      return std::make_unique<core::SabreScheduler>(suite, model.golden_transitions());
-    case Approach::kStratifiedBfi:
-      return std::make_unique<baselines::StratifiedBfi>(suite, model.golden_transitions(),
-                                                        bayes);
-    case Approach::kBfi: {
-      baselines::ModeTimeline timeline(model.golden_transitions());
-      return std::make_unique<baselines::BfiChecker>(suite, bayes, std::move(timeline), seed);
-    }
-    case Approach::kRandom:
-      return std::make_unique<baselines::RandomInjection>(
-          suite, model.profiling_duration_ms(), seed);
-  }
-  return nullptr;
-}
-
-struct CellResult {
-  core::CheckerReport report;
-  fw::Personality personality;
-  workload::WorkloadId workload;
-};
-
-// Run one approach for one (personality, workload) cell under the paper's
-// per-workload budget. `workers` > 1 dispatches experiment batches across a
-// thread pool; the report is identical to the serial run (the parallel
-// checker applies results in submission order — docs/PERFORMANCE.md), so
-// table benches can use every core without perturbing their numbers. This
-// is the serial reference the campaign parity test compares against.
-inline CellResult run_cell(Approach approach, fw::Personality personality,
-                           workload::WorkloadId workload, const fw::BugRegistry& bugs,
-                           sim::SimTimeMs budget_ms = 7200 * 1000,
-                           std::uint64_t seed = 100,
-                           int workers = util::default_worker_count()) {
-  core::Checker checker(personality, workload, bugs, seed);
-  const core::MonitorModel& model = checker.model();
-  auto strategy = make_strategy(approach, model, shared_bayes(), seed + 7);
-  core::BudgetClock budget(budget_ms);
-  CellResult cell{checker.run_parallel(*strategy, budget, workers), personality, workload};
-  return cell;
-}
-
-// Campaign cell for a bench approach: the factory builds the strategy
-// against the shared Bayes model exactly as run_cell does.
-inline core::CampaignCellSpec make_cell(Approach approach, fw::Personality personality,
-                                        workload::WorkloadId workload,
-                                        const fw::BugRegistry& bugs,
-                                        sim::SimTimeMs budget_ms = 7200 * 1000,
-                                        std::uint64_t seed = 100) {
-  core::CampaignCellSpec spec;
-  spec.approach = to_string(approach);
-  spec.personality = personality;
-  spec.workload = workload;
-  spec.bugs = bugs;
-  spec.budget_ms = budget_ms;
-  spec.seed = seed;
-  spec.strategy_seed = seed + 7;
-  spec.make_strategy = [approach](const core::MonitorModel& model, std::uint64_t strategy_seed) {
-    return make_strategy(approach, model, shared_bayes(), strategy_seed);
-  };
-  return spec;
+// Display label for a registry approach name ("avis" -> "Avis").
+inline std::string label_of(const std::string& approach) {
+  return core::approach_label(approach);
 }
 
 // The two default evaluation workloads (paper §V-A).
-inline std::vector<workload::WorkloadId> evaluation_workloads() {
-  return {workload::WorkloadId::kBoxManual, workload::WorkloadId::kFenceMission};
+inline std::vector<std::string> evaluation_workloads() {
+  return {"box-manual", "fence-mission"};
 }
 
-inline std::vector<fw::Personality> evaluation_personalities() {
-  return {fw::Personality::kArduPilotLike, fw::Personality::kPx4Like};
+inline std::vector<std::string> evaluation_personalities() { return {"ardupilot", "px4"}; }
+
+struct CellResult {
+  core::CheckerReport report;
+  core::ScenarioSpec scenario;
+};
+
+// Run one approach for one scenario cell under the paper's per-workload
+// budget, serially constructed exactly as a campaign cell would be.
+// `workers` > 1 dispatches experiment batches across a thread pool; the
+// report is identical to the serial run (the parallel checker applies
+// results in submission order — docs/PERFORMANCE.md), so table benches can
+// use every core without perturbing their numbers. This is the serial
+// reference the campaign parity test compares against.
+inline CellResult run_cell(const core::ScenarioSpec& scenario,
+                           int workers = util::default_worker_count()) {
+  core::Checker checker(core::scenario_prototype(scenario));
+  const core::MonitorModel& model = checker.model();
+  auto strategy = core::make_scenario_strategy(scenario, model);
+  core::BudgetClock budget(scenario.budget_ms);
+  return CellResult{checker.run_parallel(*strategy, budget, workers), scenario};
+}
+
+// Campaign cell for a bench approach. `bugs` overrides the scenario's bug
+// selector with an explicit population (table 5 re-inserts one known bug
+// per cell); nullopt keeps the "current" Table II population.
+inline core::CampaignCellSpec make_cell(std::string approach, std::string personality,
+                                        std::string workload,
+                                        std::optional<fw::BugRegistry> bugs = std::nullopt,
+                                        sim::SimTimeMs budget_ms = 7200 * 1000,
+                                        std::uint64_t seed = 100,
+                                        std::string environment = "calm") {
+  core::CampaignCellSpec cell;
+  cell.scenario.approach = std::move(approach);
+  cell.scenario.personality = std::move(personality);
+  cell.scenario.workload = std::move(workload);
+  cell.scenario.environment = std::move(environment);
+  cell.scenario.budget_ms = budget_ms;
+  cell.scenario.seed = seed;
+  cell.scenario.strategy_seed = seed + 7;
+  cell.bugs_override = std::move(bugs);
+  return cell;
 }
 
 // The full evaluation grid for a set of approaches: both firmware
@@ -129,13 +89,14 @@ inline std::vector<fw::Personality> evaluation_personalities() {
 // (approach, personality, workload) order — the iteration order the serial
 // table benches used.
 inline std::vector<core::CampaignCellSpec> evaluation_grid(
-    const std::vector<Approach>& approaches, const fw::BugRegistry& bugs,
-    sim::SimTimeMs budget_ms = 7200 * 1000, std::uint64_t seed = 100) {
+    const std::vector<std::string>& approaches, sim::SimTimeMs budget_ms = 7200 * 1000,
+    std::uint64_t seed = 100) {
   std::vector<core::CampaignCellSpec> grid;
-  for (Approach approach : approaches) {
-    for (fw::Personality personality : evaluation_personalities()) {
-      for (workload::WorkloadId workload : evaluation_workloads()) {
-        grid.push_back(make_cell(approach, personality, workload, bugs, budget_ms, seed));
+  for (const std::string& approach : approaches) {
+    for (const std::string& personality : evaluation_personalities()) {
+      for (const std::string& workload : evaluation_workloads()) {
+        grid.push_back(make_cell(approach, personality, workload, std::nullopt, budget_ms,
+                                 seed));
       }
     }
   }

@@ -14,7 +14,6 @@
 
 int main() {
   using namespace avis;
-  using bench::Approach;
 
   std::cout << "== Table II: unknown bugs found by Avis ==\n";
   std::cout << "(2h-equivalent budget per approach per workload, both firmware)\n\n";
@@ -24,11 +23,10 @@ int main() {
   int avis_runs = 0;
   int sbfi_runs = 0;
 
-  const auto campaign = bench::run_campaign(
-      bench::evaluation_grid({Approach::kAvis, Approach::kStratifiedBfi},
-                             fw::BugRegistry::current_code_base()));
+  const auto campaign =
+      bench::run_campaign(bench::evaluation_grid({"avis", "stratified-bfi"}));
   for (const auto& cell : campaign.cells) {
-    const bool is_avis = cell.spec.approach == bench::to_string(Approach::kAvis);
+    const bool is_avis = cell.spec.scenario.approach == "avis";
     (is_avis ? avis_runs : sbfi_runs) += cell.report.experiments;
     auto& found = is_avis ? found_avis : found_sbfi;
     for (const auto& [bug, sim] : cell.report.bug_first_found) found.insert(bug);

@@ -9,30 +9,27 @@
 
 int main() {
   using namespace avis;
-  using bench::Approach;
 
   std::cout << "== Table III: unsafe scenarios identified by each approach ==\n";
   std::cout << "(2h-equivalent budget per workload; both default workloads)\n\n";
 
   struct Row {
-    Approach approach;
+    std::string approach;
     int ap = 0;
     int px4 = 0;
     int experiments = 0;
     int labels = 0;
   };
-  const std::vector<Approach> approaches = {Approach::kAvis, Approach::kStratifiedBfi,
-                                            Approach::kBfi, Approach::kRandom};
-  const auto campaign = bench::run_campaign(
-      bench::evaluation_grid(approaches, fw::BugRegistry::current_code_base()));
+  const std::vector<std::string> approaches = bench::paper_approaches();
+  const auto campaign = bench::run_campaign(bench::evaluation_grid(approaches));
 
   std::vector<Row> rows;
-  for (Approach approach : approaches) rows.push_back(Row{approach});
+  for (const std::string& approach : approaches) rows.push_back(Row{approach});
   for (const auto& cell : campaign.cells) {
     Row& row = *std::find_if(rows.begin(), rows.end(), [&](const Row& r) {
-      return bench::to_string(r.approach) == cell.spec.approach;
+      return r.approach == cell.spec.scenario.approach;
     });
-    if (cell.spec.personality == fw::Personality::kArduPilotLike) {
+    if (cell.spec.scenario.personality == "ardupilot") {
       row.ap += cell.report.unsafe_count();
     } else {
       row.px4 += cell.report.unsafe_count();
@@ -44,7 +41,7 @@ int main() {
   util::TextTable t({"Approach", "ArduPilot Unsafe #", "PX4 Unsafe #", "Total #",
                      "simulations", "model labels"});
   for (const Row& row : rows) {
-    t.add(bench::to_string(row.approach), row.ap, row.px4, row.ap + row.px4, row.experiments,
+    t.add(bench::label_of(row.approach), row.ap, row.px4, row.ap + row.px4, row.experiments,
           row.labels);
   }
   t.render(std::cout);

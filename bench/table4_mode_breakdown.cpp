@@ -6,25 +6,22 @@
 
 int main() {
   using namespace avis;
-  using bench::Approach;
 
   std::cout << "== Table IV: unsafe scenarios per mode ==\n";
   std::cout << "(2h-equivalent budget per workload; both firmware, both workloads)\n\n";
 
-  const std::vector<Approach> approaches = {Approach::kAvis, Approach::kStratifiedBfi,
-                                            Approach::kBfi, Approach::kRandom};
-  const auto campaign = bench::run_campaign(
-      bench::evaluation_grid(approaches, fw::BugRegistry::current_code_base()));
+  const std::vector<std::string> approaches = bench::paper_approaches();
+  const auto campaign = bench::run_campaign(bench::evaluation_grid(approaches));
 
   util::TextTable t({"Approach", "Takeoff #", "Manual #", "Waypoint #", "Land #"});
-  for (Approach approach : approaches) {
+  for (const std::string& approach : approaches) {
     std::array<int, 4> buckets{};
     for (const auto& cell : campaign.cells) {
-      if (cell.spec.approach != bench::to_string(approach)) continue;
+      if (cell.spec.scenario.approach != approach) continue;
       const auto cell_buckets = cell.report.unsafe_by_bucket();
       for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += cell_buckets[i];
     }
-    t.add(bench::to_string(approach), buckets[0], buckets[1], buckets[2], buckets[3]);
+    t.add(bench::label_of(approach), buckets[0], buckets[1], buckets[2], buckets[3]);
   }
   t.render(std::cout);
   std::cout << "\npaper: Avis 60/37/44/24, Strat. BFI 4/32/35/1, BFI 1/1/0/0, Random 0/2/3/0\n";

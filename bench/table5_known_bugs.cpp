@@ -12,7 +12,6 @@
 
 int main() {
   using namespace avis;
-  using bench::Approach;
 
   std::cout << "== Table V: previously-known bugs triggered after re-insertion ==\n\n";
 
@@ -20,16 +19,19 @@ int main() {
                              fw::BugId::kApm9349, fw::BugId::kPx413291};
 
   // One flat campaign grid in (bug, approach, workload) order: each known
-  // bug re-inserted on top of the current code base, run on the workload
-  // pair for the personality that exercises it.
+  // bug re-inserted on top of the current code base (a per-cell
+  // bugs_override — re-inserted populations are not registry entries), run
+  // on the workload pair for the personality that exercises it.
   std::vector<core::CampaignCellSpec> grid;
   for (fw::BugId bug : known) {
     const fw::BugInfo& info = fw::bug_info(bug);
     fw::BugRegistry registry = fw::BugRegistry::current_code_base();
     registry.enable(bug);
-    for (Approach approach : {Approach::kAvis, Approach::kStratifiedBfi}) {
-      for (workload::WorkloadId workload : bench::evaluation_workloads()) {
-        grid.push_back(bench::make_cell(approach, info.personality, workload, registry));
+    const std::string personality =
+        info.personality == fw::Personality::kArduPilotLike ? "ardupilot" : "px4";
+    for (const std::string& approach : {std::string("avis"), std::string("stratified-bfi")}) {
+      for (const std::string& workload : bench::evaluation_workloads()) {
+        grid.push_back(bench::make_cell(approach, personality, workload, registry));
       }
     }
   }
@@ -49,9 +51,9 @@ int main() {
     // check below guards that invariant).
     int row_cells = 0;
     for (const auto& cell : campaign.cells) {
-      if (!cell.spec.bugs.enabled(bug)) continue;
+      if (!cell.spec.bugs_override || !cell.spec.bugs_override->enabled(bug)) continue;
       ++row_cells;
-      const bool is_avis = cell.spec.approach == bench::to_string(Approach::kAvis);
+      const bool is_avis = cell.spec.scenario.approach == "avis";
       std::string& found = is_avis ? avis_found : sbfi_found;
       std::string& sims = is_avis ? avis_sims : sbfi_sims;
       if (auto it = cell.report.bug_first_found.find(bug);

@@ -95,9 +95,7 @@ BENCHMARK(BM_CheckerCampaign)
 // report is bit-identical to its serial run (tests/test_campaign.cc).
 static void BM_CampaignGrid(benchmark::State& state) {
   const int cell_workers = static_cast<int>(state.range(0));
-  const auto grid = bench::evaluation_grid({bench::Approach::kAvis},
-                                           fw::BugRegistry::current_code_base(),
-                                           /*budget_ms=*/kCampaignBudgetMs);
+  const auto grid = bench::evaluation_grid({"avis"}, /*budget_ms=*/kCampaignBudgetMs);
   core::CampaignOptions options;
   options.cell_workers = cell_workers;
   options.experiment_workers = 1;

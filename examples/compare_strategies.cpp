@@ -2,16 +2,16 @@
 // Table III): Avis vs Stratified BFI vs BFI vs Random on the ArduPilot-like
 // firmware with the fence workload, 30-minute-equivalent budget each.
 //
+// Everything is registry-named (core/scenario.h): the scenario below is the
+// same declarative spec `avis_campaign --scenario-file` runs, and swapping
+// the workload, environment preset, or bug population is a one-string edit.
 // Campaigns run through Checker::run_parallel, which spreads each batch of
 // experiments across the machine's cores; the reports are identical to the
 // serial path (docs/PERFORMANCE.md), so the comparison itself is unchanged.
 #include <iostream>
 
-#include "baselines/bfi.h"
-#include "baselines/random_injection.h"
-#include "baselines/stratified_bfi.h"
 #include "core/checker.h"
-#include "core/sabre.h"
+#include "core/scenario.h"
 #include "util/concurrency.h"
 #include "util/table.h"
 
@@ -22,29 +22,27 @@ int main() {
   std::cout << "== strategy comparison (ArduPilot-like, fence workload, 30 min budget, "
             << workers << " worker" << (workers == 1 ? "" : "s") << ") ==\n\n";
 
-  core::Checker checker(fw::Personality::kArduPilotLike, workload::WorkloadId::kFenceMission,
-                        fw::BugRegistry::current_code_base());
+  core::ScenarioSpec scenario;
+  scenario.personality = "ardupilot";
+  scenario.workload = "fence-mission";
+  scenario.environment = "calm";
+  scenario.budget_ms = 30 * 60 * 1000;
+  scenario.strategy_seed = 7;
+
+  // One calibrated checker shared by every approach, exactly as the paper
+  // compares strategies against the same profiled model.
+  core::Checker checker(core::scenario_prototype(scenario));
   const core::MonitorModel& model = checker.model();
-  baselines::NaiveBayesModel bayes(baselines::default_training_corpus());
-  const auto suite = core::SimulationHarness::iris_suite();
 
   util::TextTable table({"strategy", "sims", "labels", "unsafe #", "distinct bugs"});
-  auto run = [&](core::InjectionStrategy& strategy) {
-    core::BudgetClock budget(30 * 60 * 1000);
-    const auto report = checker.run_parallel(strategy, budget, workers);
-    table.add(strategy.name(), report.experiments, report.labels, report.unsafe_count(),
+  for (const char* approach : {"avis", "stratified-bfi", "bfi", "random"}) {
+    scenario.approach = approach;
+    auto strategy = core::make_scenario_strategy(scenario, model);
+    core::BudgetClock budget(scenario.budget_ms);
+    const auto report = checker.run_parallel(*strategy, budget, workers);
+    table.add(strategy->name(), report.experiments, report.labels, report.unsafe_count(),
               static_cast<int>(report.bug_first_found.size()));
-  };
-
-  core::SabreScheduler avis_strategy(suite, model.golden_transitions());
-  run(avis_strategy);
-  baselines::StratifiedBfi sbfi(suite, model.golden_transitions(), bayes);
-  run(sbfi);
-  baselines::BfiChecker bfi(suite, bayes,
-                            baselines::ModeTimeline(model.golden_transitions()), 7);
-  run(bfi);
-  baselines::RandomInjection random(suite, model.profiling_duration_ms(), 7);
-  run(random);
+  }
 
   table.render(std::cout);
   std::cout << "\nAvis reaches the mode-transition windows first; Stratified BFI skips the\n"

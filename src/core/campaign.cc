@@ -2,55 +2,59 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
 #include <future>
 #include <sstream>
 
 #include "util/checked.h"
+#include "util/json.h"
 #include "util/thread_pool.h"
 
 namespace avis::core {
 
 namespace {
 
-// One cell, end to end: calibrate, build the strategy, run the campaign
-// loop. Everything the cell touches is constructed here, so cells are safe
-// to run on pool threads.
+// One cell, end to end: resolve the scenario through the registries,
+// calibrate, build the strategy, run the campaign loop. Everything the cell
+// touches is constructed here, so cells are safe to run on pool threads.
 CampaignCellResult p_run_cell(const CampaignCellSpec& spec, int experiment_workers) {
-  util::expects(static_cast<bool>(spec.make_strategy), "campaign cell needs a strategy factory");
   CampaignCellResult result;
   result.spec = spec;
   const auto start = std::chrono::steady_clock::now();
-  Checker checker(spec.personality, spec.workload, spec.bugs, spec.seed);
+  // Resolve the approach name before calibration: a typo must throw before
+  // the cell burns its three profiling simulations (the header's "before
+  // any simulation starts" promise). Cells with a pinned factory skip the
+  // registry entirely.
+  if (!spec.make_strategy) approach_registry().at(spec.scenario.approach);
+  ExperimentSpec prototype = scenario_prototype(spec.scenario);
+  if (spec.bugs_override) prototype.bugs = *spec.bugs_override;
+  Checker checker(std::move(prototype));
   const MonitorModel& model = checker.model();
-  result.strategy = spec.make_strategy(model, spec.strategy_seed);
-  BudgetClock budget(spec.budget_ms);
+  result.strategy = spec.make_strategy
+                        ? spec.make_strategy(model, spec.scenario.strategy_seed)
+                        : make_scenario_strategy(spec.scenario, model);
+  util::expects(result.strategy != nullptr, "campaign cell produced no strategy");
+  BudgetClock budget(spec.scenario.budget_ms);
   result.report = checker.run_parallel(*result.strategy, budget, experiment_workers);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return result;
 }
 
-void p_append_escaped(std::ostream& os, const std::string& text) {
-  for (const char c : text) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-}
-
 }  // namespace
+
+std::vector<CampaignCellSpec> expand_to_cells(const ScenarioGrid& grid) {
+  std::vector<CampaignCellSpec> cells;
+  for (ScenarioSpec& scenario : grid.expand()) {
+    // Resolve every name up front so a typo fails before any cell has
+    // burned budget.
+    scenario.validate();
+    CampaignCellSpec cell;
+    cell.scenario = std::move(scenario);
+    cells.push_back(std::move(cell));
+  }
+  util::expects(!cells.empty(), "scenario grid expands to an empty campaign");
+  return cells;
+}
 
 util::WorkerBudget CampaignRunner::worker_split(std::size_t cells) const {
   const int total = std::max(1, options_.total_workers);
@@ -116,19 +120,24 @@ std::string campaign_report_json(const CampaignResult& result) {
   for (std::size_t i = 0; i < result.cells.size(); ++i) {
     const CampaignCellResult& cell = result.cells[i];
     const CheckerReport& report = cell.report;
+    const ScenarioSpec& scenario = cell.spec.scenario;
     os << "    {\n";
     os << "      \"index\": " << i << ",\n";
-    os << "      \"approach\": \"";
-    p_append_escaped(os, cell.spec.approach);
-    os << "\",\n";
-    os << "      \"strategy\": \"";
-    p_append_escaped(os, report.strategy_name);
-    os << "\",\n";
-    os << "      \"personality\": \"" << fw::to_string(cell.spec.personality) << "\",\n";
-    os << "      \"workload\": \"" << workload::to_string(cell.spec.workload) << "\",\n";
-    os << "      \"budget_ms\": " << cell.spec.budget_ms << ",\n";
+    os << "      \"approach\": \"" << util::json_escape(cell.spec.display_label()) << "\",\n";
+    os << "      \"approach_key\": \"" << util::json_escape(scenario.approach) << "\",\n";
+    os << "      \"strategy\": \"" << util::json_escape(report.strategy_name) << "\",\n";
+    os << "      \"personality\": \"" << util::json_escape(scenario.personality) << "\",\n";
+    os << "      \"workload\": \"" << util::json_escape(scenario.workload) << "\",\n";
+    os << "      \"environment\": \"" << util::json_escape(scenario.environment) << "\",\n";
+    // A bugs_override replaced the scenario's named population with an
+    // ad-hoc one (table 5's re-inserted bugs); don't misreport it as the
+    // selector name.
+    os << "      \"bugs\": \""
+       << util::json_escape(cell.spec.bugs_override ? std::string("custom") : scenario.bugs)
+       << "\",\n";
+    os << "      \"budget_ms\": " << scenario.budget_ms << ",\n";
     os << "      \"budget_used_ms\": " << report.budget_used_ms << ",\n";
-    os << "      \"seed\": " << cell.spec.seed << ",\n";
+    os << "      \"seed\": " << scenario.seed << ",\n";
     os << "      \"experiments\": " << report.experiments << ",\n";
     os << "      \"labels\": " << report.labels << ",\n";
     os << "      \"unsafe_count\": " << report.unsafe_count() << ",\n";

@@ -1,41 +1,59 @@
 // Campaign-level parallel execution (ROADMAP: "shard whole campaigns").
 //
-// A campaign is a grid of independent cells — (approach, personality,
-// workload) triples, each owning its own Checker (and therefore its own
-// profiling runs and monitor model), its own strategy, and its own
-// BudgetClock. Cells share nothing mutable, so the runner executes them
-// concurrently on a cell-level ThreadPool layered on top of each cell's
-// in-process experiment pool, and collects results in deterministic grid
-// order. Every cell report is bit-identical to a serial run of the same
-// cell regardless of either worker count (tests/test_campaign.cc;
-// docs/PERFORMANCE.md has the full contract).
+// A campaign is a grid of independent cells, each described by a
+// declarative ScenarioSpec (core/scenario.h): registry names for approach,
+// personality, workload, environment and bug population, plus budget and
+// seeds. Each cell owns its own Checker (and therefore its own profiling
+// runs and monitor model), its own strategy, and its own BudgetClock. Cells
+// share nothing mutable, so the runner executes them concurrently on a
+// cell-level ThreadPool layered on top of each cell's in-process experiment
+// pool, and collects results in deterministic grid order. Every cell report
+// is bit-identical to a serial run of the same cell regardless of either
+// worker count (tests/test_campaign.cc; docs/PERFORMANCE.md has the full
+// contract).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/checker.h"
+#include "core/scenario.h"
 #include "util/concurrency.h"
 
 namespace avis::core {
 
-// Builds a cell's strategy once its monitor model is calibrated. The second
-// argument is the cell's strategy seed.
+// Compatibility/extension hook: builds a cell's strategy once its monitor
+// model is calibrated. The second argument is the cell's strategy seed.
 using StrategyFactory =
     std::function<std::unique_ptr<InjectionStrategy>(const MonitorModel&, std::uint64_t)>;
 
 struct CampaignCellSpec {
-  std::string approach;  // display label, e.g. "Avis"
-  fw::Personality personality = fw::Personality::kArduPilotLike;
-  workload::WorkloadId workload = workload::WorkloadId::kAuto;
-  fw::BugRegistry bugs = fw::BugRegistry::current_code_base();
-  sim::SimTimeMs budget_ms = 7200 * 1000;  // the paper's per-workload budget
-  std::uint64_t seed = 100;                // checker seed (profiling + experiments)
-  std::uint64_t strategy_seed = 107;
+  // The declarative description; registry names resolve when the cell runs.
+  ScenarioSpec scenario;
+
+  // Display label for reports; empty means the approach registry's label
+  // ("Avis" for "avis"), or the raw approach name for non-registry cells.
+  std::string label;
+
+  // Escape hatches for cells that are not registry entries: the ablation
+  // bench runs SABRE with per-cell pruning configs, table 5 re-inserts one
+  // known bug per cell, and the parity tests pin custom factories. When
+  // set, they override the corresponding scenario field; everything else
+  // (personality, workload, environment, budget, seeds) still resolves from
+  // the scenario.
   StrategyFactory make_strategy;
+  std::optional<fw::BugRegistry> bugs_override;
+
+  std::string display_label() const {
+    return !label.empty() ? label : approach_label(scenario.approach);
+  }
 };
+
+// The grid a ScenarioGrid document describes, as runnable cells.
+std::vector<CampaignCellSpec> expand_to_cells(const ScenarioGrid& grid);
 
 struct CampaignCellResult {
   CampaignCellSpec spec;
@@ -77,8 +95,12 @@ class CampaignRunner {
 
   // Runs every cell of the grid and returns their results in grid order.
   // Exceptions thrown inside a cell (propagated through the pool's futures)
-  // surface on the calling thread.
+  // surface on the calling thread; unregistered scenario names throw
+  // util::UnknownNameError before any simulation starts.
   CampaignResult run(const std::vector<CampaignCellSpec>& grid) const;
+
+  // Convenience: expand a scenario grid and run it.
+  CampaignResult run(const ScenarioGrid& grid) const { return run(expand_to_cells(grid)); }
 
   // The worker split `run` would use for a grid of this size.
   util::WorkerBudget worker_split(std::size_t cells) const;
@@ -88,8 +110,8 @@ class CampaignRunner {
 };
 
 // Machine-readable campaign report for the bench trajectory: one object per
-// cell in grid order with throughput (experiments/sec), unsafe counts, and
-// bug-first-found simulation indices.
+// cell in grid order with its scenario identity (registry names), throughput
+// (experiments/sec), unsafe counts, and bug-first-found simulation indices.
 std::string campaign_report_json(const CampaignResult& result);
 
 }  // namespace avis::core

@@ -63,18 +63,26 @@ struct CheckerReport {
 
 class Checker {
  public:
+  // The prototype carries the full experiment identity — personality,
+  // workload (enum or factory), environment, bug population — and its
+  // `seed` is the seed base for profiling and experiments. Registry-named
+  // scenarios build a prototype through core::scenario_prototype(); the
+  // prototype's plan is cleared here, each experiment installs its own.
+  explicit Checker(ExperimentSpec prototype) : prototype_(std::move(prototype)) {
+    prototype_.plan = FaultPlan{};
+    prototype_.stop_on_violation = true;
+  }
+
   Checker(fw::Personality personality, workload::WorkloadId workload, fw::BugRegistry bugs,
           std::uint64_t seed_base = 100)
-      : personality_(personality), workload_(workload), bugs_(std::move(bugs)),
-        seed_base_(seed_base) {}
+      : Checker(p_make_prototype(personality, workload, std::move(bugs), seed_base)) {}
 
   // Profiling runs + monitor calibration happen on first use and are reused
   // across strategies so comparisons share the same model.
   const MonitorModel& model() {
     if (!model_) {
       auto context = contexts_.acquire();
-      model_ = harness_.profile(personality_, workload_, bugs_, /*runs=*/3, seed_base_,
-                                context.get());
+      model_ = harness_.profile(prototype_, /*runs=*/3, prototype_.seed, context.get());
       contexts_.release(std::move(context));
     }
     return *model_;
@@ -157,23 +165,33 @@ class Checker {
     return report;
   }
 
-  fw::Personality personality() const { return personality_; }
-  workload::WorkloadId workload() const { return workload_; }
-  const fw::BugRegistry& bugs() const { return bugs_; }
+  fw::Personality personality() const { return prototype_.personality; }
+  // The enum id the prototype was built from; registry-named scenarios run
+  // through `prototype().workload_factory` and leave this at its default.
+  workload::WorkloadId workload() const { return prototype_.workload; }
+  const fw::BugRegistry& bugs() const { return prototype_.bugs; }
+  const ExperimentSpec& prototype() const { return prototype_; }
   SimulationHarness& harness() { return harness_; }
 
  private:
+  static ExperimentSpec p_make_prototype(fw::Personality personality,
+                                         workload::WorkloadId workload, fw::BugRegistry bugs,
+                                         std::uint64_t seed_base) {
+    ExperimentSpec prototype;
+    prototype.personality = personality;
+    prototype.workload = workload;
+    prototype.bugs = std::move(bugs);
+    prototype.seed = seed_base;
+    return prototype;
+  }
+
   ExperimentSpec p_make_spec(const FaultPlan& plan, const MonitorModel& monitor) const {
-    ExperimentSpec spec;
-    spec.personality = personality_;
-    spec.workload = workload_;
-    spec.bugs = bugs_;
+    ExperimentSpec spec = prototype_;
     spec.plan = plan;
-    // Test runs reuse the golden run's seed: on this deterministic
-    // substrate a run then differs from the golden run only through the
-    // injected faults, which keeps Eq. 1 free of seed-variance noise (the
-    // paper absorbs that noise into tau instead).
-    spec.seed = seed_base_;
+    // Test runs reuse the golden run's seed (already the prototype's): on
+    // this deterministic substrate a run then differs from the golden run
+    // only through the injected faults, which keeps Eq. 1 free of
+    // seed-variance noise (the paper absorbs that noise into tau instead).
     spec.max_duration_ms = monitor.profiling_duration_ms() + 45000;
     return spec;
   }
@@ -189,7 +207,7 @@ class Checker {
       record.violation = *result.violation;
       record.fired_bugs = result.fired_bugs;
       record.transitions = std::move(result.transitions);
-      record.seed = seed_base_;
+      record.seed = prototype_.seed;
       record.experiment_index = report.experiments;
       for (fw::BugId id : record.fired_bugs) {
         report.bug_first_found.try_emplace(id, report.experiments);
@@ -198,10 +216,7 @@ class Checker {
     }
   }
 
-  fw::Personality personality_;
-  workload::WorkloadId workload_;
-  fw::BugRegistry bugs_;
-  std::uint64_t seed_base_;
+  ExperimentSpec prototype_;
   SimulationHarness harness_;
   ExperimentContextPool contexts_;
   std::optional<MonitorModel> model_;

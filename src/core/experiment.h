@@ -72,8 +72,14 @@ struct ExperimentSpec {
   fw::Personality personality = fw::Personality::kArduPilotLike;
   workload::WorkloadId workload = workload::WorkloadId::kAuto;
   // Custom workloads built with the framework plug in here; when set it
-  // overrides `workload`.
+  // overrides `workload`. Registry-named scenarios (core/scenario.h) always
+  // arrive through this factory.
   std::function<std::unique_ptr<workload::Workload>()> workload_factory;
+  // The world the run flies in; empty means the default flat calm field
+  // (the "calm" preset in sim/environment_presets.h). The factory must be a
+  // pure function so a run stays a pure function of its spec; keep captures
+  // small — the spec (and this function) is copied once per experiment.
+  std::function<sim::Environment()> environment_factory;
   fw::BugRegistry bugs = fw::BugRegistry::current_code_base();
   FaultPlan plan;
   std::uint64_t seed = 1;

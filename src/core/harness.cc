@@ -36,9 +36,12 @@ ExperimentResult SimulationHarness::run_with_director(const ExperimentSpec& spec
 
   util::Rng seed_source(spec.seed);
 
-  // Simulator: re-emplace in place (the environment is the default flat
-  // field; the emplace costs no heap traffic — observers start empty).
-  arena.simulator_.emplace(sim::Environment{}, sim::QuadcopterParams{}, seed_source.next_u64());
+  // Simulator: re-emplace in place. The environment is rebuilt from the
+  // spec's factory (the default is the flat calm field), so two runs of the
+  // same spec fly the same world; preset factories carry no per-run state.
+  arena.simulator_.emplace(spec.environment_factory ? spec.environment_factory()
+                                                    : sim::Environment{},
+                           sim::QuadcopterParams{}, seed_source.next_u64());
   sim::Simulator& simulator = *arena.simulator_;
 
   // Sensor suite: the expensive one (12 heap-allocated instances). Reset
@@ -180,23 +183,31 @@ ExperimentResult SimulationHarness::run_with_director(const ExperimentSpec& spec
   return result;
 }
 
-MonitorModel SimulationHarness::profile(fw::Personality personality,
-                                        workload::WorkloadId workload,
-                                        const fw::BugRegistry& bugs, int runs,
+MonitorModel SimulationHarness::profile(const ExperimentSpec& prototype, int runs,
                                         std::uint64_t seed_base,
                                         ExperimentContext* context) const {
   std::vector<ExperimentResult> profiling;
   for (int i = 0; i < runs; ++i) {
-    ExperimentSpec spec;
-    spec.personality = personality;
-    spec.workload = workload;
-    spec.bugs = bugs;
+    ExperimentSpec spec = prototype;
+    spec.plan = FaultPlan{};
     spec.seed = seed_base + static_cast<std::uint64_t>(i);
     profiling.push_back(run(spec, nullptr, context));
     util::expects(profiling.back().workload_passed,
                   "profiling run did not complete its workload");
   }
   return MonitorModel::calibrate(std::move(profiling));
+}
+
+MonitorModel SimulationHarness::profile(fw::Personality personality,
+                                        workload::WorkloadId workload,
+                                        const fw::BugRegistry& bugs, int runs,
+                                        std::uint64_t seed_base,
+                                        ExperimentContext* context) const {
+  ExperimentSpec prototype;
+  prototype.personality = personality;
+  prototype.workload = workload;
+  prototype.bugs = bugs;
+  return profile(prototype, runs, seed_base, context);
 }
 
 }  // namespace avis::core

@@ -199,7 +199,12 @@ class SimulationHarness {
 
   // Convenience: N fault-free profiling runs with distinct seeds, then
   // monitor calibration (paper: "We assume runs without sensor failures are
-  // correct").
+  // correct"). The prototype overload carries the full experiment identity
+  // — personality, workload (enum or factory), environment, bugs — so
+  // registry-named scenarios profile the exact world they search in; the
+  // prototype's plan and seed are ignored.
+  MonitorModel profile(const ExperimentSpec& prototype, int runs = 3,
+                       std::uint64_t seed_base = 1, ExperimentContext* context = nullptr) const;
   MonitorModel profile(fw::Personality personality, workload::WorkloadId workload,
                        const fw::BugRegistry& bugs, int runs = 3,
                        std::uint64_t seed_base = 1, ExperimentContext* context = nullptr) const;

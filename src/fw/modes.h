@@ -91,13 +91,18 @@ inline std::string personality_mode_name(Personality p, Mode m) {
 // Composite mode id reported through hinj: top byte is the mode, low byte a
 // sub-mode (the current mission leg inside AUTO, otherwise 0). The engine
 // treats distinct composite ids as distinct states in the mode graph.
+// Everything that speaks composite ids (workload scripts, SetMode commands,
+// tests) should build them through this helper rather than hand-shifted
+// literals.
+inline constexpr std::uint16_t composite_mode_id(Mode mode, std::uint8_t submode = 0) {
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(mode) << 8) | submode);
+}
+
 struct CompositeMode {
   Mode mode = Mode::kPreFlight;
   std::uint8_t submode = 0;
 
-  std::uint16_t id() const {
-    return static_cast<std::uint16_t>((static_cast<std::uint16_t>(mode) << 8) | submode);
-  }
+  std::uint16_t id() const { return composite_mode_id(mode, submode); }
 
   static CompositeMode from_id(std::uint16_t id) {
     return {static_cast<Mode>(id >> 8), static_cast<std::uint8_t>(id & 0xff)};

@@ -1,0 +1,54 @@
+// Environment presets: the worlds a scenario can fly in, keyed by the
+// string name scenario files and CLI flags use (docs/SCENARIOS.md).
+//
+// The paper's evaluation runs "an environment without hostile weather or
+// obstacles" (§IV-A) — that is the "calm" preset and the default
+// everywhere. The wind presets put the so-far-unused sim::Wind model into
+// play: steady mean wind displaces the hover and drifts every leg downwind;
+// gusts add per-axis gaussian turbulence drawn from the simulator's
+// deterministic per-run stream, so runs remain pure functions of their
+// spec. Adding a preset is one add() call in the builder below.
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "sim/environment.h"
+#include "util/registry.h"
+
+namespace avis::sim {
+
+using EnvironmentFactory = std::function<Environment()>;
+
+inline util::Registry<EnvironmentFactory>& environment_registry() {
+  static util::Registry<EnvironmentFactory> registry = [] {
+    util::Registry<EnvironmentFactory> r("environment");
+    r.add("calm", "flat field, no wind or obstacles (the paper's §IV-A world)",
+          [] { return Environment{}; });
+    r.add("breeze", "steady 1.8 m/s quartering wind, no gusts", [] {
+      Environment env;
+      Wind wind;
+      wind.mean = {1.5, 1.0, 0.0};
+      env.set_wind(wind);
+      return env;
+    });
+    r.add("gusty", "2.3 m/s mean wind with 0.7 m/s gaussian gusts per axis", [] {
+      Environment env;
+      Wind wind;
+      wind.mean = {2.0, 1.2, 0.0};
+      wind.gust_stddev = 0.7;
+      env.set_wind(wind);
+      return env;
+    });
+    return r;
+  }();
+  return registry;
+}
+
+// Build an environment by registered preset name; throws
+// util::UnknownNameError (with the registered-name listing) otherwise.
+inline Environment make_environment(std::string_view name) {
+  return environment_registry().at(name).factory();
+}
+
+}  // namespace avis::sim

@@ -1,0 +1,168 @@
+// String-keyed registries (ROADMAP: "as many scenarios as you can imagine").
+//
+// Every extensible axis of an experiment — workloads, injection approaches,
+// firmware personalities, environment presets, bug populations — is a
+// Registry<T>: an ordered list of {name, description, factory} entries
+// looked up by exact string name. Scenario files and CLI flags refer to
+// entries by name, so adding a scenario ingredient is one add() call in the
+// owning registry builder, with no enum, switch, or parser to extend.
+//
+// Lookups that miss throw UnknownNameError whose message carries the full
+// registered-name listing and a nearest-name suggestion, so every consumer
+// (CLI, scenario loader, tests) rejects typos with the same actionable
+// diagnostic. Registries are built once inside function-local statics and
+// must not be mutated while a campaign is running.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avis::util {
+
+// A name that is not registered. The what() string already contains the
+// "did you mean" suggestion and the registered-name listing.
+class UnknownNameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Levenshtein distance; the suggestion machinery only runs on the error
+// path, so the O(a*b) DP is irrelevant to any hot loop.
+inline std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+// Closest registered name, or "" when nothing is close enough to be a
+// plausible typo. A unique prefix match ("wind" -> "wind-gust-box") wins
+// over edit distance.
+inline std::string closest_name(std::string_view name, const std::vector<std::string>& names) {
+  std::string prefix_hit;
+  int prefix_hits = 0;
+  for (const std::string& candidate : names) {
+    if (!name.empty() && candidate.starts_with(name)) {
+      prefix_hit = candidate;
+      ++prefix_hits;
+    }
+  }
+  if (prefix_hits == 1) return prefix_hit;
+
+  const std::size_t threshold = name.size() <= 3 ? 1 : 2;
+  std::size_t best_distance = threshold + 1;
+  std::string best;
+  for (const std::string& candidate : names) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+// "unknown workload: 'surveey'; did you mean 'survey'? registered workloads
+// are: auto, box-manual, ..." — the one diagnostic every lookup miss
+// produces.
+inline std::string unknown_name_message(std::string_view what, std::string_view plural,
+                                        std::string_view name,
+                                        const std::vector<std::string>& names) {
+  std::string message = "unknown ";
+  message += what;
+  message += ": '";
+  message += name;
+  message += "'";
+  const std::string suggestion = closest_name(name, names);
+  if (!suggestion.empty()) {
+    message += "; did you mean '";
+    message += suggestion;
+    message += "'?";
+  }
+  message += " registered ";
+  message += plural;
+  message += " are: ";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i) message += ", ";
+    message += names[i];
+  }
+  return message;
+}
+
+inline std::string unknown_name_message(std::string_view what, std::string_view name,
+                                        const std::vector<std::string>& names) {
+  return unknown_name_message(what, std::string(what) + "s", name, names);
+}
+
+template <typename Factory>
+class Registry {
+ public:
+  struct Entry {
+    std::string name;
+    std::string description;
+    Factory factory;
+  };
+
+  // `what` names the kind of thing registered ("workload", "approach") and
+  // prefixes every lookup-miss diagnostic; `plural` defaults to `what` + "s"
+  // for the kinds whose English needs no help.
+  explicit Registry(std::string what, std::string plural = "")
+      : what_(std::move(what)),
+        plural_(plural.empty() ? what_ + "s" : std::move(plural)) {}
+
+  Registry& add(std::string name, std::string description, Factory factory) {
+    if (find(name) != nullptr) {
+      throw std::logic_error("duplicate " + what_ + " registration: " + name);
+    }
+    entries_.push_back({std::move(name), std::move(description), std::move(factory)});
+    return *this;
+  }
+
+  const Entry* find(std::string_view name) const {
+    for (const Entry& entry : entries_) {
+      if (entry.name == name) return &entry;
+    }
+    return nullptr;
+  }
+
+  const Entry& at(std::string_view name) const {
+    const Entry* entry = find(name);
+    if (entry == nullptr) {
+      throw UnknownNameError(unknown_name_message(what_, plural_, name, names()));
+    }
+    return *entry;
+  }
+
+  bool contains(std::string_view name) const { return find(name) != nullptr; }
+
+  // Registration order; this is the order listings and grids iterate in.
+  std::vector<std::string> names() const {
+    std::vector<std::string> result;
+    result.reserve(entries_.size());
+    for (const Entry& entry : entries_) result.push_back(entry.name);
+    return result;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  const std::string& what() const { return what_; }
+  const std::string& plural() const { return plural_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::string what_;
+  std::string plural_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace avis::util

@@ -48,11 +48,7 @@ class BoxManualWorkload final : public Workload {
     script_.arm_system_completely();
     script_.add("takeoff", [](GcsContext& ctx) { ctx.takeoff(kCruiseAltitude); },
                 [](GcsContext& ctx) { return ctx.altitude() >= kCruiseAltitude - 0.6; });
-    script_.add("enter_poshold",
-                [](GcsContext& ctx) {
-                  ctx.set_mode(static_cast<std::uint16_t>(3) << 8);  // kPositionHold
-                },
-                [](GcsContext&) { return true; });
+    script_.enter_mode(fw::Mode::kPositionHold);
     p_leg("north", /*pitch=*/0.85, /*roll=*/0.0,
           [](GcsContext& ctx) { return ctx.local_position().x >= 20.0; });
     p_leg("east", 0.0, 0.85, [](GcsContext& ctx) { return ctx.local_position().y >= 20.0; });

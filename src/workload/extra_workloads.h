@@ -1,0 +1,88 @@
+// Workloads beyond the paper's evaluation pair (ROADMAP: "opens a new
+// workload"). Both are built from the same Fig. 8 primitives as the
+// defaults and complete on both firmware personalities.
+//
+//  * WindGustBoxWorkload — a box perimeter flown as an AUTO mission,
+//    designed to pair with the "gusty"/"breeze" environment presets
+//    (sim::Wind): the mission controller rejects the wind disturbance, so
+//    the golden run completes while the profiled envelope and the mode
+//    windows reflect a turbulent flight.
+//  * SurveyMissionWorkload — a multi-leg lawnmower survey (five transects,
+//    then return-to-launch), the longest mission in the tree: it exposes
+//    many auto-wp mode-transition windows for SABRE to crawl.
+#pragma once
+
+#include "workload/workload.h"
+
+namespace avis::workload {
+
+inline constexpr double kWindBoxAltitude = 18.0;
+inline constexpr double kSurveyAltitude = 16.0;
+
+class WindGustBoxWorkload final : public Workload {
+ public:
+  WindGustBoxWorkload() : Workload("wind-gust-box") {
+    script_.wait_time(3000);
+    script_.add("upload",
+                [](GcsContext& ctx) {
+                  std::vector<mavlink::MissionItem> items;
+                  items.push_back(ctx.item_at(mavlink::Command::kNavTakeoff,
+                                              {0.0, 0.0, -kWindBoxAltitude}));
+                  items.push_back(ctx.item_at(mavlink::Command::kNavWaypoint,
+                                              {18.0, 0.0, -kWindBoxAltitude}));
+                  items.push_back(ctx.item_at(mavlink::Command::kNavWaypoint,
+                                              {18.0, 18.0, -kWindBoxAltitude}));
+                  items.push_back(ctx.item_at(mavlink::Command::kNavWaypoint,
+                                              {0.0, 18.0, -kWindBoxAltitude}));
+                  items.push_back(ctx.item_at(mavlink::Command::kNavWaypoint,
+                                              {0.0, 0.0, -kWindBoxAltitude}));
+                  items.push_back(ctx.item_at(mavlink::Command::kNavLand, {0.0, 0.0, 0.0}));
+                  ctx.upload_mission(std::move(items));
+                },
+                [](GcsContext& ctx) { return ctx.mission_uploaded(); }, 10000);
+    script_.arm_system_completely();
+    script_.enter_auto_mode();
+    script_.wait_altitude_at_least(kWindBoxAltitude - 0.6);
+    // Gusts stretch the perimeter legs; give the descent wait headroom over
+    // the default step timeout.
+    script_.wait_altitude_at_most(0.4, 90000);
+    script_.wait_disarm();
+  }
+};
+
+class SurveyMissionWorkload final : public Workload {
+ public:
+  SurveyMissionWorkload() : Workload("survey") {
+    script_.wait_time(3000);
+    script_.add("upload",
+                [](GcsContext& ctx) {
+                  std::vector<mavlink::MissionItem> items;
+                  items.push_back(ctx.item_at(mavlink::Command::kNavTakeoff,
+                                              {0.0, 0.0, -kSurveyAltitude}));
+                  // Lawnmower transects over a 32 m x 24 m field.
+                  items.push_back(ctx.item_at(mavlink::Command::kNavWaypoint,
+                                              {32.0, 0.0, -kSurveyAltitude}));
+                  items.push_back(ctx.item_at(mavlink::Command::kNavWaypoint,
+                                              {32.0, 12.0, -kSurveyAltitude}));
+                  items.push_back(ctx.item_at(mavlink::Command::kNavWaypoint,
+                                              {0.0, 12.0, -kSurveyAltitude}));
+                  items.push_back(ctx.item_at(mavlink::Command::kNavWaypoint,
+                                              {0.0, 24.0, -kSurveyAltitude}));
+                  items.push_back(ctx.item_at(mavlink::Command::kNavWaypoint,
+                                              {32.0, 24.0, -kSurveyAltitude}));
+                  items.push_back(ctx.item_at(mavlink::Command::kNavReturnToLaunch,
+                                              {0.0, 0.0, -kSurveyAltitude}));
+                  ctx.upload_mission(std::move(items));
+                },
+                [](GcsContext& ctx) { return ctx.mission_uploaded(); }, 10000);
+    script_.arm_system_completely();
+    script_.enter_auto_mode();
+    script_.wait_altitude_at_least(kSurveyAltitude - 0.6);
+    // Five transects plus the return leg take most of the mission; the
+    // descent wait spans all of it.
+    script_.wait_altitude_at_most(0.4, 120000);
+    script_.wait_disarm();
+  }
+};
+
+}  // namespace avis::workload

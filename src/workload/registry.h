@@ -1,0 +1,51 @@
+// The workload registry: every workload the campaign stack can run, keyed
+// by the string name scenario files and CLI flags use (docs/SCENARIOS.md).
+//
+// Adding a workload is one edit in this file: define the class (or include
+// its header) and add() it in the builder below. Nothing else — no enum, no
+// switch, no CLI parser — needs to change; `avis_campaign --list` and the
+// unknown-name diagnostics pick the entry up from here.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "util/registry.h"
+#include "workload/default_workloads.h"
+#include "workload/extra_workloads.h"
+
+namespace avis::workload {
+
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+inline util::Registry<WorkloadFactory>& workload_registry() {
+  static util::Registry<WorkloadFactory> registry = [] {
+    util::Registry<WorkloadFactory> r("workload");
+    r.add("auto", "Fig. 8 mission: takeoff + land flown in AUTO (paper §V-A)",
+          [] { return std::unique_ptr<Workload>(std::make_unique<AutoWorkload>()); });
+    r.add("box-manual",
+          "20 m box flown on RC sticks in position-hold, land at launch (paper §V-A)",
+          [] { return std::unique_ptr<Workload>(std::make_unique<BoxManualWorkload>()); });
+    r.add("fence-mission",
+          "waypoint box whose last leg crosses a geofence; fence failsafe returns home "
+          "(paper §V-A)",
+          [] { return std::unique_ptr<Workload>(std::make_unique<FenceMissionWorkload>()); });
+    r.add("wind-gust-box",
+          "box perimeter flown as an AUTO mission under wind; pairs with the gusty "
+          "environment preset",
+          [] { return std::unique_ptr<Workload>(std::make_unique<WindGustBoxWorkload>()); });
+    r.add("survey", "five-transect lawnmower survey, return to launch; the longest mission",
+          [] { return std::unique_ptr<Workload>(std::make_unique<SurveyMissionWorkload>()); });
+    return r;
+  }();
+  return registry;
+}
+
+// Build a workload by registered name; throws util::UnknownNameError (with
+// the registered-name listing) for anything else.
+inline std::unique_ptr<Workload> make_workload(std::string_view name) {
+  return workload_registry().at(name).factory();
+}
+
+}  // namespace avis::workload

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "fw/modes.h"
 #include "workload/context.h"
 
 namespace avis::workload {
@@ -54,27 +55,27 @@ class Script {
         [](GcsContext& ctx) { return ctx.armed(); }, 5000);
   }
 
-  void enter_auto_mode() {
-    add("enter_auto",
-        [](GcsContext& ctx) {
-          ctx.set_mode(static_cast<std::uint16_t>(5) << 8);  // Mode::kAuto
-        },
+  void enter_mode(fw::Mode mode) {
+    add(std::string("enter_") + fw::canonical_name(mode),
+        [mode](GcsContext& ctx) { ctx.set_mode(fw::composite_mode_id(mode)); },
         [](GcsContext&) { return true; });
   }
 
-  void wait_altitude_at_least(double alt_m) {
+  void enter_auto_mode() { enter_mode(fw::Mode::kAuto); }
+
+  void wait_altitude_at_least(double alt_m, sim::SimTimeMs timeout_ms = 60000) {
     add("wait_altitude>=", [](GcsContext&) {},
-        [alt_m](GcsContext& ctx) { return ctx.altitude() >= alt_m; });
+        [alt_m](GcsContext& ctx) { return ctx.altitude() >= alt_m; }, timeout_ms);
   }
 
-  void wait_altitude_at_most(double alt_m) {
+  void wait_altitude_at_most(double alt_m, sim::SimTimeMs timeout_ms = 60000) {
     add("wait_altitude<=", [](GcsContext&) {},
-        [alt_m](GcsContext& ctx) { return ctx.altitude() <= alt_m; });
+        [alt_m](GcsContext& ctx) { return ctx.altitude() <= alt_m; }, timeout_ms);
   }
 
-  void wait_disarm() {
+  void wait_disarm(sim::SimTimeMs timeout_ms = 60000) {
     add("wait_disarm", [](GcsContext&) {},
-        [](GcsContext& ctx) { return !ctx.armed(); });
+        [](GcsContext& ctx) { return !ctx.armed(); }, timeout_ms);
   }
 
   const std::vector<Step>& steps() const { return steps_; }

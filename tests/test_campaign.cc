@@ -35,17 +35,17 @@ core::StrategyFactory random_factory() {
 
 std::vector<core::CampaignCellSpec> test_grid() {
   std::vector<core::CampaignCellSpec> grid;
-  for (workload::WorkloadId workload :
-       {workload::WorkloadId::kAuto, workload::WorkloadId::kBoxManual}) {
+  for (const char* workload : {"auto", "box-manual"}) {
     for (const bool avis_cell : {true, false}) {
       core::CampaignCellSpec spec;
-      spec.approach = avis_cell ? "Avis" : "Random";
-      spec.personality = fw::Personality::kArduPilotLike;
-      spec.workload = workload;
-      spec.bugs = fw::BugRegistry::current_code_base();
-      spec.budget_ms = kBudgetMs;
-      spec.seed = 100;
-      spec.strategy_seed = 107;
+      spec.scenario.approach = avis_cell ? "avis" : "random";
+      spec.scenario.personality = "ardupilot";
+      spec.scenario.workload = workload;
+      spec.scenario.budget_ms = kBudgetMs;
+      spec.scenario.seed = 100;
+      spec.scenario.strategy_seed = 107;
+      // Pin custom factories through the compatibility hook: the parity
+      // contract must hold for non-registry strategies too.
       spec.make_strategy = avis_cell ? sabre_factory() : random_factory();
       grid.push_back(std::move(spec));
     }
@@ -60,9 +60,9 @@ std::vector<core::CheckerReport> serial_reference(
     const std::vector<core::CampaignCellSpec>& grid) {
   std::vector<core::CheckerReport> reports;
   for (const auto& spec : grid) {
-    core::Checker checker(spec.personality, spec.workload, spec.bugs, spec.seed);
-    auto strategy = spec.make_strategy(checker.model(), spec.strategy_seed);
-    core::BudgetClock budget(spec.budget_ms);
+    core::Checker checker(core::scenario_prototype(spec.scenario));
+    auto strategy = spec.make_strategy(checker.model(), spec.scenario.strategy_seed);
+    core::BudgetClock budget(spec.scenario.budget_ms);
     reports.push_back(checker.run(*strategy, budget));
   }
   return reports;
@@ -135,8 +135,8 @@ TEST(Campaign, ConcurrentCellsMatchSerialRunCellLoop) {
     SCOPED_TRACE("cell " + std::to_string(i));
     // Deterministic grid order: cell i of the result is cell i of the grid,
     // no matter which finished first.
-    EXPECT_EQ(result.cells[i].spec.approach, grid[i].approach);
-    EXPECT_EQ(result.cells[i].spec.workload, grid[i].workload);
+    EXPECT_EQ(result.cells[i].spec.scenario.approach, grid[i].scenario.approach);
+    EXPECT_EQ(result.cells[i].spec.scenario.workload, grid[i].scenario.workload);
     avis::testing::expect_reports_equal(serial[i], result.cells[i].report);
   }
   EXPECT_EQ(result.split.campaign_workers, 3);
@@ -171,11 +171,20 @@ TEST(Campaign, JsonReportCarriesPerCellMetrics) {
   EXPECT_LT(json.find("\"index\": 0"), json.find("\"index\": 1"));
 }
 
-TEST(Campaign, MissingStrategyFactoryFailsLoudly) {
+TEST(Campaign, UnknownApproachFailsLoudly) {
+  // A cell whose approach is not registered and that pins no custom
+  // strategy factory must fail before any simulation runs, with the
+  // registered-name listing.
   core::CampaignCellSpec broken;
-  broken.approach = "broken";
-  broken.budget_ms = 1000;
-  EXPECT_THROW(core::CampaignRunner().run({broken}), util::InvariantError);
+  broken.scenario.approach = "broken";
+  broken.scenario.budget_ms = 1000;
+  try {
+    core::CampaignRunner().run({broken});
+    FAIL() << "expected UnknownNameError";
+  } catch (const util::UnknownNameError& err) {
+    EXPECT_NE(std::string(err.what()).find("registered approach"), std::string::npos)
+        << err.what();
+  }
 }
 
 }  // namespace

@@ -1,0 +1,144 @@
+// util::Registry: the string-keyed extension point every scenario axis
+// (workload, approach, personality, environment, bug population) hangs off.
+// The contract under test: registration order is listing order, duplicate
+// names are rejected at registration, and a lookup miss produces one
+// actionable diagnostic — nearest-name suggestion plus the registered-name
+// listing — as an UnknownNameError.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "util/json.h"
+#include "util/registry.h"
+
+namespace {
+
+using avis::util::Registry;
+using avis::util::UnknownNameError;
+
+using StringFactory = std::function<std::string()>;
+
+Registry<StringFactory> make_test_registry() {
+  Registry<StringFactory> r("widget");
+  r.add("alpha", "first", [] { return std::string("A"); })
+      .add("beta", "second", [] { return std::string("B"); })
+      .add("gamma-long", "third", [] { return std::string("C"); });
+  return r;
+}
+
+TEST(Registry, FindAtAndNamesPreserveRegistrationOrder) {
+  const auto r = make_test_registry();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.contains("beta"));
+  EXPECT_FALSE(r.contains("delta"));
+  ASSERT_NE(r.find("alpha"), nullptr);
+  EXPECT_EQ(r.find("alpha")->description, "first");
+  EXPECT_EQ(r.at("beta").factory(), "B");
+  EXPECT_EQ(r.names(), (std::vector<std::string>{"alpha", "beta", "gamma-long"}));
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  auto r = make_test_registry();
+  EXPECT_THROW(r.add("beta", "again", [] { return std::string(); }), std::logic_error);
+}
+
+TEST(Registry, UnknownNameCarriesSuggestionAndListing) {
+  const auto r = make_test_registry();
+  try {
+    r.at("betaa");
+    FAIL() << "expected UnknownNameError";
+  } catch (const UnknownNameError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("unknown widget: 'betaa'"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean 'beta'?"), std::string::npos) << what;
+    EXPECT_NE(what.find("registered widgets are: alpha, beta, gamma-long"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Registry, CustomPluralReachesTheDiagnostic) {
+  Registry<int> r("personality", "personalities");
+  r.add("ardupilot", "", 0);
+  try {
+    r.at("apm");
+    FAIL() << "expected UnknownNameError";
+  } catch (const UnknownNameError& err) {
+    EXPECT_NE(std::string(err.what()).find("registered personalities are"), std::string::npos);
+  }
+}
+
+TEST(Registry, EditDistance) {
+  EXPECT_EQ(avis::util::edit_distance("", ""), 0u);
+  EXPECT_EQ(avis::util::edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(avis::util::edit_distance("abc", "abd"), 1u);
+  EXPECT_EQ(avis::util::edit_distance("abc", ""), 3u);
+  EXPECT_EQ(avis::util::edit_distance("kitten", "sitting"), 3u);
+}
+
+TEST(Registry, ClosestNamePrefersUniquePrefixThenDistance) {
+  const std::vector<std::string> names{"auto", "box-manual", "fence-mission", "wind-gust-box",
+                                       "survey"};
+  EXPECT_EQ(avis::util::closest_name("wind", names), "wind-gust-box");
+  EXPECT_EQ(avis::util::closest_name("surveey", names), "survey");
+  EXPECT_EQ(avis::util::closest_name("zzzzzz", names), "");
+}
+
+// --- util::Json, the other half of the scenario-file substrate ------------
+
+TEST(Json, ParsesScalarsObjectsAndArrays) {
+  const auto json = avis::util::Json::parse(
+      R"({"name": "boxA", "count": 3, "big": 18446744073709551615,)"
+      R"( "neg": -42, "pi": 3.5, "flag": true, "nothing": null,)"
+      R"( "list": ["a", "b"], "nested": {"k": 1}})");
+  EXPECT_EQ(json.at("name").as_string(), "boxA");
+  EXPECT_EQ(json.at("count").as_int64(), 3);
+  EXPECT_EQ(json.at("big").as_uint64(), 18446744073709551615ull);
+  EXPECT_EQ(json.at("neg").as_int64(), -42);
+  EXPECT_DOUBLE_EQ(json.at("pi").as_double(), 3.5);
+  EXPECT_TRUE(json.at("flag").as_bool());
+  EXPECT_TRUE(json.at("nothing").is_null());
+  ASSERT_EQ(json.at("list").as_array().size(), 2u);
+  EXPECT_EQ(json.at("list").as_array()[1].as_string(), "b");
+  EXPECT_EQ(json.at("nested").at("k").as_int64(), 1);
+  EXPECT_EQ(json.find("absent"), nullptr);
+  EXPECT_EQ(json.get_string("absent", "fallback"), "fallback");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(avis::util::Json::parse(""), avis::util::JsonError);
+  EXPECT_THROW(avis::util::Json::parse("{"), avis::util::JsonError);
+  EXPECT_THROW(avis::util::Json::parse("{} trailing"), avis::util::JsonError);
+  EXPECT_THROW(avis::util::Json::parse(R"({"a": })"), avis::util::JsonError);
+  EXPECT_THROW(avis::util::Json::parse(R"("unterminated)"), avis::util::JsonError);
+  EXPECT_THROW(avis::util::Json::parse("-"), avis::util::JsonError);
+  EXPECT_THROW(avis::util::Json::parse("tru"), avis::util::JsonError);
+}
+
+TEST(Json, EnforcesTheStrictNumberGrammar) {
+  // RFC 8259: these are not numbers, and a conforming downstream consumer
+  // of a scenario/report document would reject them too.
+  for (const char* bad : {"1.", "1e", "1e+", "-.5", ".5", "01", "-"}) {
+    EXPECT_THROW(avis::util::Json::parse(bad), avis::util::JsonError) << bad;
+  }
+  EXPECT_EQ(avis::util::Json::parse("0").as_int64(), 0);
+  EXPECT_EQ(avis::util::Json::parse("-0").as_int64(), 0);
+  EXPECT_DOUBLE_EQ(avis::util::Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(avis::util::Json::parse("-2.5E-1").as_double(), -0.25);
+}
+
+TEST(Json, IntegerAccessorsRejectLossyValues) {
+  const auto json = avis::util::Json::parse(R"({"frac": 1.25, "neg": -1})");
+  EXPECT_THROW(json.at("frac").as_int64(), avis::util::JsonError);
+  EXPECT_THROW(json.at("neg").as_uint64(), avis::util::JsonError);
+  EXPECT_DOUBLE_EQ(json.at("frac").as_double(), 1.25);
+}
+
+TEST(Json, EscapesRoundTrip) {
+  const std::string raw = "a\"b\\c\nd\te\x01";
+  const std::string escaped = avis::util::json_escape(raw);
+  const auto parsed = avis::util::Json::parse("\"" + escaped + "\"");
+  EXPECT_EQ(parsed.as_string(), raw);
+}
+
+}  // namespace

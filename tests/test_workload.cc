@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "core/scenario.h"
 #include "test_helpers.h"
 #include "workload/default_workloads.h"
+#include "workload/registry.h"
 #include "workload/workload.h"
 
 namespace avis::workload {
@@ -70,11 +72,11 @@ TEST_F(WorkloadFrameworkTest, TelemetryUpdatesContext) {
   channel_.vehicle().send(gp);
   mavlink::Heartbeat hb;
   hb.armed = true;
-  hb.custom_mode = 0x0400;
+  hb.custom_mode = fw::composite_mode_id(fw::Mode::kTakeoff);
   channel_.vehicle().send(hb);
   ctx_.pump(1000);
   EXPECT_TRUE(ctx_.armed());
-  EXPECT_EQ(ctx_.mode_id(), 0x0400);
+  EXPECT_EQ(ctx_.mode_id(), fw::composite_mode_id(fw::Mode::kTakeoff));
   EXPECT_NEAR(ctx_.altitude(), 20.0, 1e-9);
   EXPECT_NEAR(ctx_.local_position().x, 5.0, 1e-6);
 }
@@ -84,6 +86,63 @@ TEST(WorkloadFactory, MakesAllThree) {
   EXPECT_NE(make_workload(WorkloadId::kBoxManual), nullptr);
   EXPECT_NE(make_workload(WorkloadId::kFenceMission), nullptr);
   EXPECT_EQ(make_workload(WorkloadId::kAuto)->name(), "auto");
+}
+
+TEST(WorkloadRegistry, EveryEntryBuildsItsNamesake) {
+  for (const auto& entry : workload_registry().entries()) {
+    auto workload = entry.factory();
+    ASSERT_NE(workload, nullptr) << entry.name;
+    EXPECT_EQ(workload->name(), entry.name);
+    EXPECT_FALSE(entry.description.empty()) << entry.name;
+  }
+  // The enum factory and the registry agree on the paper workloads.
+  EXPECT_EQ(make_workload("box-manual")->name(), make_workload(WorkloadId::kBoxManual)->name());
+  EXPECT_THROW(make_workload("box"), util::UnknownNameError);
+}
+
+// The failure path (paper §V-A's deadlock hazard): a step whose `done`
+// predicate never holds must hit its timeout_ms, fail the workload, and
+// terminate the harness run cleanly — well before the experiment's
+// max_duration backstop.
+class NeverCompletesWorkload final : public Workload {
+ public:
+  NeverCompletesWorkload() : Workload("never-completes") {
+    script_.wait_time(500);
+    script_.add("unreachable", [](GcsContext& ctx) { ctx.arm(); },
+                [](GcsContext&) { return false; }, /*timeout_ms=*/2000);
+    script_.wait_disarm();
+  }
+};
+
+TEST(WorkloadFailurePath, StepTimeoutFailsTheWorkloadAndEndsTheRun) {
+  core::SimulationHarness harness;
+  core::ExperimentSpec spec;
+  spec.personality = fw::Personality::kArduPilotLike;
+  spec.workload_factory = [] {
+    return std::unique_ptr<Workload>(std::make_unique<NeverCompletesWorkload>());
+  };
+  spec.max_duration_ms = 60000;
+  const core::ExperimentResult result = harness.run(spec);
+
+  EXPECT_FALSE(result.workload_passed);
+  // wait_time (500 ms) + timeout (2000 ms) + the harness's settle grace —
+  // the run ends in seconds, it does not hang to the 60 s backstop.
+  EXPECT_LT(result.duration_ms, 10000);
+  EXPECT_GT(result.duration_ms, 2500);
+  EXPECT_EQ(result.crash_cause, sim::CrashCause::kNone);
+}
+
+TEST(WorkloadFailurePath, FailedStepIsNamed) {
+  mavlink::Channel channel;
+  GcsContext ctx(channel.gcs(), geo::LocalFrame(geo::GeoPoint{40.0, -83.0, 200.0}));
+  NeverCompletesWorkload workload;
+  WorkloadStatus status = WorkloadStatus::kRunning;
+  for (sim::SimTimeMs t = 0; t <= 4000 && status == WorkloadStatus::kRunning; t += 20) {
+    ctx.pump(t);
+    status = workload.step(ctx);
+  }
+  EXPECT_EQ(status, WorkloadStatus::kFailed);
+  EXPECT_EQ(workload.failed_step(), "unreachable");
 }
 
 // Integration: every default workload completes on both personalities —
@@ -118,6 +177,47 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
       std::string name = std::string(fw::to_string(info.param.personality)) + "_" +
                          to_string(info.param.workload);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// The new registry workloads complete golden on both personalities, in the
+// environment presets they are meant to pair with — the precondition for
+// profiling (and therefore for any campaign cell naming them).
+struct ScenarioGoldenCase {
+  const char* personality;
+  const char* workload;
+  const char* environment;
+};
+
+class ScenarioGoldenMatrix : public ::testing::TestWithParam<ScenarioGoldenCase> {};
+
+TEST_P(ScenarioGoldenMatrix, CompletesWithoutFaults) {
+  const ScenarioGoldenCase param = GetParam();
+  core::ScenarioSpec scenario;
+  scenario.personality = param.personality;
+  scenario.workload = param.workload;
+  scenario.environment = param.environment;
+  core::ExperimentSpec spec = core::scenario_prototype(scenario);
+  core::SimulationHarness harness;
+  const auto result = harness.run(spec);
+  EXPECT_TRUE(result.workload_passed);
+  EXPECT_EQ(result.crash_cause, sim::CrashCause::kNone);
+  EXPECT_TRUE(result.fired_bugs.empty());
+  EXPECT_GE(result.transitions.size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NewWorkloadsBothFirmware, ScenarioGoldenMatrix,
+    ::testing::Values(ScenarioGoldenCase{"ardupilot", "wind-gust-box", "gusty"},
+                      ScenarioGoldenCase{"px4", "wind-gust-box", "gusty"},
+                      ScenarioGoldenCase{"ardupilot", "survey", "calm"},
+                      ScenarioGoldenCase{"px4", "survey", "breeze"}),
+    [](const ::testing::TestParamInfo<ScenarioGoldenCase>& info) {
+      std::string name = std::string(info.param.personality) + "_" + info.param.workload +
+                         "_" + info.param.environment;
       for (char& ch : name) {
         if (ch == '-') ch = '_';
       }

@@ -1,14 +1,29 @@
-// Campaign CLI: run an (approach x personality x workload) grid through
-// core::CampaignRunner and emit the machine-readable JSON report the bench
-// trajectory tracks (per-cell experiments/sec, unsafe counts, bug-first-
-// found simulation indices).
+// Campaign CLI: run an (approach x personality x workload x environment)
+// scenario grid through core::CampaignRunner and emit the machine-readable
+// JSON report the bench trajectory tracks (per-cell experiments/sec, unsafe
+// counts, bug-first-found simulation indices).
+//
+// Grids are declarative core::ScenarioGrid documents (docs/SCENARIOS.md).
+// The CSV flags are sugar that builds a grid through the registries; the
+// same grid can be written out with --dump-scenario and run later (or on
+// another host) with --scenario-file, producing a report identical to the
+// flag-built run modulo wall-clock timing fields.
 //
 // Examples:
 //   avis_campaign                                   # full 4x2x2 grid, 2 h budget
 //   avis_campaign --approaches avis,random --personalities ardupilot \
 //                 --workloads box-manual,fence-mission \
 //                 --budget-ms 60000 --out report.json   # CI smoke grid
+//   avis_campaign --workloads wind-gust-box --environments gusty \
+//                 --dump-scenario grid.json             # write, don't run
+//   avis_campaign --scenario-file grid.json --out report.json
+//   avis_campaign --list                                # registry listing
+//
+// Unknown approach/personality/workload/environment/bug names (and unknown
+// flags) exit non-zero with a "did you mean ...? registered ... are: ..."
+// diagnostic sourced from the registries.
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -19,24 +34,26 @@
 
 #include "../bench/common.h"
 #include "core/campaign.h"
+#include "core/scenario.h"
+#include "sim/environment_presets.h"
+#include "util/table.h"
+#include "workload/registry.h"
 
 using namespace avis;
 
 namespace {
 
 struct Options {
-  sim::SimTimeMs budget_ms = 7200 * 1000;
-  std::uint64_t seed = 100;
+  core::ScenarioGrid grid;
+  bool grid_flag_seen = false;  // any CSV/grid-shaping flag present
   int total_workers = util::default_worker_count();
   int cell_workers = 0;        // 0 = derive from total via split_worker_budget
   int experiment_workers = 0;  // 0 = derive
-  std::vector<bench::Approach> approaches = {bench::Approach::kAvis,
-                                             bench::Approach::kStratifiedBfi,
-                                             bench::Approach::kBfi, bench::Approach::kRandom};
-  std::vector<fw::Personality> personalities = bench::evaluation_personalities();
-  std::vector<workload::WorkloadId> workloads = bench::evaluation_workloads();
-  std::string out;  // JSON path; "-" = stdout; empty = no JSON
+  std::string scenario_file;   // load the grid from this JSON document
+  std::string dump_scenario;   // write the grid JSON here and exit ('-' = stdout)
+  std::string out;             // JSON report path; "-" = stdout; empty = no JSON
   bool quiet = false;
+  bool list = false;
 };
 
 std::vector<std::string> split_csv(const std::string& arg) {
@@ -58,43 +75,53 @@ bool parse_number(const char* text, long long& out) {
   return end != nullptr && *end == '\0';
 }
 
-bool parse_approach(const std::string& name, bench::Approach& out) {
-  if (name == "avis") out = bench::Approach::kAvis;
-  else if (name == "sbfi" || name == "stratified-bfi") out = bench::Approach::kStratifiedBfi;
-  else if (name == "bfi") out = bench::Approach::kBfi;
-  else if (name == "random") out = bench::Approach::kRandom;
-  else return false;
+// Validate a CSV list against a registry up front so the diagnostic names
+// the flag that carried the typo.
+template <typename Factory>
+bool check_names(const std::vector<std::string>& names,
+                 const util::Registry<Factory>& registry, const char* flag) {
+  for (const std::string& name : names) {
+    if (!registry.contains(name)) {
+      std::cerr << flag << ": "
+                << util::unknown_name_message(registry.what(), registry.plural(), name,
+                                              registry.names())
+                << "\n";
+      return false;
+    }
+  }
   return true;
 }
 
-bool parse_personality(const std::string& name, fw::Personality& out) {
-  if (name == "ardupilot") out = fw::Personality::kArduPilotLike;
-  else if (name == "px4") out = fw::Personality::kPx4Like;
-  else return false;
-  return true;
-}
-
-bool parse_workload(const std::string& name, workload::WorkloadId& out) {
-  if (name == "auto") out = workload::WorkloadId::kAuto;
-  else if (name == "box-manual") out = workload::WorkloadId::kBoxManual;
-  else if (name == "fence-mission") out = workload::WorkloadId::kFenceMission;
-  else return false;
-  return true;
+template <typename Factory>
+void print_registry(std::ostream& os, const util::Registry<Factory>& registry) {
+  os << registry.plural() << ":\n";
+  for (const auto& entry : registry.entries()) {
+    os << "  " << entry.name;
+    for (std::size_t pad = entry.name.size(); pad < 16; ++pad) os << ' ';
+    os << " " << entry.description << "\n";
+  }
 }
 
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
+      << "  --scenario-file FILE     run the ScenarioGrid JSON document (docs/SCENARIOS.md);\n"
+      << "                           exclusive with the grid-shaping flags below\n"
+      << "  --dump-scenario FILE     write the grid the flags describe as JSON and exit\n"
+      << "                           ('-' = stdout)\n"
       << "  --budget-ms N            per-cell simulated budget (default 7200000 = 2 h)\n"
       << "  --seed N                 checker seed per cell (default 100)\n"
+      << "  --approaches LIST        csv of registered approaches (default all four)\n"
+      << "  --personalities LIST     csv of registered personalities (default both)\n"
+      << "  --workloads LIST         csv of registered workloads\n"
+      << "                           (default box-manual,fence-mission)\n"
+      << "  --environments LIST      csv of registered environment presets (default calm)\n"
+      << "  --bugs NAME              bug population selector (default current)\n"
       << "  --workers N              total hardware budget for the worker split\n"
       << "  --cell-workers N         override: cells run concurrently\n"
       << "  --experiment-workers N   override: experiment pool size per cell\n"
-      << "  --approaches LIST        csv of avis,sbfi,bfi,random (default all)\n"
-      << "  --personalities LIST     csv of ardupilot,px4 (default both)\n"
-      << "  --workloads LIST         csv of auto,box-manual,fence-mission\n"
-      << "                           (default box-manual,fence-mission)\n"
       << "  --out FILE               write the JSON report to FILE ('-' = stdout)\n"
+      << "  --list                   print every registry (names + descriptions) and exit\n"
       << "  --quiet                  suppress the text table\n";
   return 2;
 }
@@ -103,6 +130,9 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   Options options;
+  // The CLI default grid is the paper evaluation grid: ScenarioGrid's
+  // defaults already carry it (all four approaches, both personalities,
+  // both default workloads, calm environment).
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -116,6 +146,13 @@ int main(int argc, char** argv) {
       }
       return true;
     };
+    auto csv_list = [&](std::vector<std::string>& out) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out = split_csv(v);
+      options.grid_flag_seen = true;
+      return !out.empty();
+    };
     long long n = 0;
     if (arg == "--budget-ms") {
       if (!number(n)) return usage(argv[0]);
@@ -123,10 +160,12 @@ int main(int argc, char** argv) {
         std::cerr << "--budget-ms must be positive (got " << n << ")\n";
         return usage(argv[0]);
       }
-      options.budget_ms = n;
+      options.grid.budget_ms = n;
+      options.grid_flag_seen = true;
     } else if (arg == "--seed") {
       if (!number(n)) return usage(argv[0]);
-      options.seed = static_cast<std::uint64_t>(n);
+      options.grid.seed = static_cast<std::uint64_t>(n);
+      options.grid_flag_seen = true;
     } else if (arg == "--workers") {
       if (!number(n)) return usage(argv[0]);
       options.total_workers = static_cast<int>(n);
@@ -137,45 +176,49 @@ int main(int argc, char** argv) {
       if (!number(n)) return usage(argv[0]);
       options.experiment_workers = static_cast<int>(n);
     } else if (arg == "--approaches") {
-      const char* v = value();
-      if (!v) return usage(argv[0]);
-      options.approaches.clear();
-      for (const auto& name : split_csv(v)) {
-        bench::Approach approach;
-        if (!parse_approach(name, approach)) {
-          std::cerr << "unknown approach: " << name << "\n";
-          return usage(argv[0]);
-        }
-        options.approaches.push_back(approach);
+      if (!csv_list(options.grid.approaches)) return usage(argv[0]);
+      if (!check_names(options.grid.approaches, core::approach_registry(), "--approaches")) {
+        return 2;
       }
     } else if (arg == "--personalities") {
-      const char* v = value();
-      if (!v) return usage(argv[0]);
-      options.personalities.clear();
-      for (const auto& name : split_csv(v)) {
-        fw::Personality personality;
-        if (!parse_personality(name, personality)) {
-          std::cerr << "unknown personality: " << name << "\n";
-          return usage(argv[0]);
-        }
-        options.personalities.push_back(personality);
+      if (!csv_list(options.grid.personalities)) return usage(argv[0]);
+      if (!check_names(options.grid.personalities, core::personality_registry(),
+                       "--personalities")) {
+        return 2;
       }
     } else if (arg == "--workloads") {
+      if (!csv_list(options.grid.workloads)) return usage(argv[0]);
+      if (!check_names(options.grid.workloads, workload::workload_registry(), "--workloads")) {
+        return 2;
+      }
+    } else if (arg == "--environments") {
+      if (!csv_list(options.grid.environments)) return usage(argv[0]);
+      if (!check_names(options.grid.environments, sim::environment_registry(),
+                       "--environments")) {
+        return 2;
+      }
+    } else if (arg == "--bugs") {
       const char* v = value();
       if (!v) return usage(argv[0]);
-      options.workloads.clear();
-      for (const auto& name : split_csv(v)) {
-        workload::WorkloadId workload;
-        if (!parse_workload(name, workload)) {
-          std::cerr << "unknown workload: " << name << "\n";
-          return usage(argv[0]);
-        }
-        options.workloads.push_back(workload);
+      options.grid.bugs = v;
+      options.grid_flag_seen = true;
+      if (!check_names({options.grid.bugs}, core::bug_selector_registry(), "--bugs")) {
+        return 2;
       }
+    } else if (arg == "--scenario-file") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.scenario_file = v;
+    } else if (arg == "--dump-scenario") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.dump_scenario = v;
     } else if (arg == "--out") {
       const char* v = value();
       if (!v) return usage(argv[0]);
       options.out = v;
+    } else if (arg == "--list") {
+      options.list = true;
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -183,21 +226,66 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (options.approaches.empty() || options.personalities.empty() ||
-      options.workloads.empty()) {
-    std::cerr << "empty grid\n";
-    return usage(argv[0]);
+
+  if (options.list) {
+    print_registry(std::cout, core::approach_registry());
+    print_registry(std::cout, core::personality_registry());
+    print_registry(std::cout, workload::workload_registry());
+    print_registry(std::cout, sim::environment_registry());
+    print_registry(std::cout, core::bug_selector_registry());
+    return 0;
   }
 
+  if (!options.scenario_file.empty() && options.grid_flag_seen) {
+    std::cerr << "--scenario-file carries the whole grid; combining it with grid-shaping "
+                 "flags (--approaches/--personalities/--workloads/--environments/--bugs/"
+                 "--budget-ms/--seed) is ambiguous\n";
+    return 2;
+  }
+
+  if (!options.scenario_file.empty()) {
+    std::ifstream file(options.scenario_file);
+    if (!file) {
+      std::cerr << "cannot open scenario file " << options.scenario_file << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    try {
+      options.grid = core::ScenarioGrid::from_json(text.str());
+    } catch (const std::exception& err) {
+      std::cerr << options.scenario_file << ": " << err.what() << "\n";
+      return 2;
+    }
+  }
+
+  // Resolve every registry name before running (or dumping): a scenario
+  // file with a typo fails here with the registered-name listing.
   std::vector<core::CampaignCellSpec> grid;
-  for (bench::Approach approach : options.approaches) {
-    for (fw::Personality personality : options.personalities) {
-      for (workload::WorkloadId workload : options.workloads) {
-        grid.push_back(bench::make_cell(approach, personality, workload,
-                                        fw::BugRegistry::current_code_base(),
-                                        options.budget_ms, options.seed));
+  try {
+    grid = core::expand_to_cells(options.grid);
+  } catch (const std::exception& err) {
+    std::cerr << err.what() << "\n";
+    return 2;
+  }
+
+  if (!options.dump_scenario.empty()) {
+    const std::string json = options.grid.to_json();
+    if (options.dump_scenario == "-") {
+      std::cout << json;
+    } else {
+      std::ofstream file(options.dump_scenario);
+      if (!file) {
+        std::cerr << "cannot open " << options.dump_scenario << " for writing\n";
+        return 1;
+      }
+      file << json;
+      if (!options.quiet) {
+        std::cout << "scenario grid (" << grid.size() << " cells) written to "
+                  << options.dump_scenario << "\n";
       }
     }
+    return 0;
   }
 
   core::CampaignOptions campaign_options;
@@ -208,15 +296,15 @@ int main(int argc, char** argv) {
   const core::CampaignResult result = runner.run(grid);
 
   if (!options.quiet) {
-    util::TextTable t({"#", "approach", "firmware", "workload", "sims", "labels", "unsafe #",
-                       "bugs", "exp/s"});
+    util::TextTable t({"#", "approach", "firmware", "workload", "environment", "sims",
+                       "labels", "unsafe #", "bugs", "exp/s"});
     for (std::size_t i = 0; i < result.cells.size(); ++i) {
       const auto& cell = result.cells[i];
       char rate[32];
       std::snprintf(rate, sizeof(rate), "%.2f", cell.experiments_per_sec());
-      t.add(static_cast<int>(i), cell.spec.approach, fw::to_string(cell.spec.personality),
-            workload::to_string(cell.spec.workload), cell.report.experiments,
-            cell.report.labels, cell.report.unsafe_count(),
+      t.add(static_cast<int>(i), cell.spec.display_label(), cell.spec.scenario.personality,
+            cell.spec.scenario.workload, cell.spec.scenario.environment,
+            cell.report.experiments, cell.report.labels, cell.report.unsafe_count(),
             static_cast<int>(cell.report.bug_first_found.size()), rate);
     }
     t.render(std::cout);
