@@ -16,7 +16,8 @@ namespace {
 // One cell, end to end: resolve the scenario through the registries,
 // calibrate, build the strategy, run the campaign loop. Everything the cell
 // touches is constructed here, so cells are safe to run on pool threads.
-CampaignCellResult p_run_cell(const CampaignCellSpec& spec, int experiment_workers) {
+CampaignCellResult p_run_cell(const CampaignCellSpec& spec, int experiment_workers,
+                              const CheckpointConfig& checkpoints) {
   CampaignCellResult result;
   result.spec = spec;
   const auto start = std::chrono::steady_clock::now();
@@ -27,7 +28,7 @@ CampaignCellResult p_run_cell(const CampaignCellSpec& spec, int experiment_worke
   if (!spec.make_strategy) approach_registry().at(spec.scenario.approach);
   ExperimentSpec prototype = scenario_prototype(spec.scenario);
   if (spec.bugs_override) prototype.bugs = *spec.bugs_override;
-  Checker checker(std::move(prototype));
+  Checker checker(std::move(prototype), checkpoints);
   const MonitorModel& model = checker.model();
   result.strategy = spec.make_strategy
                         ? spec.make_strategy(model, spec.scenario.strategy_seed)
@@ -84,15 +85,17 @@ CampaignResult CampaignRunner::run(const std::vector<CampaignCellSpec>& grid) co
   const auto start = std::chrono::steady_clock::now();
   if (result.split.campaign_workers <= 1 || grid.size() <= 1) {
     for (const auto& spec : grid) {
-      result.cells.push_back(p_run_cell(spec, result.split.experiment_workers));
+      result.cells.push_back(
+          p_run_cell(spec, result.split.experiment_workers, options_.checkpoints));
     }
   } else {
     util::ThreadPool pool(result.split.campaign_workers);
     std::vector<std::future<CampaignCellResult>> in_flight;
     in_flight.reserve(grid.size());
     for (const auto& spec : grid) {
-      in_flight.push_back(pool.submit([&spec, workers = result.split.experiment_workers] {
-        return p_run_cell(spec, workers);
+      in_flight.push_back(pool.submit([&spec, workers = result.split.experiment_workers,
+                                       checkpoints = options_.checkpoints] {
+        return p_run_cell(spec, workers, checkpoints);
       }));
     }
     // Collection in submission order keeps the result vector in grid order
@@ -152,6 +155,13 @@ std::string campaign_report_json(const CampaignResult& result) {
       os << "\"" << fw::bug_info(bug).report_name << "\": " << index;
     }
     os << "},\n";
+    // Checkpointed prefix forking: the bench-trajectory consumer should see
+    // the hit rate and skipped sim time, not just wall time.
+    os << "      \"checkpoint_hits\": " << report.checkpoint_hits << ",\n";
+    os << "      \"checkpoint_misses\": " << report.checkpoint_misses << ",\n";
+    os << "      \"checkpoint_hit_rate\": " << report.checkpoint_hit_rate() << ",\n";
+    os << "      \"checkpoint_evicted\": " << report.checkpoint_evicted << ",\n";
+    os << "      \"checkpoint_skipped_ms\": " << report.checkpoint_skipped_ms << ",\n";
     os << "      \"wall_seconds\": " << cell.wall_seconds << ",\n";
     os << "      \"experiments_per_sec\": " << cell.experiments_per_sec() << "\n";
     os << "    }" << (i + 1 < result.cells.size() ? "," : "") << "\n";

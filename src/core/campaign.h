@@ -87,6 +87,10 @@ struct CampaignOptions {
   int total_workers = util::default_worker_count();
   int cell_workers = 0;
   int experiment_workers = 0;
+  // Checkpointed prefix forking, per cell (each cell's Checker records its
+  // own fault-free prefix). On by default; the CLI's --no-checkpoints and
+  // parity tests turn it off.
+  CheckpointConfig checkpoints;
 };
 
 class CampaignRunner {

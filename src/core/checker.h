@@ -36,6 +36,24 @@ struct CheckerReport {
   // Simulation count at which each seeded bug first manifested.
   std::map<fw::BugId, int> bug_first_found;
 
+  // Checkpointed prefix forking observability (docs/PERFORMANCE.md): how
+  // many experiments restored a recorded prefix snapshot (hit) vs simulated
+  // from scratch despite an available store (miss — the plan injects before
+  // the first snapshot; with checkpointing disabled both counters stay 0),
+  // how many snapshots the store evicted to fit its byte budget, and the
+  // total simulated milliseconds the restores skipped.
+  // Wall-clock accounting only: the reported experiments, budget charges
+  // and unsafe records are bit-identical with checkpointing on or off.
+  int checkpoint_hits = 0;
+  int checkpoint_misses = 0;
+  int checkpoint_evicted = 0;
+  sim::SimTimeMs checkpoint_skipped_ms = 0;
+
+  double checkpoint_hit_rate() const {
+    const int total = checkpoint_hits + checkpoint_misses;
+    return total > 0 ? static_cast<double>(checkpoint_hits) / total : 0.0;
+  }
+
   int unsafe_count() const { return static_cast<int>(unsafe.size()); }
 
   // Table IV groups unsafe scenarios by the operating mode at the *newest
@@ -68,7 +86,8 @@ class Checker {
   // `seed` is the seed base for profiling and experiments. Registry-named
   // scenarios build a prototype through core::scenario_prototype(); the
   // prototype's plan is cleared here, each experiment installs its own.
-  explicit Checker(ExperimentSpec prototype) : prototype_(std::move(prototype)) {
+  explicit Checker(ExperimentSpec prototype, CheckpointConfig checkpoints = {})
+      : prototype_(std::move(prototype)), checkpoint_config_(checkpoints) {
     prototype_.plan = FaultPlan{};
     prototype_.stop_on_violation = true;
   }
@@ -90,6 +109,7 @@ class Checker {
 
   CheckerReport run(InjectionStrategy& strategy, BudgetClock& budget) {
     const MonitorModel& monitor = model();
+    const CheckpointStore* checkpoints = p_checkpoints(monitor);
     CheckerReport report;
     report.strategy_name = strategy.name();
     auto context = contexts_.acquire();
@@ -97,12 +117,13 @@ class Checker {
       auto plan = strategy.next(budget);
       if (!plan) break;
       const ExperimentSpec spec = p_make_spec(*plan, monitor);
-      ExperimentResult result = harness_.run(spec, &monitor, context.get());
+      ExperimentResult result = harness_.run(spec, &monitor, context.get(), checkpoints);
       p_apply(report, strategy, budget, *plan, std::move(result));
     }
     contexts_.release(std::move(context));
     report.labels = budget.labels();
     report.budget_used_ms = budget.used_ms();
+    report.checkpoint_evicted = checkpoints != nullptr ? checkpoints->evicted() : 0;
     return report;
   }
 
@@ -120,6 +141,9 @@ class Checker {
   CheckerReport run_parallel(InjectionStrategy& strategy, BudgetClock& budget, int workers) {
     if (workers <= 1) return run(strategy, budget);
     const MonitorModel& monitor = model();
+    // Recorded on this thread before any batch is dispatched; workers then
+    // share the store strictly read-only.
+    const CheckpointStore* checkpoints = p_checkpoints(monitor);
     util::ThreadPool pool(workers);
     CheckerReport report;
     report.strategy_name = strategy.name();
@@ -134,14 +158,14 @@ class Checker {
       in_flight.reserve(plans.size());
       for (const FaultPlan& plan : plans) {
         in_flight.push_back(pool.submit(
-            [this, spec = p_make_spec(plan, monitor), &monitor] {
+            [this, spec = p_make_spec(plan, monitor), &monitor, checkpoints] {
               // Per-worker arena: whichever worker picks this task up checks
               // a context out for the duration of the experiment, so the
               // simulator/suite/firmware storage is reset, not reallocated,
               // from one experiment to the next. An exception skips the
               // release and simply retires the context.
               auto context = contexts_.acquire();
-              ExperimentResult result = harness_.run(spec, &monitor, context.get());
+              ExperimentResult result = harness_.run(spec, &monitor, context.get(), checkpoints);
               contexts_.release(std::move(context));
               return result;
             }));
@@ -162,8 +186,17 @@ class Checker {
     }
     report.labels = budget.labels();
     report.budget_used_ms = budget.used_ms();
+    report.checkpoint_evicted = checkpoints != nullptr ? checkpoints->evicted() : 0;
     return report;
   }
+
+  // The scenario's checkpoint store (recorded on first use when enabled);
+  // nullptr when checkpointing is off. Exposed for tests and tools.
+  const CheckpointStore* checkpoint_store() {
+    if (!checkpoint_config_.enabled) return nullptr;
+    return p_checkpoints(model());
+  }
+  const CheckpointConfig& checkpoint_config() const { return checkpoint_config_; }
 
   fw::Personality personality() const { return prototype_.personality; }
   // The enum id the prototype was built from; registry-named scenarios run
@@ -196,10 +229,38 @@ class Checker {
     return spec;
   }
 
+  // Records the scenario's fault-free prefix once; every later call returns
+  // the same store. The recording is one extra fault-free simulation —
+  // amortized across the campaign the way profiling already is. On top of
+  // the cadence grid, a snapshot is captured at every golden mode-transition
+  // timestamp: the search strategies concentrate their injections exactly
+  // there (SABRE seeds its queue from the golden transitions), so those
+  // plans restore with zero re-simulated prefix.
+  const CheckpointStore* p_checkpoints(const MonitorModel& monitor) {
+    if (!checkpoint_config_.enabled) return nullptr;
+    if (!checkpoints_) {
+      CheckpointConfig config = checkpoint_config_;
+      for (const ModeTransition& t : monitor.golden_transitions()) {
+        config.capture_at.push_back(t.time_ms);
+      }
+      auto context = contexts_.acquire();
+      checkpoints_ = harness_.record_prefix(p_make_spec(FaultPlan{}, monitor), &monitor,
+                                            config, context.get());
+      contexts_.release(std::move(context));
+    }
+    return &*checkpoints_;
+  }
+
   void p_apply(CheckerReport& report, InjectionStrategy& strategy, BudgetClock& budget,
                const FaultPlan& plan, ExperimentResult result) {
     budget.charge_experiment(result.duration_ms);
     ++report.experiments;
+    if (result.resumed_from_ms > 0) {
+      ++report.checkpoint_hits;
+      report.checkpoint_skipped_ms += result.resumed_from_ms;
+    } else if (checkpoints_) {
+      ++report.checkpoint_misses;
+    }
     strategy.feedback(plan, result);
     if (result.unsafe()) {
       UnsafeRecord record;
@@ -217,9 +278,11 @@ class Checker {
   }
 
   ExperimentSpec prototype_;
+  CheckpointConfig checkpoint_config_;
   SimulationHarness harness_;
   ExperimentContextPool contexts_;
   std::optional<MonitorModel> model_;
+  std::optional<CheckpointStore> checkpoints_;
 };
 
 }  // namespace avis::core

@@ -1,0 +1,205 @@
+// Checkpointed fault-free prefix forking.
+//
+// Every experiment in a checker campaign shares its spec with every other
+// experiment except for the fault plan, and `ScheduledDirector` makes a run
+// plan-independent strictly before the plan's earliest activation time. So
+// the harness runs the fault-free "prefix run" once, capturing complete
+// world-state snapshots at a fixed cadence, and every subsequent experiment
+// restores the latest snapshot at-or-before its plan's first injection time,
+// splices the recorded trace/transition prefix into its result, and
+// simulates only the suffix. The contract is strict parity: a
+// restored-and-resumed run is bit-identical (trace, transitions, outcome,
+// unsafe records) to the same spec simulated from scratch — the same spirit
+// as the arena reset contract (docs/PERFORMANCE.md has the full argument;
+// tests/test_checkpoint.cc is the tripwire).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/invariant_monitor.h"
+#include "fw/firmware.h"
+#include "mavlink/channel.h"
+#include "sensors/sensor_models.h"
+#include "sim/simulator.h"
+#include "util/checked.h"
+#include "workload/context.h"
+#include "workload/workload.h"
+
+namespace avis::core {
+
+struct CheckpointConfig {
+  bool enabled = true;
+  // Snapshot cadence in simulated milliseconds. Finer cadence means less
+  // suffix to re-simulate per experiment but more capture cost and memory;
+  // 1000 ms measured best on SABRE campaigns (the offset crawls inject a
+  // few hundred ms around each transition, so a 5000 ms grid strands them).
+  sim::SimTimeMs interval_ms = 1000;
+  // Extra exact capture times merged into the cadence grid. The search
+  // strategies overwhelmingly inject at (or just after) the golden run's
+  // mode-transition timestamps — SABRE seeds its queue from them — so
+  // core::Checker adds those times here and the dominant injection sites
+  // restore with zero re-simulated prefix.
+  std::vector<sim::SimTimeMs> capture_at;
+  // Upper bound on retained snapshot bytes (approximate, deterministic).
+  // When the prefix run's snapshots exceed it, the store thins itself to
+  // every other snapshot until it fits — coverage degrades to a coarser
+  // cadence instead of disappearing. 0 means unbounded.
+  std::size_t byte_budget = 64ull * 1024 * 1024;
+};
+
+// Complete world state at the top of one harness loop iteration: every
+// stateful layer of Fig. 7 plus the harness's own loop bookkeeping. The
+// prefix run's sampled trace and mode transitions are shared store-wide
+// (each snapshot stores only its prefix lengths), so a snapshot costs
+// kilobytes, not the O(run-length) trace.
+struct ExperimentSnapshot {
+  sim::SimTimeMs time_ms = 0;  // loop iteration this snapshot resumes at
+
+  sim::Simulator::Snapshot simulator;
+  sensors::SuiteSnapshot suite;
+  fw::Firmware::Snapshot firmware;
+  mavlink::Channel::Snapshot channel;
+  workload::Workload::Progress workload;
+  workload::GcsContext::Snapshot gcs;
+  MonitorSession::Snapshot monitor;  // meaningful only for monitored prefixes
+
+  // RecordingDirector splice state: how much of the shared prefix
+  // transition list had been recorded, and the latched heartbeat/mode.
+  std::size_t transitions_len = 0;
+  std::uint16_t current_mode = 0;
+  sim::SimTimeMs last_heartbeat_ms = 0;
+
+  // Harness loop state.
+  sim::SimTimeMs next_workload_ms = 0;
+  sim::SimTimeMs next_sample_ms = 0;
+  sim::SimTimeMs workload_done_at = -1;
+  bool workload_passed = false;
+  bool firmware_dead = false;
+  std::size_t trace_len = 0;  // samples already in the shared prefix trace
+  std::optional<Violation> violation;  // non-empty only without stop_on_violation
+
+  // Deterministic size estimate for the store's byte budget: the struct
+  // itself plus the dynamically sized payloads worth counting.
+  std::size_t approx_bytes() const {
+    std::size_t bytes = sizeof(ExperimentSnapshot);
+    bytes += (firmware.mission.size() * 2) * sizeof(mavlink::MissionItem);
+    bytes += firmware.fired_bugs.capacity() * sizeof(fw::BugId);
+    for (const auto& frame : channel.to_vehicle) bytes += frame.size() + sizeof(frame);
+    for (const auto& frame : channel.to_gcs) bytes += frame.size() + sizeof(frame);
+    bytes += gcs.uploader.items.size() * sizeof(mavlink::MissionItem);
+    for (const auto& text : gcs.status_texts) bytes += text.size() + sizeof(text);
+    const std::size_t per_instance = sizeof(sensors::InstanceState<sensors::GpsSample>);
+    bytes += (suite.gyros.size() + suite.accels.size() + suite.baros.size() +
+              suite.gpses.size() + suite.compasses.size() + suite.batteries.size()) *
+             per_instance;
+    return bytes;
+  }
+};
+
+// One scenario's checkpoint set: the prefix run's shared trace/transitions
+// plus the cadenced snapshots, recorded once by
+// `SimulationHarness::record_prefix` and then shared read-only across pool
+// workers (core::Checker builds it on the caller thread before dispatching
+// batches, so no synchronization is needed).
+class CheckpointStore {
+ public:
+  CheckpointStore() = default;
+  explicit CheckpointStore(CheckpointConfig config) : config_(config) {}
+
+  const CheckpointConfig& config() const { return config_; }
+  bool empty() const { return snapshots_.empty(); }
+  std::size_t size() const { return snapshots_.size(); }
+  int evicted() const { return evicted_; }
+  std::size_t total_bytes() const { return total_bytes_; }
+
+  const std::vector<StateSample>& prefix_trace() const { return prefix_trace_; }
+  const std::vector<ModeTransition>& prefix_transitions() const { return prefix_transitions_; }
+
+  // The prefix run is one spec with its plan cleared; a store only
+  // accelerates specs that differ from it by plan alone. The factory fields
+  // (workload, environment) are not comparable, so the checkable identity
+  // is asserted here and the factory identity is the caller's contract —
+  // core::Checker builds every spec from one prototype, which satisfies it
+  // by construction.
+  void require_matches(const ExperimentSpec& spec, bool monitored) const {
+    util::expects(spec.seed == seed_ && spec.max_duration_ms == max_duration_ms_ &&
+                      spec.stop_on_violation == stop_on_violation_ &&
+                      spec.personality == personality_ && monitored == monitored_,
+                  "checkpoint store used with a spec from a different scenario");
+  }
+
+  // Latest snapshot usable for a plan whose earliest injection is at
+  // `first_injection_ms`: state at the top of iteration t is
+  // plan-independent iff every injection activates at >= t, so any snapshot
+  // with time_ms <= first_injection_ms is exact. nullptr = cold start.
+  const ExperimentSnapshot* best_for(sim::SimTimeMs first_injection_ms) const {
+    const ExperimentSnapshot* best = nullptr;
+    for (const auto& snap : snapshots_) {
+      if (snap.time_ms > first_injection_ms) break;
+      best = &snap;
+    }
+    return best;
+  }
+
+  // --- Recording interface (SimulationHarness::record_prefix) -------------
+  void begin(const ExperimentSpec& spec, bool monitored) {
+    snapshots_.clear();
+    prefix_trace_.clear();
+    prefix_transitions_.clear();
+    evicted_ = 0;
+    total_bytes_ = 0;
+    seed_ = spec.seed;
+    max_duration_ms_ = spec.max_duration_ms;
+    stop_on_violation_ = spec.stop_on_violation;
+    personality_ = spec.personality;
+    monitored_ = monitored;
+  }
+
+  void add(ExperimentSnapshot snapshot) {
+    total_bytes_ += snapshot.approx_bytes();
+    snapshots_.push_back(std::move(snapshot));
+  }
+
+  // Install the finished prefix run's shared trace/transitions and enforce
+  // the byte budget by thinning to every other snapshot (coarser cadence,
+  // same coverage span) until the set fits.
+  void finish(const ExperimentResult& prefix) {
+    prefix_trace_ = prefix.trace;
+    prefix_transitions_ = prefix.transitions;
+    while (config_.byte_budget > 0 && total_bytes_ > config_.byte_budget &&
+           snapshots_.size() > 1) {
+      std::vector<ExperimentSnapshot> kept;
+      kept.reserve(snapshots_.size() / 2 + 1);
+      total_bytes_ = 0;
+      for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+        if (i % 2 == 0) {
+          total_bytes_ += snapshots_[i].approx_bytes();
+          kept.push_back(std::move(snapshots_[i]));
+        } else {
+          ++evicted_;
+        }
+      }
+      snapshots_ = std::move(kept);
+    }
+  }
+
+ private:
+  CheckpointConfig config_;
+  std::vector<ExperimentSnapshot> snapshots_;  // ascending time_ms
+  std::vector<StateSample> prefix_trace_;
+  std::vector<ModeTransition> prefix_transitions_;
+  int evicted_ = 0;
+  std::size_t total_bytes_ = 0;
+
+  // Prefix-run identity (require_matches).
+  std::uint64_t seed_ = 0;
+  sim::SimTimeMs max_duration_ms_ = 0;
+  bool stop_on_violation_ = true;
+  fw::Personality personality_ = fw::Personality::kArduPilotLike;
+  bool monitored_ = false;
+};
+
+}  // namespace avis::core

@@ -95,6 +95,11 @@ struct ExperimentResult {
   std::vector<fw::BugId> fired_bugs;
   sim::SimTimeMs duration_ms = 0;
   sim::CrashCause crash_cause = sim::CrashCause::kNone;
+  // Checkpointing provenance: the sim time this run resumed from a recorded
+  // prefix snapshot (0 = simulated from scratch). Wall-clock accounting
+  // only — every observable field above is bit-identical either way, and
+  // duration_ms stays the run's full logical duration.
+  sim::SimTimeMs resumed_from_ms = 0;
 
   bool unsafe() const { return violation.has_value(); }
 };

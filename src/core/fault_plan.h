@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -27,6 +28,11 @@ struct FaultEvent {
 };
 
 struct FaultPlan {
+  // "This plan never injects anything before t": the sentinel
+  // first_injection_ms() returns for an empty plan, and the activation
+  // sentinel ScheduledDirector seeds its table with.
+  static constexpr sim::SimTimeMs kNever = std::numeric_limits<sim::SimTimeMs>::max();
+
   std::vector<FaultEvent> events;
 
   void add(sim::SimTimeMs time_ms, sensors::SensorId sensor) {
@@ -41,6 +47,17 @@ struct FaultPlan {
 
   bool empty() const { return events.empty(); }
   std::size_t size() const { return events.size(); }
+
+  // Earliest injection timestamp, kNever for an empty plan. The run is
+  // plan-independent strictly before this time — checkpointed prefix
+  // forking (core/checkpoint.h) restores up to here. A min scan rather than
+  // events.front() so it stays correct for callers that fill `events` by
+  // hand without normalize().
+  sim::SimTimeMs first_injection_ms() const {
+    sim::SimTimeMs first = kNever;
+    for (const auto& e : events) first = std::min(first, e.time_ms);
+    return first;
+  }
 
   // Exact identity: timestamps + concrete instances.
   std::string signature() const {

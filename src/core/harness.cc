@@ -17,15 +17,41 @@ constexpr sim::SimTimeMs kGraceMs = 4000;
 
 ExperimentResult SimulationHarness::run(const ExperimentSpec& spec,
                                         const MonitorModel* monitor_model,
-                                        ExperimentContext* context) const {
+                                        ExperimentContext* context,
+                                        const CheckpointStore* checkpoints) const {
   ScheduledDirector director(spec.plan);
-  return run_with_director(spec, director, monitor_model, context);
+  return p_run(spec, director, monitor_model, context, checkpoints, nullptr);
 }
 
 ExperimentResult SimulationHarness::run_with_director(const ExperimentSpec& spec,
                                                       hinj::FaultDirector& custom_director,
                                                       const MonitorModel* monitor_model,
                                                       ExperimentContext* context) const {
+  return p_run(spec, custom_director, monitor_model, context, nullptr, nullptr);
+}
+
+CheckpointStore SimulationHarness::record_prefix(const ExperimentSpec& spec,
+                                                 const MonitorModel* monitor_model,
+                                                 const CheckpointConfig& config,
+                                                 ExperimentContext* context) const {
+  util::expects(config.interval_ms > 0, "checkpoint cadence must be positive");
+  CheckpointStore store(config);
+  ExperimentSpec prefix_spec = spec;
+  prefix_spec.plan = FaultPlan{};
+  store.begin(prefix_spec, monitor_model != nullptr);
+  ScheduledDirector director(prefix_spec.plan);
+  const ExperimentResult prefix =
+      p_run(prefix_spec, director, monitor_model, context, nullptr, &store);
+  store.finish(prefix);
+  return store;
+}
+
+ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
+                                          hinj::FaultDirector& custom_director,
+                                          const MonitorModel* monitor_model,
+                                          ExperimentContext* context,
+                                          const CheckpointStore* restore_from,
+                                          CheckpointStore* capture_into) const {
   // Without a caller-supplied arena, provision into a one-shot local one —
   // same code path, same construction order, the storage just dies with the
   // run. The reset protocol below must mirror from-scratch construction
@@ -34,31 +60,56 @@ ExperimentResult SimulationHarness::run_with_director(const ExperimentSpec& spec
   ExperimentContext local_context;
   ExperimentContext& arena = context != nullptr ? *context : local_context;
 
+  // Checkpointed prefix forking: a run whose plan injects nothing before
+  // time t is identical to the prefix run up to (the top of) iteration t,
+  // so restoring the latest snapshot at-or-before the plan's first
+  // injection skips the re-simulation of that shared prefix without
+  // changing a single observable bit (docs/PERFORMANCE.md).
+  const ExperimentSnapshot* resume = nullptr;
+  if (restore_from != nullptr && !restore_from->empty()) {
+    restore_from->require_matches(spec, monitor_model != nullptr);
+    resume = restore_from->best_for(spec.plan.first_injection_ms());
+  }
+
+  RecordingDirector director(custom_director);
+  const bool restoring = resume != nullptr;
+
+  // Provisioning is one code path for cold and restored runs — identical
+  // wiring, identical construction order — with the restore pass loading
+  // each layer's snapshot state over the top. Keeping a single path is what
+  // protects the bit-identical parity contract when provisioning changes.
   util::Rng seed_source(spec.seed);
 
   // Simulator: re-emplace in place. The environment is rebuilt from the
   // spec's factory (the default is the flat calm field), so two runs of the
   // same spec fly the same world; preset factories carry no per-run state.
+  // A restored run's RNG stream position is loaded below, so the
+  // construction seed only matters cold.
   arena.simulator_.emplace(spec.environment_factory ? spec.environment_factory()
                                                     : sim::Environment{},
                            sim::QuadcopterParams{}, seed_source.next_u64());
-  sim::Simulator& simulator = *arena.simulator_;
 
   // Sensor suite: the expensive one (12 heap-allocated instances). Reset
   // re-seeds the existing instances with the same fork sequence the
-  // constructor would draw.
+  // constructor would draw; a restored run loads full instance state
+  // instead, so the reset would be wasted work.
   util::Rng sensor_seeds = seed_source.fork(1);
-  if (arena.suite_) {
-    arena.suite_->reset(iris_suite(), sensor_seeds);
-  } else {
+  if (!arena.suite_) {
     arena.suite_.emplace(iris_suite(), sensor_seeds);
+  } else if (!restoring) {
+    arena.suite_->reset(iris_suite(), sensor_seeds);
   }
 
-  RecordingDirector director(custom_director);
+  // Cold runs record from the first (boot) report; a restored run parks the
+  // server while the firmware re-boots, because the boot-mode report
+  // already lives in the spliced transition prefix and must not be
+  // recorded a second time.
+  hinj::FaultDirector& boot_director =
+      restoring ? static_cast<hinj::FaultDirector&>(arena.parked_director_) : director;
   if (arena.server_) {
-    arena.server_->set_director(director);
+    arena.server_->set_director(boot_director);
   } else {
-    arena.server_.emplace(director);
+    arena.server_.emplace(boot_director);
   }
   // The client persists across runs: it is stateless between frames but
   // owns the warmed-up request/response buffers.
@@ -75,20 +126,47 @@ ExperimentResult SimulationHarness::run_with_director(const ExperimentSpec& spec
   // mode through hinj, which must land after the director swap above);
   // emplacing into retained storage keeps the object off the heap.
   arena.firmware_.emplace(std::move(fw_config), *arena.bus_, *arena.client_,
-                          arena.channel_.vehicle(), simulator.environment());
+                          arena.channel_.vehicle(), arena.simulator_->environment());
+
+  if (restoring) {
+    arena.simulator_->load(resume->simulator);
+    arena.suite_->load(resume->suite);
+    arena.firmware_->load(resume->firmware);
+    // Link state after the firmware re-boot (construction sends nothing
+    // over MAVLink today; the ordering keeps that a non-assumption).
+    arena.channel_.load(resume->channel);
+    // Now swap in the recording director, preloaded with the prefix's
+    // transition recording up to the snapshot.
+    const auto& prefix_transitions = restore_from->prefix_transitions();
+    director.restore(std::vector<ModeTransition>(
+                         prefix_transitions.begin(),
+                         prefix_transitions.begin() +
+                             static_cast<std::ptrdiff_t>(resume->transitions_len)),
+                     resume->current_mode, resume->last_heartbeat_ms);
+    arena.server_->set_director(director);
+  }
+
+  sim::Simulator& simulator = *arena.simulator_;
   fw::Firmware& firmware = *arena.firmware_;
 
   auto workload_ptr =
       spec.workload_factory ? spec.workload_factory() : workload::make_workload(spec.workload);
   util::expects(workload_ptr != nullptr, "unknown workload id");
   workload::GcsContext gcs(arena.channel_.gcs(), simulator.environment().frame());
+  if (resume != nullptr) {
+    workload_ptr->load(resume->workload);
+    gcs.load(resume->gcs);
+  }
 
   MonitorSession* monitor = nullptr;
   if (monitor_model != nullptr) {
-    if (arena.monitor_) {
-      arena.monitor_->restart(*monitor_model);
-    } else {
+    if (!arena.monitor_) {
       arena.monitor_.emplace(*monitor_model);
+    }
+    if (resume != nullptr) {
+      arena.monitor_->restore(*monitor_model, restore_from->prefix_trace(), resume->monitor);
+    } else {
+      arena.monitor_->restart(*monitor_model);
     }
     monitor = &*arena.monitor_;
   }
@@ -103,8 +181,71 @@ ExperimentResult SimulationHarness::run_with_director(const ExperimentSpec& spec
   // divisions per step.
   sim::SimTimeMs next_workload_ms = 0;
   sim::SimTimeMs next_sample_ms = 0;
+  sim::SimTimeMs start_ms = 0;
 
-  for (sim::SimTimeMs now = 0; now < spec.max_duration_ms; ++now) {
+  if (resume != nullptr) {
+    // Splice the recorded prefix into the result and resume the loop state
+    // exactly where the snapshot froze it.
+    const auto& prefix_trace = restore_from->prefix_trace();
+    result.trace.assign(prefix_trace.begin(),
+                        prefix_trace.begin() + static_cast<std::ptrdiff_t>(resume->trace_len));
+    result.workload_passed = resume->workload_passed;
+    result.violation = resume->violation;
+    result.resumed_from_ms = resume->time_ms;
+    firmware_dead = resume->firmware_dead;
+    workload_done_at = resume->workload_done_at;
+    next_workload_ms = resume->next_workload_ms;
+    next_sample_ms = resume->next_sample_ms;
+    start_ms = resume->time_ms;
+  }
+
+  // Capture schedule (prefix run only): the cadence grid merged with the
+  // config's exact extra times (golden transition timestamps), ascending
+  // and deduplicated. Time 0 is excluded — a snapshot there is just a cold
+  // start.
+  std::vector<sim::SimTimeMs> capture_times;
+  std::size_t capture_idx = 0;
+  if (capture_into != nullptr) {
+    const CheckpointConfig& config = capture_into->config();
+    for (sim::SimTimeMs t = config.interval_ms; t < spec.max_duration_ms;
+         t += config.interval_ms) {
+      capture_times.push_back(t);
+    }
+    for (sim::SimTimeMs t : config.capture_at) {
+      if (t > 0 && t < spec.max_duration_ms) capture_times.push_back(t);
+    }
+    std::sort(capture_times.begin(), capture_times.end());
+    capture_times.erase(std::unique(capture_times.begin(), capture_times.end()),
+                        capture_times.end());
+  }
+
+  for (sim::SimTimeMs now = start_ms; now < spec.max_duration_ms; ++now) {
+    // Checkpoint capture, at the top of the iteration so a restored run
+    // re-enters the loop at exactly this point.
+    if (capture_idx < capture_times.size() && now == capture_times[capture_idx]) {
+      ++capture_idx;
+      ExperimentSnapshot snap;
+      snap.time_ms = now;
+      snap.simulator = simulator.save();
+      snap.suite = arena.suite_->save();
+      snap.firmware = firmware.save();
+      snap.channel = arena.channel_.save();
+      snap.workload = workload_ptr->save();
+      snap.gcs = gcs.save();
+      if (monitor != nullptr) snap.monitor = monitor->save();
+      snap.transitions_len = director.transitions().size();
+      snap.current_mode = director.current_mode();
+      snap.last_heartbeat_ms = director.last_heartbeat_ms();
+      snap.next_workload_ms = next_workload_ms;
+      snap.next_sample_ms = next_sample_ms;
+      snap.workload_done_at = workload_done_at;
+      snap.workload_passed = result.workload_passed;
+      snap.firmware_dead = firmware_dead;
+      snap.trace_len = result.trace.size();
+      snap.violation = result.violation;
+      capture_into->add(std::move(snap));
+    }
+
     // Step 1: the workload runs until it yields back to the harness.
     const bool workload_due = now == next_workload_ms;
     if (workload_due) next_workload_ms += kWorkloadPeriodMs;

@@ -9,6 +9,7 @@
 // bit-identical results (the arena reset contract, docs/PERFORMANCE.md).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <functional>
 #include <limits>
@@ -18,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/experiment.h"
 #include "core/invariant_monitor.h"
 #include "fw/firmware.h"
@@ -38,7 +40,7 @@ namespace avis::core {
 class ScheduledDirector final : public hinj::FaultDirector {
  public:
   explicit ScheduledDirector(const FaultPlan& plan) {
-    for (auto& per_type : activation_) per_type.fill(kNever);
+    for (auto& per_type : activation_) per_type.fill(FaultPlan::kNever);
     for (const auto& event : plan.events) {
       util::expects(event.sensor.instance < kMaxInstances,
                     "fault plan names a sensor instance beyond the suite limit");
@@ -55,7 +57,6 @@ class ScheduledDirector final : public hinj::FaultDirector {
   void on_mode_update(std::uint16_t, std::string_view, std::int64_t) override {}
 
  private:
-  static constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
   static constexpr std::uint8_t kMaxInstances = 8;
   std::array<std::array<std::int64_t, kMaxInstances>, sensors::kAllSensorTypes.size()>
       activation_;
@@ -97,6 +98,16 @@ class RecordingDirector final : public hinj::FaultDirector {
   std::uint16_t current_mode() const { return current_mode_; }
   std::int64_t last_heartbeat_ms() const { return last_heartbeat_ms_; }
 
+  // Checkpoint restore: preload the transitions the prefix run recorded up
+  // to the snapshot, so the spliced trace reads exactly like a from-scratch
+  // recording.
+  void restore(std::vector<ModeTransition> transitions, std::uint16_t current_mode,
+               std::int64_t last_heartbeat_ms) {
+    transitions_ = std::move(transitions);
+    current_mode_ = current_mode;
+    last_heartbeat_ms_ = last_heartbeat_ms;
+  }
+
  private:
   hinj::FaultDirector* inner_;
   std::vector<ModeTransition> transitions_;
@@ -135,32 +146,51 @@ class ExperimentContext {
 };
 
 // Hands contexts to pool workers: a worker checks one out per experiment
-// and returns it afterwards, so the pool never holds more contexts than the
-// peak number of concurrent experiments, and each context is reused by
-// whichever worker runs the next one. The lock is per experiment (hundreds
-// of milliseconds of simulation), so contention is irrelevant.
+// and returns it afterwards, and each context is reused by whichever worker
+// runs the next one. The free list is capped at the pool's high-water
+// concurrent-checkout mark: a release that would retain more idle contexts
+// than were ever simultaneously in use frees the context instead, so a wide
+// campaign cannot pin arena memory beyond its actual peak concurrency. The
+// lock is per experiment (hundreds of milliseconds of simulation), so
+// contention is irrelevant.
 class ExperimentContextPool {
  public:
   std::unique_ptr<ExperimentContext> acquire() {
-    {
-      std::lock_guard lock(mutex_);
-      if (!free_.empty()) {
-        std::unique_ptr<ExperimentContext> ctx = std::move(free_.back());
-        free_.pop_back();
-        return ctx;
-      }
+    std::lock_guard lock(mutex_);
+    ++checked_out_;
+    high_water_ = std::max(high_water_, checked_out_);
+    if (!free_.empty()) {
+      std::unique_ptr<ExperimentContext> ctx = std::move(free_.back());
+      free_.pop_back();
+      return ctx;
     }
     return std::make_unique<ExperimentContext>();
   }
 
   void release(std::unique_ptr<ExperimentContext> ctx) {
     std::lock_guard lock(mutex_);
-    free_.push_back(std::move(ctx));
+    if (checked_out_ > 0) --checked_out_;
+    if (free_.size() + checked_out_ < high_water_) {
+      free_.push_back(std::move(ctx));
+    }
+    // else: retaining it would exceed the peak-concurrency cap; let it die.
+  }
+
+  // Observability for tests: peak concurrent checkouts and current idles.
+  std::size_t high_water_mark() const {
+    std::lock_guard lock(mutex_);
+    return high_water_;
+  }
+  std::size_t idle_count() const {
+    std::lock_guard lock(mutex_);
+    return free_.size();
   }
 
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::vector<std::unique_ptr<ExperimentContext>> free_;
+  std::size_t checked_out_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 class SimulationHarness {
@@ -186,16 +216,34 @@ class SimulationHarness {
   // runs alongside and, when spec.stop_on_violation, ends the run at the
   // first violation. Profiling runs pass nullptr. `context`, when given, is
   // the worker's reusable arena; nullptr provisions (and discards) a fresh
-  // one, which is bit-identical but pays the allocations.
+  // one, which is bit-identical but pays the allocations. `checkpoints`,
+  // when given, must have been recorded from the same scenario (same spec
+  // minus the plan, same monitored-ness — record_prefix below): the run
+  // then restores the latest snapshot at-or-before the plan's first
+  // injection and simulates only the suffix, bit-identical to a cold run
+  // (result.resumed_from_ms records the skip).
   ExperimentResult run(const ExperimentSpec& spec, const MonitorModel* monitor_model = nullptr,
-                       ExperimentContext* context = nullptr) const;
+                       ExperimentContext* context = nullptr,
+                       const CheckpointStore* checkpoints = nullptr) const;
 
   // Same, but with a caller-supplied fault director (the replayer injects
   // relative to observed mode transitions rather than absolute timestamps).
+  // Custom directors carry no declared first-injection time, so this path
+  // never restores checkpoints.
   ExperimentResult run_with_director(const ExperimentSpec& spec,
                                      hinj::FaultDirector& director,
                                      const MonitorModel* monitor_model,
                                      ExperimentContext* context = nullptr) const;
+
+  // The checkpointing prefix run: simulates `spec` with its plan cleared,
+  // capturing a snapshot of complete world state every
+  // `config.interval_ms` of sim time, and returns the filled store. The
+  // prefix must run under the same monitor the accelerated experiments will
+  // use (the monitor session's history is part of world state).
+  CheckpointStore record_prefix(const ExperimentSpec& spec,
+                                const MonitorModel* monitor_model,
+                                const CheckpointConfig& config,
+                                ExperimentContext* context = nullptr) const;
 
   // Convenience: N fault-free profiling runs with distinct seeds, then
   // monitor calibration (paper: "We assume runs without sensor failures are
@@ -215,6 +263,15 @@ class SimulationHarness {
   void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
 
  private:
+  // The one experiment loop behind run/run_with_director/record_prefix.
+  // `restore_from` resumes from the best usable snapshot (nullptr = cold);
+  // `capture_into` records cadenced snapshots while running (the prefix
+  // run). The two are mutually exclusive by construction.
+  ExperimentResult p_run(const ExperimentSpec& spec, hinj::FaultDirector& custom_director,
+                         const MonitorModel* monitor_model, ExperimentContext* context,
+                         const CheckpointStore* restore_from,
+                         CheckpointStore* capture_into) const;
+
   StepHook step_hook_;
 };
 

@@ -99,6 +99,38 @@ class MonitorSession {
 
   const std::optional<Violation>& violation() const { return violation_; }
 
+  // Mid-run monitor state for experiment checkpointing. The sample history
+  // is not duplicated into the capsule: every sample the session has seen is
+  // a prefix of the recorded prefix-run trace (on_sample is fed exactly the
+  // samples the harness appends to the trace, and stops appending once a
+  // violation latches), so the capsule stores only the length and restore()
+  // re-slices the shared trace.
+  struct Snapshot {
+    std::size_t history_len = 0;
+    std::optional<Violation> violation;
+    int consecutive_eq1 = 0;
+    sim::SimTimeMs eq1_started_ms = 0;
+    std::uint16_t eq1_mode = 0;
+  };
+
+  Snapshot save() const {
+    return {history_.size(), violation_, consecutive_eq1_, eq1_started_ms_, eq1_mode_};
+  }
+
+  // `prefix_trace` is the prefix run's sampled trace; the first
+  // `s.history_len` samples of it are exactly the history this session had
+  // at capture time.
+  void restore(const MonitorModel& model, const std::vector<StateSample>& prefix_trace,
+               const Snapshot& s) {
+    restart(model);
+    history_.assign(prefix_trace.begin(),
+                    prefix_trace.begin() + static_cast<std::ptrdiff_t>(s.history_len));
+    violation_ = s.violation;
+    consecutive_eq1_ = s.consecutive_eq1;
+    eq1_started_ms_ = s.eq1_started_ms;
+    eq1_mode_ = s.eq1_mode;
+  }
+
  private:
   bool p_safe_mode_ok(const StateSample& sample);
 

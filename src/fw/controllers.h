@@ -55,6 +55,20 @@ class Pid {
     last_error_ = 0.0;
   }
 
+  // Mid-run controller state (experiment checkpointing); gains are
+  // construction-time constants.
+  struct State {
+    double integral = 0.0;
+    double last_error = 0.0;
+  };
+
+  State save() const { return {integral_, last_error_}; }
+
+  void load(const State& s) {
+    integral_ = s.integral;
+    last_error_ = s.last_error;
+  }
+
  private:
   double p_, i_, d_, i_limit_;
   double integral_ = 0.0;
@@ -73,6 +87,26 @@ class ControlCascade {
   sim::MotorCommands update(const Setpoint& sp, const EstimatedState& est, double dt);
 
   void reset();
+
+  // Mid-run cascade state (experiment checkpointing): the three rate PIDs
+  // plus the velocity-loop derivative memory.
+  struct Snapshot {
+    Pid::State rate_roll;
+    Pid::State rate_pitch;
+    Pid::State rate_yaw;
+    geo::Vec3 last_vel_error;
+  };
+
+  Snapshot save() const {
+    return {rate_roll_.save(), rate_pitch_.save(), rate_yaw_.save(), last_vel_error_};
+  }
+
+  void load(const Snapshot& s) {
+    rate_roll_.load(s.rate_roll);
+    rate_pitch_.load(s.rate_pitch);
+    rate_yaw_.load(s.rate_yaw);
+    last_vel_error_ = s.last_vel_error;
+  }
 
   // Hover throttle estimate; exposed for tests.
   static constexpr double kHoverThrottle = 0.497;  // 1.5 kg / (4 * 7.4 N)

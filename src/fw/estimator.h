@@ -92,6 +92,46 @@ class StateEstimator {
   // reckoning (GPS family dead and no stale-velocity quirk hiding it).
   bool dead_reckoning() const { return dead_reckoning_; }
 
+  // Complete mid-run filter state for experiment checkpointing: both the
+  // clean and the quirk-distorted solutions, fail-over health, and every
+  // fallback latch. Config and bus wiring are construction-time and stay
+  // with the hosting arena.
+  struct Snapshot {
+    EstimatedState state;
+    EstimatedState published;
+    EstimatorQuirks quirks;
+    std::array<SourceHealth, 6> health{};
+    geo::Vec3 last_gps_velocity;
+    geo::Vec3 last_gps_local;
+    bool have_gps_sample = false;
+    geo::Attitude prev_attitude;
+    bool frozen_alt_valid = false;
+    double frozen_alt_z = 0.0;
+    bool dead_reckoning = false;
+    bool have_gps_ever = false;
+  };
+
+  Snapshot save() const {
+    return {state_,          published_,        quirks_,       health_,
+            last_gps_velocity_, last_gps_local_, have_gps_sample_, prev_attitude_,
+            frozen_alt_valid_,  frozen_alt_z_,   dead_reckoning_,  have_gps_ever_};
+  }
+
+  void load(const Snapshot& s) {
+    state_ = s.state;
+    published_ = s.published;
+    quirks_ = s.quirks;
+    health_ = s.health;
+    last_gps_velocity_ = s.last_gps_velocity;
+    last_gps_local_ = s.last_gps_local;
+    have_gps_sample_ = s.have_gps_sample;
+    prev_attitude_ = s.prev_attitude;
+    frozen_alt_valid_ = s.frozen_alt_valid;
+    frozen_alt_z_ = s.frozen_alt_z;
+    dead_reckoning_ = s.dead_reckoning;
+    have_gps_ever_ = s.have_gps_ever;
+  }
+
  private:
   void p_update_health(sim::SimTimeMs now);
 

@@ -39,6 +39,82 @@ Firmware::Firmware(FirmwareConfig config, SensorBus& bus, hinj::Client& hinj_cli
   hinj_->update_mode(composite_mode().id(), composite_mode().name(), 0);
 }
 
+Firmware::Snapshot Firmware::save() const {
+  Snapshot s;
+  s.estimator = estimator_.save();
+  s.cascade = cascade_.save();
+  s.mission = mission_;
+  s.mode = mode_;
+  s.submode = submode_;
+  s.prev_mode = prev_mode_;
+  s.mode_entry_ms = mode_entry_ms_;
+  s.armed = armed_;
+  s.mission_active = mission_active_;
+  s.mission_complete = mission_complete_;
+  s.takeoff_target_alt = takeoff_target_alt_;
+  s.takeoff_xy = takeoff_xy_;
+  s.guided_target = guided_target_;
+  s.hold_position = hold_position_;
+  s.holding = holding_;
+  s.hold_yaw = hold_yaw_;
+  s.last_stick_change_ms = last_stick_change_ms_;
+  s.land_xy = land_xy_;
+  s.land_xy_valid = land_xy_valid_;
+  s.land_low_since = land_low_since_;
+  s.land_commanded_descent = land_commanded_descent_;
+  s.rtl_phase = static_cast<int>(rtl_phase_);
+  s.rtl_target_alt = rtl_target_alt_;
+  s.sticks = sticks_;
+  s.wp_ordinal = wp_ordinal_;
+  s.family_handled = family_handled_;
+  s.battery_dead_since = battery_dead_since_;
+  s.position_valid = position_valid_;
+  s.bug_state = bug_state_;
+  s.fired_bugs = fired_bugs_;
+  s.land_descent_ramp_start = land_descent_ramp_start_;
+  s.last_telemetry_ms = last_telemetry_ms_;
+  s.last_heartbeat_ms = last_heartbeat_ms_;
+  s.last_reported_mission_index = last_reported_mission_index_;
+  return s;
+}
+
+void Firmware::load(const Snapshot& s) {
+  estimator_.load(s.estimator);
+  cascade_.load(s.cascade);
+  mission_ = s.mission;
+  mode_ = s.mode;
+  submode_ = s.submode;
+  prev_mode_ = s.prev_mode;
+  mode_entry_ms_ = s.mode_entry_ms;
+  armed_ = s.armed;
+  mission_active_ = s.mission_active;
+  mission_complete_ = s.mission_complete;
+  takeoff_target_alt_ = s.takeoff_target_alt;
+  takeoff_xy_ = s.takeoff_xy;
+  guided_target_ = s.guided_target;
+  hold_position_ = s.hold_position;
+  holding_ = s.holding;
+  hold_yaw_ = s.hold_yaw;
+  last_stick_change_ms_ = s.last_stick_change_ms;
+  land_xy_ = s.land_xy;
+  land_xy_valid_ = s.land_xy_valid;
+  land_low_since_ = s.land_low_since;
+  land_commanded_descent_ = s.land_commanded_descent;
+  rtl_phase_ = static_cast<RtlPhase>(s.rtl_phase);
+  rtl_target_alt_ = s.rtl_target_alt;
+  sticks_ = s.sticks;
+  wp_ordinal_ = s.wp_ordinal;
+  family_handled_ = s.family_handled;
+  battery_dead_since_ = s.battery_dead_since;
+  position_valid_ = s.position_valid;
+  bug_state_ = s.bug_state;
+  fired_bugs_ = s.fired_bugs;
+  land_descent_ramp_start_ = s.land_descent_ramp_start;
+  last_telemetry_ms_ = s.last_telemetry_ms;
+  last_heartbeat_ms_ = s.last_heartbeat_ms;
+  last_reported_mission_index_ = s.last_reported_mission_index;
+}
+
 sim::MotorCommands Firmware::step(sim::SimTimeMs now, const sim::VehicleState& truth) {
   estimator_.update(now, truth, *env_);
   p_handle_mavlink(now);

@@ -55,6 +55,62 @@ class Firmware {
   // search strategies never read it.
   const std::vector<BugId>& fired_bugs() const { return fired_bugs_; }
 
+  // Seeded-bug runtime (public so the checkpoint Snapshot below can carry
+  // it; the members themselves stay private).
+  struct BugState {
+    bool fired = false;
+    sim::SimTimeMs fired_at = -1;
+    int phase = 0;
+  };
+
+  // Complete mid-run autopilot state for experiment checkpointing: the
+  // estimator and cascade capsules, the mission store (a value type,
+  // captured whole), and every mode/failsafe/bug latch. The config and the
+  // bus/hinj/link/env wiring are construction-time properties of the spec
+  // and the hosting arena — a restored firmware keeps its own wiring. Kept
+  // in lockstep with the member list below: a new stateful member must join
+  // this capsule or restored runs diverge from fresh ones (the parity suite
+  // in tests/test_checkpoint.cc is the tripwire).
+  struct Snapshot {
+    StateEstimator::Snapshot estimator;
+    ControlCascade::Snapshot cascade;
+    MissionManager mission;
+    Mode mode = Mode::kPreFlight;
+    std::uint8_t submode = 0;
+    Mode prev_mode = Mode::kPreFlight;
+    sim::SimTimeMs mode_entry_ms = 0;
+    bool armed = false;
+    bool mission_active = false;
+    bool mission_complete = false;
+    double takeoff_target_alt = 0.0;
+    geo::Vec3 takeoff_xy;
+    geo::Vec3 guided_target;
+    geo::Vec3 hold_position;
+    bool holding = false;
+    double hold_yaw = 0.0;
+    sim::SimTimeMs last_stick_change_ms = 0;
+    geo::Vec3 land_xy;
+    bool land_xy_valid = false;
+    sim::SimTimeMs land_low_since = -1;
+    double land_commanded_descent = 0.0;
+    int rtl_phase = 0;
+    double rtl_target_alt = 0.0;
+    mavlink::RcOverride sticks;
+    int wp_ordinal = 0;
+    std::array<bool, 6> family_handled{};
+    sim::SimTimeMs battery_dead_since = -1;
+    bool position_valid = true;
+    std::array<BugState, 15> bug_state{};
+    std::vector<BugId> fired_bugs;
+    sim::SimTimeMs land_descent_ramp_start = 0;
+    sim::SimTimeMs last_telemetry_ms = -1000;
+    sim::SimTimeMs last_heartbeat_ms = -1000;
+    std::size_t last_reported_mission_index = static_cast<std::size_t>(-1);
+  };
+
+  Snapshot save() const;
+  void load(const Snapshot& s);
+
  private:
   // MAVLink handling.
   void p_handle_mavlink(sim::SimTimeMs now);
@@ -125,11 +181,6 @@ class Firmware {
   bool position_valid_ = true;
 
   // Seeded-bug runtime.
-  struct BugState {
-    bool fired = false;
-    sim::SimTimeMs fired_at = -1;
-    int phase = 0;
-  };
   std::array<BugState, 15> bug_state_{};
   std::vector<BugId> fired_bugs_;
 

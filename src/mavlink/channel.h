@@ -36,6 +36,11 @@ class Endpoint {
   // Channel::reset_link.
   void reset_seq() { next_seq_ = 0; }
 
+  // Sequence-number position, for mid-run checkpointing: a restored
+  // endpoint must stamp its next frame exactly as the prefix run would.
+  std::uint8_t seq() const { return next_seq_; }
+  void set_seq(std::uint8_t seq) { next_seq_ = seq; }
+
  private:
   Channel* channel_;
   bool is_vehicle_;
@@ -69,6 +74,44 @@ class Channel {
     }
     gcs_.reset_seq();
     vehicle_.reset_seq();
+  }
+
+  // Mid-run link state for experiment checkpointing: the encoded frames in
+  // flight (bytes, direction-ordered) and both endpoints' sequence
+  // positions. The freelist is capacity, not state, and stays out.
+  struct Snapshot {
+    std::vector<std::vector<std::uint8_t>> to_vehicle;
+    std::vector<std::vector<std::uint8_t>> to_gcs;
+    std::uint8_t gcs_seq = 0;
+    std::uint8_t vehicle_seq = 0;
+  };
+
+  Snapshot save() const {
+    Snapshot s;
+    s.to_vehicle.assign(to_vehicle.begin(), to_vehicle.end());
+    s.to_gcs.assign(to_gcs.begin(), to_gcs.end());
+    s.gcs_seq = gcs_.seq();
+    s.vehicle_seq = vehicle_.seq();
+    return s;
+  }
+
+  // Restores the link to the snapshot's observable state. In-flight frames
+  // are copied into recycled buffers so a warmed-up channel stays
+  // allocation-light.
+  void load(const Snapshot& s) {
+    reset_link();
+    for (const auto& bytes : s.to_vehicle) {
+      std::vector<std::uint8_t> frame = acquire_frame();
+      frame.assign(bytes.begin(), bytes.end());
+      to_vehicle.push_back(std::move(frame));
+    }
+    for (const auto& bytes : s.to_gcs) {
+      std::vector<std::uint8_t> frame = acquire_frame();
+      frame.assign(bytes.begin(), bytes.end());
+      to_gcs.push_back(std::move(frame));
+    }
+    gcs_.set_seq(s.gcs_seq);
+    vehicle_.set_seq(s.vehicle_seq);
   }
 
   // Freelist of retired frame vectors. acquire hands back an empty vector

@@ -58,6 +58,20 @@ class MissionUploader {
   bool done() const { return phase_ == Phase::kDone; }
   bool failed() const { return phase_ == Phase::kFailed; }
 
+  // Mid-run transaction state (experiment checkpointing): the staged items
+  // and the phase; the endpoint wiring belongs to the hosting context.
+  struct State {
+    std::vector<MissionItem> items;
+    Phase phase = Phase::kIdle;
+  };
+
+  State save() const { return {items_, phase_}; }
+
+  void load(const State& s) {
+    items_ = s.items;
+    phase_ = s.phase;
+  }
+
  private:
   Endpoint* gcs_;
   std::vector<MissionItem> items_;

@@ -23,6 +23,19 @@
 
 namespace avis::sensors {
 
+// Complete mutable state of one sensor instance mid-run, for experiment
+// checkpointing: the noise stream position, the held sample and its clock,
+// and the latched failure. Model parameters (identity, rate, noise, bias)
+// are construction-time constants and stay out.
+template <typename Sample>
+struct InstanceState {
+  util::Rng::State rng;
+  Sample held{};
+  bool has_sample = false;
+  sim::SimTimeMs last_sample_ms = 0;
+  bool failed = false;
+};
+
 // Common per-instance machinery: identity, native rate, latched clean
 // failure. Concrete sensors implement p_measure() to produce a fresh sample.
 template <typename Sample>
@@ -53,6 +66,21 @@ class SensorInstance {
     has_sample_ = false;
     last_sample_ms_ = 0;
     failed_ = false;
+  }
+
+  // Mid-run state capture/restore (checkpointed prefix forking). save/load
+  // cover exactly the fields reset() clears, so a loaded instance is
+  // state-identical to one that lived through the prefix.
+  InstanceState<Sample> save() const {
+    return {rng_.save(), held_, has_sample_, last_sample_ms_, failed_};
+  }
+
+  void load(const InstanceState<Sample>& s) {
+    rng_.load(s.rng);
+    held_ = s.held;
+    has_sample_ = s.has_sample;
+    last_sample_ms_ = s.last_sample_ms;
+    failed_ = s.failed;
   }
 
   // Driver read path. Returns kFailed (and leaves `out` untouched) once the
@@ -227,6 +255,17 @@ struct SuiteConfig {
   bool operator==(const SuiteConfig&) const = default;
 };
 
+// Mid-run state of every instance in a suite, in the suite's construction
+// order (experiment checkpointing).
+struct SuiteSnapshot {
+  std::vector<InstanceState<GyroSample>> gyros;
+  std::vector<InstanceState<AccelSample>> accels;
+  std::vector<InstanceState<BaroSample>> baros;
+  std::vector<InstanceState<GpsSample>> gpses;
+  std::vector<InstanceState<CompassSample>> compasses;
+  std::vector<InstanceState<BatterySample>> batteries;
+};
+
 // The vehicle's full sensor complement. Owns every instance; exposes typed
 // access for the firmware drivers and id-based failure injection for the
 // engine.
@@ -272,6 +311,34 @@ class SensorSuite {
     for (int i = 0; i < config.gpses; ++i) gpses_[i]->reset(seed_source.fork(48 + i));
     for (int i = 0; i < config.compasses; ++i) compasses_[i]->reset(seed_source.fork(64 + i));
     for (int i = 0; i < config.batteries; ++i) batteries_[i]->reset(seed_source.fork(80 + i));
+  }
+
+  // Capture/restore every instance's mid-run state (checkpointed prefix
+  // forking). Like reset(), load() requires the same sensor complement —
+  // restoring a different vehicle's snapshot is a logic error.
+  SuiteSnapshot save() const {
+    SuiteSnapshot s;
+    for (const auto& g : gyros_) s.gyros.push_back(g->save());
+    for (const auto& a : accels_) s.accels.push_back(a->save());
+    for (const auto& b : baros_) s.baros.push_back(b->save());
+    for (const auto& g : gpses_) s.gpses.push_back(g->save());
+    for (const auto& c : compasses_) s.compasses.push_back(c->save());
+    for (const auto& b : batteries_) s.batteries.push_back(b->save());
+    return s;
+  }
+
+  void load(const SuiteSnapshot& s) {
+    util::expects(s.gyros.size() == gyros_.size() && s.accels.size() == accels_.size() &&
+                      s.baros.size() == baros_.size() && s.gpses.size() == gpses_.size() &&
+                      s.compasses.size() == compasses_.size() &&
+                      s.batteries.size() == batteries_.size(),
+                  "suite snapshot must match the sensor complement");
+    for (std::size_t i = 0; i < gyros_.size(); ++i) gyros_[i]->load(s.gyros[i]);
+    for (std::size_t i = 0; i < accels_.size(); ++i) accels_[i]->load(s.accels[i]);
+    for (std::size_t i = 0; i < baros_.size(); ++i) baros_[i]->load(s.baros[i]);
+    for (std::size_t i = 0; i < gpses_.size(); ++i) gpses_[i]->load(s.gpses[i]);
+    for (std::size_t i = 0; i < compasses_.size(); ++i) compasses_[i]->load(s.compasses[i]);
+    for (std::size_t i = 0; i < batteries_.size(); ++i) batteries_[i]->load(s.batteries[i]);
   }
 
   Gyroscope& gyro(int i) { return *gyros_.at(i); }

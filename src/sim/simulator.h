@@ -58,6 +58,26 @@ class Simulator {
     observers_.push_back(std::move(obs));
   }
 
+  // Complete per-run state for experiment checkpointing. The environment,
+  // dynamics parameters and observers are construction-time constants of the
+  // spec and are not part of a run's mutable state; the RNG stream is (wind
+  // gusts and ground-contact jitter draw from it mid-run).
+  struct Snapshot {
+    VehicleState state;
+    util::Rng::State rng;
+    SimTimeMs time_ms = 0;
+    CrashCause last_crash = CrashCause::kNone;
+  };
+
+  Snapshot save() const { return {state_, rng_.save(), time_ms_, last_crash_}; }
+
+  void load(const Snapshot& s) {
+    state_ = s.state;
+    rng_.load(s.rng);
+    time_ms_ = s.time_ms;
+    last_crash_ = s.last_crash;
+  }
+
   SimTimeMs now_ms() const { return time_ms_; }
   double now_seconds() const { return static_cast<double>(time_ms_) * kStepSeconds; }
 

@@ -120,6 +120,47 @@ class GcsContext {
 
   const geo::LocalFrame& frame() const { return frame_; }
 
+  // Mid-run GCS state for experiment checkpointing: the mission-upload
+  // transaction, the cached telemetry view, and the status-text log. The
+  // endpoint and frame are per-run wiring and stay with the hosting run.
+  struct Snapshot {
+    mavlink::MissionUploader::State uploader;
+    sim::SimTimeMs now_ms = 0;
+    bool armed = false;
+    std::uint16_t mode_id = 0;
+    bool have_heartbeat = false;
+    bool have_position = false;
+    geo::Vec3 local_position;
+    double relative_alt = 0.0;
+    geo::Vec3 velocity;
+    double heading = 0.0;
+    std::optional<mavlink::CommandAck> last_ack;
+    std::optional<std::uint16_t> last_reached;
+    std::vector<std::string> status_texts;
+  };
+
+  Snapshot save() const {
+    return {uploader_.save(), now_ms_,   armed_,    mode_id_,  have_heartbeat_,
+            have_position_,   local_position_, relative_alt_, velocity_, heading_,
+            last_ack_,        last_reached_,   status_texts_};
+  }
+
+  void load(const Snapshot& s) {
+    uploader_.load(s.uploader);
+    now_ms_ = s.now_ms;
+    armed_ = s.armed;
+    mode_id_ = s.mode_id;
+    have_heartbeat_ = s.have_heartbeat;
+    have_position_ = s.have_position;
+    local_position_ = s.local_position;
+    relative_alt_ = s.relative_alt;
+    velocity_ = s.velocity;
+    heading_ = s.heading;
+    last_ack_ = s.last_ack;
+    last_reached_ = s.last_reached;
+    status_texts_ = s.status_texts;
+  }
+
  private:
   void send_command(mavlink::Command command, double param1 = 0.0) {
     mavlink::CommandLong cmd;

@@ -70,12 +70,9 @@ class BoxManualWorkload final : public Workload {
                   return done(ctx);
                 },
                 30000);
-    script_.add(std::string("settle_") + name,
-                [](GcsContext& ctx) { ctx.rc(0.0, 0.0, 0.0, 0.0); },
-                [start = std::make_shared<sim::SimTimeMs>(-1)](GcsContext& ctx) {
-                  if (*start < 0) *start = ctx.now_ms();
-                  return ctx.now_ms() - *start >= 1200;
-                });
+    script_.add_timed(std::string("settle_") + name,
+                      [](GcsContext& ctx) { ctx.rc(0.0, 0.0, 0.0, 0.0); },
+                      [](GcsContext&, sim::SimTimeMs elapsed) { return elapsed >= 1200; });
   }
 };
 

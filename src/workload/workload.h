@@ -27,21 +27,34 @@ class Script {
     std::string name;
     std::function<void(GcsContext&)> on_entry;
     std::function<bool(GcsContext&)> done;
+    // Elapsed-time variant: receives milliseconds since the step was
+    // entered. Time-based steps use this instead of capturing a mutable
+    // start timestamp in `done` — step lambdas must be stateless so a
+    // workload's progress is fully described by the base-class fields
+    // (Workload::Progress), which is what lets checkpointed prefix forking
+    // restore a mid-flight workload into a factory-fresh instance.
+    std::function<bool(GcsContext&, sim::SimTimeMs)> done_since;
     sim::SimTimeMs timeout_ms = 60000;
   };
 
   void add(std::string name, std::function<void(GcsContext&)> on_entry,
            std::function<bool(GcsContext&)> done, sim::SimTimeMs timeout_ms = 60000) {
-    steps_.push_back({std::move(name), std::move(on_entry), std::move(done), timeout_ms});
+    steps_.push_back({std::move(name), std::move(on_entry), std::move(done), {}, timeout_ms});
+  }
+
+  // A step whose completion depends on time since entry; `done_since` gets
+  // the elapsed milliseconds alongside the context.
+  void add_timed(std::string name, std::function<void(GcsContext&)> on_entry,
+                 std::function<bool(GcsContext&, sim::SimTimeMs)> done_since,
+                 sim::SimTimeMs timeout_ms = 60000) {
+    steps_.push_back({std::move(name), std::move(on_entry), {}, std::move(done_since),
+                      timeout_ms});
   }
 
   // Fig. 8 style helpers ----------------------------------------------------
   void wait_time(sim::SimTimeMs ms) {
-    add("wait_time", [](GcsContext&) {},
-        [ms, start = std::make_shared<sim::SimTimeMs>(-1)](GcsContext& ctx) {
-          if (*start < 0) *start = ctx.now_ms();
-          return ctx.now_ms() - *start >= ms;
-        });
+    add_timed("wait_time", [](GcsContext&) {},
+              [ms](GcsContext&, sim::SimTimeMs elapsed) { return elapsed >= ms; });
   }
 
   void upload_mission(std::vector<mavlink::MissionItem> items) {
@@ -105,7 +118,9 @@ class Workload {
         entered_ = true;
         entered_at_ = ctx.now_ms();
       }
-      if (step.done(ctx)) {
+      const bool done = step.done_since ? step.done_since(ctx, ctx.now_ms() - entered_at_)
+                                        : step.done(ctx);
+      if (done) {
         ++index_;
         entered_ = false;
         continue;
@@ -123,6 +138,29 @@ class Workload {
   const std::string& failed_step() const { return failed_step_; }
   const std::string& name() const { return name_; }
   std::size_t current_step() const { return index_; }
+
+  // Mid-run progress for experiment checkpointing. Because step lambdas are
+  // stateless by contract (time-based steps go through Script::add_timed),
+  // these base-class fields are the workload's complete mutable state:
+  // loading them into a factory-fresh instance of the same workload resumes
+  // it exactly where the prefix run left off.
+  struct Progress {
+    std::size_t index = 0;
+    bool entered = false;
+    sim::SimTimeMs entered_at = 0;
+    WorkloadStatus status = WorkloadStatus::kRunning;
+    std::string failed_step;
+  };
+
+  Progress save() const { return {index_, entered_, entered_at_, status_, failed_step_}; }
+
+  void load(const Progress& p) {
+    index_ = p.index;
+    entered_ = p.entered;
+    entered_at_ = p.entered_at;
+    status_ = p.status;
+    failed_step_ = p.failed_step;
+  }
 
  protected:
   explicit Workload(std::string name) : name_(std::move(name)) {}

@@ -1,0 +1,288 @@
+// Checkpointed prefix forking: a restored-and-resumed run must be
+// bit-identical (trace, transitions, outcome, unsafe records) to the same
+// spec simulated from scratch — the snapshot/restore analogue of the arena
+// reset contract. The matrix below sweeps the full registry surface (both
+// personalities x all five workloads) under the RNG-heaviest environment
+// preset (gusty exercises the simulator's wind stream every step, so a
+// mid-stream util::Rng snapshot — including the cached Marsaglia spare
+// gaussian — is load-bearing), interleaved through one ExperimentContext
+// like tests/test_harness.cc does for arenas.
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/checker.h"
+#include "core/harness.h"
+#include "core/sabre.h"
+#include "core/scenario.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace avis::core {
+namespace {
+
+using sensors::SensorId;
+using sensors::SensorType;
+
+// Full-field equality of two experiment results. Unlike the spot checks in
+// test_harness.cc this compares every sample of the trace and every
+// transition — "bit-identical" is the contract.
+void expect_results_identical(const ExperimentResult& fresh, const ExperimentResult& restored,
+                              const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(fresh.workload_passed, restored.workload_passed);
+  EXPECT_EQ(fresh.duration_ms, restored.duration_ms);
+  EXPECT_EQ(fresh.fired_bugs, restored.fired_bugs);
+  EXPECT_EQ(fresh.crash_cause, restored.crash_cause);
+  ASSERT_EQ(fresh.violation.has_value(), restored.violation.has_value());
+  if (fresh.violation) {
+    EXPECT_EQ(fresh.violation->type, restored.violation->type);
+    EXPECT_EQ(fresh.violation->time_ms, restored.violation->time_ms);
+    EXPECT_EQ(fresh.violation->mode_id, restored.violation->mode_id);
+    EXPECT_EQ(fresh.violation->details, restored.violation->details);
+  }
+  ASSERT_EQ(fresh.transitions.size(), restored.transitions.size());
+  for (std::size_t i = 0; i < fresh.transitions.size(); ++i) {
+    EXPECT_EQ(fresh.transitions[i].time_ms, restored.transitions[i].time_ms) << "t " << i;
+    EXPECT_EQ(fresh.transitions[i].mode_id, restored.transitions[i].mode_id) << "t " << i;
+    EXPECT_EQ(fresh.transitions[i].mode_name, restored.transitions[i].mode_name) << "t " << i;
+  }
+  ASSERT_EQ(fresh.trace.size(), restored.trace.size());
+  for (std::size_t i = 0; i < fresh.trace.size(); ++i) {
+    EXPECT_EQ(fresh.trace[i].time_ms, restored.trace[i].time_ms) << "i=" << i;
+    EXPECT_EQ(fresh.trace[i].position, restored.trace[i].position) << "i=" << i;
+    EXPECT_EQ(fresh.trace[i].acceleration, restored.trace[i].acceleration) << "i=" << i;
+    EXPECT_EQ(fresh.trace[i].mode_id, restored.trace[i].mode_id) << "i=" << i;
+    EXPECT_EQ(fresh.trace[i].on_ground, restored.trace[i].on_ground) << "i=" << i;
+    EXPECT_EQ(fresh.trace[i].armed, restored.trace[i].armed) << "i=" << i;
+  }
+}
+
+TEST(RngSnapshot, MidStreamSaveLoadPreservesTheMarsagliaSpare) {
+  util::Rng original(12345);
+  // An odd number of gaussian draws leaves a cached spare: the next
+  // next_gaussian() must come from the cache, not a fresh polar round.
+  for (int i = 0; i < 7; ++i) original.next_gaussian();
+  util::Rng copy(0);
+  copy.load(original.save());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_DOUBLE_EQ(original.next_gaussian(), copy.next_gaussian()) << "draw " << i;
+    ASSERT_EQ(original.next_u64(), copy.next_u64()) << "draw " << i;
+  }
+}
+
+TEST(Checkpoint, FirstInjectionPicksTheLatestUsableSnapshot) {
+  CheckpointConfig config;
+  config.interval_ms = 5000;
+  CheckpointStore store(config);
+  store.begin(ExperimentSpec{}, false);
+  for (sim::SimTimeMs t : {5000, 10000, 15000}) {
+    ExperimentSnapshot snap;
+    snap.time_ms = t;
+    store.add(std::move(snap));
+  }
+  store.finish(ExperimentResult{});
+  EXPECT_EQ(store.best_for(4999), nullptr);  // injects before the first snapshot
+  EXPECT_EQ(store.best_for(5000)->time_ms, 5000);
+  EXPECT_EQ(store.best_for(12000)->time_ms, 10000);
+  EXPECT_EQ(store.best_for(FaultPlan::kNever)->time_ms, 15000);  // empty plan
+}
+
+// The headline contract: restore-vs-fresh parity across the full registry
+// surface — both personalities x all five workloads x gusty — with early
+// (miss), mid-mission, multi-event and empty (golden re-run) plans, all
+// interleaved through one context so stale state from any earlier
+// combination would surface in a later one.
+TEST(Checkpoint, RestoredRunsAreBitIdenticalAcrossTheRegistrySurface) {
+  SimulationHarness harness;
+  ExperimentContext context;
+  CheckpointConfig config;  // default cadence (5000 ms), default budget
+
+  const std::vector<std::string> personalities = {"ardupilot", "px4"};
+  const std::vector<std::string> workloads = {"auto", "box-manual", "fence-mission",
+                                              "wind-gust-box", "survey"};
+  int monitored_combos = 0;
+  for (const std::string& personality : personalities) {
+    for (const std::string& workload : workloads) {
+      const std::string label = personality + "/" + workload + "/gusty";
+      SCOPED_TRACE(label);
+      ScenarioSpec scenario;
+      scenario.personality = personality;
+      scenario.workload = workload;
+      scenario.environment = "gusty";
+      ExperimentSpec prototype = scenario_prototype(scenario);
+
+      // Profile only when the golden run completes under gusts (the
+      // monitored precondition); otherwise exercise the unmonitored path —
+      // parity must hold either way.
+      ExperimentSpec golden_spec = prototype;
+      golden_spec.plan = FaultPlan{};
+      const ExperimentResult golden = harness.run(golden_spec, nullptr, &context);
+      std::optional<MonitorModel> model;
+      if (golden.workload_passed) {
+        model = harness.profile(prototype, 3, prototype.seed, &context);
+        ++monitored_combos;
+      }
+      const MonitorModel* monitor = model ? &*model : nullptr;
+
+      ExperimentSpec spec = prototype;
+      if (monitor != nullptr) spec.max_duration_ms = model->profiling_duration_ms() + 45000;
+      const CheckpointStore store = harness.record_prefix(spec, monitor, config, &context);
+      ASSERT_GT(store.size(), 0u);
+      EXPECT_EQ(store.evicted(), 0);
+
+      struct PlanCase {
+        const char* name;
+        FaultPlan plan;
+        bool expect_hit;
+      };
+      std::vector<PlanCase> cases;
+      cases.push_back({"early-miss", {}, false});
+      cases.back().plan.add(500, {SensorType::kCompass, 0});
+      cases.push_back({"mid-single", {}, true});
+      cases.back().plan.add(12000, {SensorType::kCompass, 0});
+      cases.push_back({"late-multi", {}, true});
+      cases.back().plan.add(18000, {SensorType::kGps, 0});
+      cases.back().plan.add(26000, {SensorType::kBarometer, 0});
+      cases.push_back({"empty-golden", {}, true});
+
+      for (PlanCase& plan_case : cases) {
+        spec.plan = plan_case.plan;
+        const ExperimentResult fresh = harness.run(spec, monitor, &context);
+        const ExperimentResult restored = harness.run(spec, monitor, &context, &store);
+        EXPECT_EQ(fresh.resumed_from_ms, 0);
+        if (plan_case.expect_hit) {
+          EXPECT_GT(restored.resumed_from_ms, 0) << plan_case.name;
+          EXPECT_LE(restored.resumed_from_ms, spec.plan.first_injection_ms());
+        } else {
+          EXPECT_EQ(restored.resumed_from_ms, 0) << plan_case.name;
+        }
+        expect_results_identical(fresh, restored, label + "/" + plan_case.name);
+      }
+    }
+  }
+  // The monitored restore path (session history, violation timing,
+  // stop-on-violation truncation) must have real coverage in this matrix.
+  EXPECT_GE(monitored_combos, 4);
+}
+
+// Violation-bearing restores: the compass fault in the APM-16967 window
+// produces a monitored violation; a restored run must report it at the
+// same millisecond with the same truncated duration.
+TEST(Checkpoint, RestoredViolationTimingMatchesFresh) {
+  auto& checker =
+      avis::testing::cached_checker(fw::Personality::kArduPilotLike,
+                                    workload::WorkloadId::kFenceMission);
+  const MonitorModel& model = checker.model();
+  SimulationHarness harness;
+  ExperimentContext context;
+
+  ExperimentSpec spec;
+  spec.personality = fw::Personality::kArduPilotLike;
+  spec.workload = workload::WorkloadId::kFenceMission;
+  spec.seed = 100;
+  spec.max_duration_ms = model.profiling_duration_ms() + 45000;
+  const CheckpointStore store = harness.record_prefix(spec, &model, {}, &context);
+
+  spec.plan.add(avis::testing::transition_time(model, "auto-wp2"),
+                {SensorType::kCompass, 0});
+  const ExperimentResult fresh = harness.run(spec, &model, &context);
+  ASSERT_TRUE(fresh.violation.has_value());
+  const ExperimentResult restored = harness.run(spec, &model, &context, &store);
+  EXPECT_GT(restored.resumed_from_ms, 0);
+  expect_results_identical(fresh, restored, "fence-mission violation");
+}
+
+// The byte budget degrades the store to a coarser cadence instead of
+// disappearing: eviction keeps restores exact, just from earlier snapshots.
+TEST(Checkpoint, ByteBudgetEvictsToCoarserCadenceWithoutBreakingParity) {
+  auto& checker = avis::testing::cached_checker(fw::Personality::kArduPilotLike,
+                                                workload::WorkloadId::kAuto);
+  const MonitorModel& model = checker.model();
+  SimulationHarness harness;
+  ExperimentContext context;
+
+  ExperimentSpec spec;
+  spec.personality = fw::Personality::kArduPilotLike;
+  spec.workload = workload::WorkloadId::kAuto;
+  spec.seed = 100;
+  spec.max_duration_ms = model.profiling_duration_ms() + 45000;
+
+  CheckpointConfig roomy;
+  const CheckpointStore full = harness.record_prefix(spec, &model, roomy, &context);
+  ASSERT_GT(full.size(), 2u);
+
+  CheckpointConfig tight;
+  tight.byte_budget = full.total_bytes() / 3;
+  const CheckpointStore thinned = harness.record_prefix(spec, &model, tight, &context);
+  EXPECT_GT(thinned.evicted(), 0);
+  EXPECT_LT(thinned.size(), full.size());
+  EXPECT_LE(thinned.total_bytes(), tight.byte_budget);
+
+  spec.plan.add(12000, {SensorType::kCompass, 0});
+  const ExperimentResult fresh = harness.run(spec, &model, &context);
+  const ExperimentResult restored = harness.run(spec, &model, &context, &thinned);
+  EXPECT_GT(restored.resumed_from_ms, 0);
+  expect_results_identical(fresh, restored, "thinned store");
+}
+
+// Checker-level: a checkpointed campaign reports the same experiments,
+// budget charges and unsafe records as one with checkpointing off — the
+// counters are the only new information.
+TEST(Checkpoint, CheckerCampaignIsReportIdenticalWithCheckpointingOnOrOff) {
+  constexpr sim::SimTimeMs kBudgetMs = 600 * 1000;
+  const auto suite = SimulationHarness::iris_suite();
+
+  ExperimentSpec prototype;
+  prototype.personality = fw::Personality::kArduPilotLike;
+  prototype.workload = workload::WorkloadId::kAuto;
+  prototype.seed = 100;
+
+  CheckpointConfig off;
+  off.enabled = false;
+  Checker cold_checker(prototype, off);
+  SabreScheduler cold_strategy(suite, cold_checker.model().golden_transitions());
+  BudgetClock cold_budget(kBudgetMs);
+  const CheckerReport cold = cold_checker.run(cold_strategy, cold_budget);
+  EXPECT_EQ(cold.checkpoint_hits + cold.checkpoint_misses, 0);
+
+  Checker warm_checker(prototype);  // checkpointing on by default
+  SabreScheduler warm_strategy(suite, warm_checker.model().golden_transitions());
+  BudgetClock warm_budget(kBudgetMs);
+  const CheckerReport warm = warm_checker.run(warm_strategy, warm_budget);
+  EXPECT_GT(warm.checkpoint_hits, 0);
+  EXPECT_GT(warm.checkpoint_skipped_ms, 0);
+  EXPECT_EQ(warm.checkpoint_hits + warm.checkpoint_misses, warm.experiments);
+
+  // Everything but the checkpoint accounting must match bit for bit.
+  CheckerReport normalized = warm;
+  normalized.checkpoint_hits = cold.checkpoint_hits;
+  normalized.checkpoint_misses = cold.checkpoint_misses;
+  normalized.checkpoint_evicted = cold.checkpoint_evicted;
+  normalized.checkpoint_skipped_ms = cold.checkpoint_skipped_ms;
+  avis::testing::expect_reports_equal(cold, normalized);
+}
+
+// The context pool's free list is capped at its high-water concurrent-
+// checkout mark: contexts released beyond the peak are freed, not pinned.
+TEST(ExperimentContextPool, FreeListCapsAtHighWaterMark) {
+  ExperimentContextPool pool;
+  std::vector<std::unique_ptr<ExperimentContext>> held;
+  for (int i = 0; i < 3; ++i) held.push_back(pool.acquire());
+  EXPECT_EQ(pool.high_water_mark(), 3u);
+  for (auto& ctx : held) pool.release(std::move(ctx));
+  held.clear();
+  EXPECT_EQ(pool.idle_count(), 3u);
+  // Releasing contexts the pool never saw concurrently must not grow the
+  // idle list beyond the peak.
+  pool.release(std::make_unique<ExperimentContext>());
+  pool.release(std::make_unique<ExperimentContext>());
+  EXPECT_EQ(pool.idle_count(), 3u);
+  // Reuse drains the free list before allocating.
+  auto a = pool.acquire();
+  EXPECT_EQ(pool.idle_count(), 2u);
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.idle_count(), 3u);
+}
+
+}  // namespace
+}  // namespace avis::core

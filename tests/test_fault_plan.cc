@@ -69,6 +69,27 @@ TEST(FaultPlan, RoleSignatureSeparatesTimesAndTypes) {
   EXPECT_NE(a.role_signature(), c.role_signature());
 }
 
+TEST(FaultPlan, FirstInjectionIsTheEarliestEvent) {
+  FaultPlan plan;
+  plan.add(500, {SensorType::kGps, 0});
+  plan.add(100, {SensorType::kBarometer, 0});
+  plan.add(9000, {SensorType::kCompass, 1});
+  EXPECT_EQ(plan.first_injection_ms(), 100);
+}
+
+TEST(FaultPlan, FirstInjectionOfEmptyPlanIsNever) {
+  FaultPlan plan;
+  EXPECT_EQ(plan.first_injection_ms(), FaultPlan::kNever);
+}
+
+TEST(FaultPlan, FirstInjectionSurvivesHandFilledEvents) {
+  // Callers that fill `events` directly (no normalize()) still get the min.
+  FaultPlan plan;
+  plan.events.push_back({700, {SensorType::kGps, 0}});
+  plan.events.push_back({200, {SensorType::kBarometer, 0}});
+  EXPECT_EQ(plan.first_injection_ms(), 200);
+}
+
 TEST(FaultPlan, ToStringIsReadable) {
   FaultPlan plan;
   plan.add(1500, {SensorType::kGps, 0});

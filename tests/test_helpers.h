@@ -52,6 +52,12 @@ inline void expect_reports_equal(const core::CheckerReport& serial,
   EXPECT_EQ(serial.labels, parallel.labels);
   EXPECT_EQ(serial.budget_used_ms, parallel.budget_used_ms);
   EXPECT_EQ(serial.bug_first_found, parallel.bug_first_found);
+  // Checkpoint accounting is derived from the applied-result sequence, so
+  // it is part of the determinism contract too.
+  EXPECT_EQ(serial.checkpoint_hits, parallel.checkpoint_hits);
+  EXPECT_EQ(serial.checkpoint_misses, parallel.checkpoint_misses);
+  EXPECT_EQ(serial.checkpoint_evicted, parallel.checkpoint_evicted);
+  EXPECT_EQ(serial.checkpoint_skipped_ms, parallel.checkpoint_skipped_ms);
   ASSERT_EQ(serial.unsafe.size(), parallel.unsafe.size());
   for (std::size_t i = 0; i < serial.unsafe.size(); ++i) {
     const core::UnsafeRecord& a = serial.unsafe[i];

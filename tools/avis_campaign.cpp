@@ -52,6 +52,7 @@ struct Options {
   std::string scenario_file;   // load the grid from this JSON document
   std::string dump_scenario;   // write the grid JSON here and exit ('-' = stdout)
   std::string out;             // JSON report path; "-" = stdout; empty = no JSON
+  core::CheckpointConfig checkpoints;
   bool quiet = false;
   bool list = false;
 };
@@ -120,6 +121,9 @@ int usage(const char* argv0) {
       << "  --workers N              total hardware budget for the worker split\n"
       << "  --cell-workers N         override: cells run concurrently\n"
       << "  --experiment-workers N   override: experiment pool size per cell\n"
+      << "  --no-checkpoints         disable checkpointed prefix forking (A/B timing;\n"
+      << "                           reports are bit-identical either way)\n"
+      << "  --checkpoint-interval-ms N  snapshot cadence for the prefix run (default 1000)\n"
       << "  --out FILE               write the JSON report to FILE ('-' = stdout)\n"
       << "  --list                   print every registry (names + descriptions) and exit\n"
       << "  --quiet                  suppress the text table\n";
@@ -217,6 +221,15 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage(argv[0]);
       options.out = v;
+    } else if (arg == "--no-checkpoints") {
+      options.checkpoints.enabled = false;
+    } else if (arg == "--checkpoint-interval-ms") {
+      if (!number(n)) return usage(argv[0]);
+      if (n <= 0) {
+        std::cerr << "--checkpoint-interval-ms must be positive (got " << n << ")\n";
+        return usage(argv[0]);
+      }
+      options.checkpoints.interval_ms = n;
     } else if (arg == "--list") {
       options.list = true;
     } else if (arg == "--quiet") {
@@ -292,20 +305,24 @@ int main(int argc, char** argv) {
   campaign_options.total_workers = options.total_workers;
   campaign_options.cell_workers = options.cell_workers;
   campaign_options.experiment_workers = options.experiment_workers;
+  campaign_options.checkpoints = options.checkpoints;
   const core::CampaignRunner runner(campaign_options);
   const core::CampaignResult result = runner.run(grid);
 
   if (!options.quiet) {
     util::TextTable t({"#", "approach", "firmware", "workload", "environment", "sims",
-                       "labels", "unsafe #", "bugs", "exp/s"});
+                       "labels", "unsafe #", "bugs", "ckpt hit", "exp/s"});
     for (std::size_t i = 0; i < result.cells.size(); ++i) {
       const auto& cell = result.cells[i];
       char rate[32];
       std::snprintf(rate, sizeof(rate), "%.2f", cell.experiments_per_sec());
+      char hit_rate[32];
+      std::snprintf(hit_rate, sizeof(hit_rate), "%.0f%%",
+                    100.0 * cell.report.checkpoint_hit_rate());
       t.add(static_cast<int>(i), cell.spec.display_label(), cell.spec.scenario.personality,
             cell.spec.scenario.workload, cell.spec.scenario.environment,
             cell.report.experiments, cell.report.labels, cell.report.unsafe_count(),
-            static_cast<int>(cell.report.bug_first_found.size()), rate);
+            static_cast<int>(cell.report.bug_first_found.size()), hit_rate, rate);
     }
     t.render(std::cout);
     bench::print_campaign_footer(std::cout, result);
