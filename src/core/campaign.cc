@@ -11,13 +11,12 @@
 
 namespace avis::core {
 
-namespace {
-
 // One cell, end to end: resolve the scenario through the registries,
 // calibrate, build the strategy, run the campaign loop. Everything the cell
-// touches is constructed here, so cells are safe to run on pool threads.
-CampaignCellResult p_run_cell(const CampaignCellSpec& spec, int experiment_workers,
-                              const CheckpointConfig& checkpoints) {
+// touches is constructed here, so cells are safe to run on pool threads —
+// or in a worker process on the other end of a socket (src/net/).
+CampaignCellResult run_cell(const CampaignCellSpec& spec, int experiment_workers,
+                            const CheckpointConfig& checkpoints) {
   CampaignCellResult result;
   result.spec = spec;
   const auto start = std::chrono::steady_clock::now();
@@ -40,8 +39,6 @@ CampaignCellResult p_run_cell(const CampaignCellSpec& spec, int experiment_worke
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return result;
 }
-
-}  // namespace
 
 std::vector<CampaignCellSpec> expand_to_cells(const ScenarioGrid& grid) {
   std::vector<CampaignCellSpec> cells;
@@ -86,7 +83,7 @@ CampaignResult CampaignRunner::run(const std::vector<CampaignCellSpec>& grid) co
   if (result.split.campaign_workers <= 1 || grid.size() <= 1) {
     for (const auto& spec : grid) {
       result.cells.push_back(
-          p_run_cell(spec, result.split.experiment_workers, options_.checkpoints));
+          run_cell(spec, result.split.experiment_workers, options_.checkpoints));
     }
   } else {
     util::ThreadPool pool(result.split.campaign_workers);
@@ -95,7 +92,7 @@ CampaignResult CampaignRunner::run(const std::vector<CampaignCellSpec>& grid) co
     for (const auto& spec : grid) {
       in_flight.push_back(pool.submit([&spec, workers = result.split.experiment_workers,
                                        checkpoints = options_.checkpoints] {
-        return p_run_cell(spec, workers, checkpoints);
+        return run_cell(spec, workers, checkpoints);
       }));
     }
     // Collection in submission order keeps the result vector in grid order
@@ -117,7 +114,14 @@ std::string campaign_report_json(const CampaignResult& result) {
   os << "    \"cell_workers\": " << result.split.campaign_workers << ",\n";
   os << "    \"experiment_workers\": " << result.split.experiment_workers << ",\n";
   os << "    \"wall_seconds\": " << result.wall_seconds << ",\n";
-  os << "    \"total_experiments\": " << result.total_experiments() << "\n";
+  os << "    \"total_experiments\": " << result.total_experiments() << ",\n";
+  // Campaign-wide checkpoint totals: the merge path (distributed runs) must
+  // reproduce the single-process sums exactly, so they are part of the
+  // report-identity contract rather than derived downstream.
+  os << "    \"checkpoint_hits\": " << result.total_checkpoint_hits() << ",\n";
+  os << "    \"checkpoint_misses\": " << result.total_checkpoint_misses() << ",\n";
+  os << "    \"checkpoint_evicted\": " << result.total_checkpoint_evicted() << ",\n";
+  os << "    \"checkpoint_skipped_ms\": " << result.total_checkpoint_skipped_ms() << "\n";
   os << "  },\n";
   os << "  \"cells\": [\n";
   for (std::size_t i = 0; i < result.cells.size(); ++i) {
@@ -162,6 +166,17 @@ std::string campaign_report_json(const CampaignResult& result) {
     os << "      \"checkpoint_hit_rate\": " << report.checkpoint_hit_rate() << ",\n";
     os << "      \"checkpoint_evicted\": " << report.checkpoint_evicted << ",\n";
     os << "      \"checkpoint_skipped_ms\": " << report.checkpoint_skipped_ms << ",\n";
+    // Execution provenance (docs/DISTRIBUTED.md): how many assignments the
+    // cell took and which workers lost it. Wall-clock-class fields — masked
+    // alongside wall_seconds in report identity comparisons.
+    os << "      \"attempts\": " << cell.attempts << ",\n";
+    os << "      \"completed_by\": \"" << util::json_escape(cell.completed_by) << "\",\n";
+    os << "      \"reassigned_from\": [";
+    for (std::size_t j = 0; j < cell.reassigned_from.size(); ++j) {
+      if (j) os << ", ";
+      os << "\"" << util::json_escape(cell.reassigned_from[j]) << "\"";
+    }
+    os << "],\n";
     os << "      \"wall_seconds\": " << cell.wall_seconds << ",\n";
     os << "      \"experiments_per_sec\": " << cell.experiments_per_sec() << "\n";
     os << "    }" << (i + 1 < result.cells.size() ? "," : "") << "\n";
@@ -169,6 +184,154 @@ std::string campaign_report_json(const CampaignResult& result) {
   os << "  ]\n";
   os << "}\n";
   return os.str();
+}
+
+// --- CheckerReport wire serialization --------------------------------------
+//
+// Lossless: every field expect_reports_equal compares survives the round
+// trip, so the coordinator's merged cells are indistinguishable from cells
+// it ran itself. Enum-valued fields travel as integers and are range-checked
+// on the way back in — the sender may be a mismatched binary.
+
+namespace {
+
+// Range-checked narrowing for wire integers; JsonError (not InvariantError)
+// so the net layer's "malformed peer frame" handling catches it.
+std::int64_t p_wire_int(const util::Json& json, std::int64_t lo, std::int64_t hi,
+                        const char* what) {
+  const std::int64_t v = json.as_int64();
+  if (v < lo || v > hi) {
+    throw util::JsonError(std::string(what) + " out of range: " + std::to_string(v));
+  }
+  return v;
+}
+
+fw::BugId p_bug_from_wire(const util::Json& json) {
+  return static_cast<fw::BugId>(
+      p_wire_int(json, 0, static_cast<std::int64_t>(fw::kAllBugs.size()) - 1, "bug id"));
+}
+
+ModeTransition p_transition_from_wire(const util::Json& json) {
+  ModeTransition t;
+  t.time_ms = json.at("time_ms").as_int64();
+  t.mode_id = static_cast<std::uint16_t>(p_wire_int(json.at("mode_id"), 0, 0xffff, "mode id"));
+  t.mode_name = json.at("name").as_string();
+  return t;
+}
+
+void p_append_transition(std::ostream& os, const ModeTransition& t) {
+  os << "{\"time_ms\": " << t.time_ms << ", \"mode_id\": " << t.mode_id << ", \"name\": \""
+     << util::json_escape(t.mode_name) << "\"}";
+}
+
+}  // namespace
+
+std::string checker_report_json(const CheckerReport& report, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  os << pad << "{\n";
+  os << pad << "  \"strategy\": \"" << util::json_escape(report.strategy_name) << "\",\n";
+  os << pad << "  \"experiments\": " << report.experiments << ",\n";
+  os << pad << "  \"labels\": " << report.labels << ",\n";
+  os << pad << "  \"budget_used_ms\": " << report.budget_used_ms << ",\n";
+  os << pad << "  \"checkpoint_hits\": " << report.checkpoint_hits << ",\n";
+  os << pad << "  \"checkpoint_misses\": " << report.checkpoint_misses << ",\n";
+  os << pad << "  \"checkpoint_evicted\": " << report.checkpoint_evicted << ",\n";
+  os << pad << "  \"checkpoint_skipped_ms\": " << report.checkpoint_skipped_ms << ",\n";
+  os << pad << "  \"bug_first_found\": [";
+  bool first = true;
+  for (const auto& [bug, index] : report.bug_first_found) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"bug\": " << static_cast<int>(bug) << ", \"experiment\": " << index << "}";
+  }
+  os << "],\n";
+  os << pad << "  \"unsafe\": [";
+  for (std::size_t i = 0; i < report.unsafe.size(); ++i) {
+    const UnsafeRecord& record = report.unsafe[i];
+    os << (i ? "," : "") << "\n" << pad << "    {\n";
+    os << pad << "      \"seed\": " << record.seed << ",\n";
+    os << pad << "      \"experiment_index\": " << record.experiment_index << ",\n";
+    os << pad << "      \"plan\": [";
+    for (std::size_t j = 0; j < record.plan.events.size(); ++j) {
+      const FaultEvent& e = record.plan.events[j];
+      if (j) os << ", ";
+      os << "{\"time_ms\": " << e.time_ms
+         << ", \"type\": " << static_cast<int>(e.sensor.type)
+         << ", \"instance\": " << static_cast<int>(e.sensor.instance) << "}";
+    }
+    os << "],\n";
+    os << pad << "      \"violation\": {\"type\": " << static_cast<int>(record.violation.type)
+       << ", \"time_ms\": " << record.violation.time_ms
+       << ", \"mode_id\": " << record.violation.mode_id << ", \"details\": \""
+       << util::json_escape(record.violation.details) << "\"},\n";
+    os << pad << "      \"fired_bugs\": [";
+    for (std::size_t j = 0; j < record.fired_bugs.size(); ++j) {
+      if (j) os << ", ";
+      os << static_cast<int>(record.fired_bugs[j]);
+    }
+    os << "],\n";
+    os << pad << "      \"transitions\": [";
+    for (std::size_t j = 0; j < record.transitions.size(); ++j) {
+      if (j) os << ", ";
+      p_append_transition(os, record.transitions[j]);
+    }
+    os << "]\n";
+    os << pad << "    }";
+  }
+  if (!report.unsafe.empty()) os << "\n" << pad << "  ";
+  os << "]\n";
+  os << pad << "}";
+  return os.str();
+}
+
+CheckerReport checker_report_from_json(const util::Json& json) {
+  CheckerReport report;
+  report.strategy_name = json.at("strategy").as_string();
+  report.experiments = static_cast<int>(json.at("experiments").as_int64());
+  report.labels = static_cast<int>(json.at("labels").as_int64());
+  report.budget_used_ms = json.at("budget_used_ms").as_int64();
+  report.checkpoint_hits = static_cast<int>(json.at("checkpoint_hits").as_int64());
+  report.checkpoint_misses = static_cast<int>(json.at("checkpoint_misses").as_int64());
+  report.checkpoint_evicted = static_cast<int>(json.at("checkpoint_evicted").as_int64());
+  report.checkpoint_skipped_ms = json.at("checkpoint_skipped_ms").as_int64();
+  for (const util::Json& entry : json.at("bug_first_found").as_array()) {
+    report.bug_first_found[p_bug_from_wire(entry.at("bug"))] =
+        static_cast<int>(entry.at("experiment").as_int64());
+  }
+  for (const util::Json& entry : json.at("unsafe").as_array()) {
+    UnsafeRecord record;
+    record.seed = entry.at("seed").as_uint64();
+    record.experiment_index = static_cast<int>(entry.at("experiment_index").as_int64());
+    for (const util::Json& event : entry.at("plan").as_array()) {
+      FaultEvent e;
+      e.time_ms = event.at("time_ms").as_int64();
+      e.sensor.type = static_cast<sensors::SensorType>(
+          p_wire_int(event.at("type"), 0,
+                     static_cast<std::int64_t>(sensors::kAllSensorTypes.size()) - 1,
+                     "sensor type"));
+      e.sensor.instance =
+          static_cast<std::uint8_t>(p_wire_int(event.at("instance"), 0, 0xff, "instance"));
+      // Events were emitted in normalized order; append verbatim to keep the
+      // plan signature byte-identical.
+      record.plan.events.push_back(e);
+    }
+    const util::Json& violation = entry.at("violation");
+    record.violation.type =
+        static_cast<ViolationType>(p_wire_int(violation.at("type"), 0, 3, "violation type"));
+    record.violation.time_ms = violation.at("time_ms").as_int64();
+    record.violation.mode_id =
+        static_cast<std::uint16_t>(p_wire_int(violation.at("mode_id"), 0, 0xffff, "mode id"));
+    record.violation.details = violation.at("details").as_string();
+    for (const util::Json& bug : entry.at("fired_bugs").as_array()) {
+      record.fired_bugs.push_back(p_bug_from_wire(bug));
+    }
+    for (const util::Json& transition : entry.at("transitions").as_array()) {
+      record.transitions.push_back(p_transition_from_wire(transition));
+    }
+    report.unsafe.push_back(std::move(record));
+  }
+  return report;
 }
 
 }  // namespace avis::core

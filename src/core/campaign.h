@@ -59,9 +59,20 @@ struct CampaignCellResult {
   CampaignCellSpec spec;
   CheckerReport report;
   // The cell's strategy, kept alive for post-run inspection (the ablation
-  // benches read SABRE's pruning counters through it).
+  // benches read SABRE's pruning counters through it). Cells merged back
+  // from a remote worker (src/net/) carry no strategy object.
   std::unique_ptr<InjectionStrategy> strategy;
   double wall_seconds = 0.0;
+
+  // Execution provenance (distributed campaigns, docs/DISTRIBUTED.md). A
+  // single-process run is one local attempt; the coordinator counts every
+  // assignment — including a degraded-mode in-process completion — and
+  // records which workers lost the cell before it finished. Like wall
+  // clocks, these fields vary run to run and are masked out of report
+  // identity comparisons.
+  int attempts = 1;
+  std::string completed_by = "local";
+  std::vector<std::string> reassigned_from;
 
   double experiments_per_sec() const {
     return wall_seconds > 0.0 ? report.experiments / wall_seconds : 0.0;
@@ -78,7 +89,40 @@ struct CampaignResult {
     for (const auto& cell : cells) total += cell.report.experiments;
     return total;
   }
+
+  // Campaign-wide checkpoint accounting, summed over cells in grid order.
+  // Part of the deterministic report contract: the distributed merge path
+  // must reproduce the single-process totals exactly (tests/test_campaign.cc,
+  // tests/test_distributed.cc).
+  int total_checkpoint_hits() const {
+    int total = 0;
+    for (const auto& cell : cells) total += cell.report.checkpoint_hits;
+    return total;
+  }
+  int total_checkpoint_misses() const {
+    int total = 0;
+    for (const auto& cell : cells) total += cell.report.checkpoint_misses;
+    return total;
+  }
+  int total_checkpoint_evicted() const {
+    int total = 0;
+    for (const auto& cell : cells) total += cell.report.checkpoint_evicted;
+    return total;
+  }
+  sim::SimTimeMs total_checkpoint_skipped_ms() const {
+    sim::SimTimeMs total = 0;
+    for (const auto& cell : cells) total += cell.report.checkpoint_skipped_ms;
+    return total;
+  }
 };
+
+// One cell, end to end, on the calling thread (plus the cell's experiment
+// pool): resolve the scenario through the registries, calibrate, build the
+// strategy, run the checker loop. This is the unit the campaign pool — and a
+// distributed worker process (src/net/worker.h) — executes; cells touch
+// nothing shared, so it is safe to call concurrently.
+CampaignCellResult run_cell(const CampaignCellSpec& spec, int experiment_workers,
+                            const CheckpointConfig& checkpoints);
 
 struct CampaignOptions {
   // Hardware budget divided between the two pool levels via
@@ -117,5 +161,15 @@ class CampaignRunner {
 // cell in grid order with its scenario identity (registry names), throughput
 // (experiments/sec), unsafe counts, and bug-first-found simulation indices.
 std::string campaign_report_json(const CampaignResult& result);
+
+// Full CheckerReport serialization — the payload of the distributed
+// protocol's CellReport frame (src/net/protocol.h). Unlike the campaign
+// report above (which carries derived aggregates), this is a lossless round
+// trip: plans, violations, transitions and checkpoint counters all survive,
+// so a report merged from a remote worker is field-identical to one computed
+// in-process. from_json throws util::JsonError on malformed or out-of-range
+// input (the peer may be a mismatched binary).
+std::string checker_report_json(const CheckerReport& report, int indent = 0);
+CheckerReport checker_report_from_json(const util::Json& json);
 
 }  // namespace avis::core

@@ -1,0 +1,105 @@
+// Distributed campaign coordinator (docs/DISTRIBUTED.md).
+//
+// Expands a ScenarioGrid into cells and shards them across worker processes
+// connected over TCP, one in-flight cell per worker, merging per-cell
+// reports in deterministic grid order into a CampaignResult whose JSON is
+// byte-identical (modulo wall-clock and provenance fields) to a
+// single-process CampaignRunner::run of the same grid — cells are pure
+// functions of their spec, so re-running one on a different host is safe.
+//
+// Robustness is the contract, not an afterthought:
+//   - liveness: workers heartbeat; silence past the miss threshold (or a
+//     closed socket) marks the worker dead and requeues its in-flight cell;
+//   - deadlines: every assignment carries a wall-clock deadline derived
+//     from the cell's simulated budget; a worker that blows it is treated
+//     as hung, disconnected, and its cell reassigned;
+//   - retry/backoff: reassignment waits out a capped exponential backoff,
+//     and a cell that fails max_attempts assignments aborts the campaign
+//     with CampaignAborted naming the cell (a poisoned cell must fail
+//     loudly, not loop forever);
+//   - re-registration: a worker that reconnects is simply a new worker;
+//   - degraded mode: if every worker dies (or none ever connects), the
+//     coordinator finishes the remaining cells in-process, so the campaign
+//     always completes with a full report.
+// Per-cell attempts / reassigned_from / completed_by provenance lands in
+// the report JSON (core::CampaignCellResult).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "net/socket.h"
+
+namespace avis::net {
+
+// A cell exhausted its assignment attempts; the campaign cannot produce a
+// complete report and fails loudly instead of retrying forever.
+class CampaignAborted : public NetError {
+ public:
+  using NetError::NetError;
+};
+
+struct CoordinatorOptions {
+  std::uint16_t port = 0;  // 0 = kernel-assigned; read back via port()
+
+  // Liveness: workers send Heartbeat every heartbeat_interval_ms; a worker
+  // silent for interval * miss_threshold is dead. The interval is also
+  // handed to workers implicitly (both ends default it); the threshold is
+  // generous because a worker's heartbeat thread shares the socket with
+  // multi-kilobyte report sends.
+  int heartbeat_interval_ms = 250;
+  int heartbeat_miss_threshold = 8;
+
+  // Scheduling robustness.
+  int max_attempts = 3;        // assignment attempts per cell before aborting
+  int backoff_initial_ms = 250;  // reassignment backoff, doubled per attempt
+  int backoff_cap_ms = 5000;
+  // Wall-clock deadline per assignment. 0 derives it from the cell's
+  // simulated budget: max(30 s, budget_ms / 10) — simulation runs much
+  // faster than real time, so a worker that has not finished a cell within
+  // a tenth of its simulated budget is hung, not slow.
+  std::int64_t cell_deadline_ms = 0;
+
+  // Degraded completion: with no live worker for degraded_after_ms (and
+  // none mid-handshake), remaining cells run in-process so the campaign
+  // still completes. Disable to fail fast instead (tests use this to pin
+  // the retry-cap path).
+  bool allow_degraded = true;
+  int degraded_after_ms = 2000;
+
+  // Experiment pool width and checkpoint config for degraded in-process
+  // cells (remote workers choose their own; reports are bit-identical
+  // either way).
+  int experiment_workers = 0;  // 0 = util::default_worker_count()
+  core::CheckpointConfig checkpoints;
+
+  std::ostream* log = nullptr;  // progress/diagnostic lines; nullptr = quiet
+};
+
+class CampaignCoordinator {
+ public:
+  // Binds the listening socket immediately (so port() is valid before
+  // run()), validates that every cell is a pure registry-named scenario —
+  // cells pinning in-process factories cannot cross a process boundary.
+  CampaignCoordinator(std::vector<core::CampaignCellSpec> grid, CoordinatorOptions options);
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  // Blocks until every cell has a report (returning the merged result in
+  // grid order) or a cell exhausts max_attempts (throwing CampaignAborted).
+  // Call once.
+  core::CampaignResult run();
+
+ private:
+  struct CellState;
+  struct WorkerConn;
+
+  CoordinatorOptions options_;
+  std::vector<core::CampaignCellSpec> grid_;
+  Listener listener_;
+};
+
+}  // namespace avis::net

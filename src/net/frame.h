@@ -1,0 +1,82 @@
+// Length-prefixed frame transport for the distributed campaign protocol
+// (docs/DISTRIBUTED.md): every message is a 4-byte little-endian payload
+// length followed by that many bytes of UTF-8 JSON. The framing reuses the
+// PR-3 ByteWriter/ByteReader style — the writer's buffer is retained across
+// frames, and the length prefix is decoded straight out of the receive
+// buffer — and enforces a hard frame-size ceiling so a corrupt or hostile
+// length prefix cannot drive an unbounded allocation.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "util/bytes.h"
+
+namespace avis::net {
+
+// Largest accepted payload. Campaign frames are scenario specs and cell
+// reports — kilobytes, not gigabytes; anything near this limit is a
+// mis-framed stream or a hostile peer.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+// One framed, bidirectional connection. Reads are single-threaded (the
+// owning event loop); writes are mutex-serialized because a worker's
+// heartbeat thread shares the socket with its cell-report sender.
+class FrameChannel {
+ public:
+  explicit FrameChannel(Socket socket) : socket_(std::move(socket)) {}
+
+  Socket& socket() { return socket_; }
+  int fd() const { return socket_.fd(); }
+  bool valid() const { return socket_.valid(); }
+  void close() { socket_.close(); }
+
+  // Sends one frame. Throws PeerClosed/NetError on a dead connection.
+  void send(std::string_view payload) {
+    if (payload.size() > kMaxFrameBytes) throw NetError("frame payload too large");
+    const std::lock_guard<std::mutex> lock(send_mutex_);
+    writer_.clear();
+    writer_.u32(static_cast<std::uint32_t>(payload.size()));
+    socket_.send_all(writer_.span());
+    socket_.send_all({reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size()});
+  }
+
+  // Returns the next complete frame's payload, or nullopt if none became
+  // complete within timeout_ms. Throws PeerClosed when the peer is gone and
+  // NetError on a malformed length prefix.
+  std::optional<std::string> poll_frame(int timeout_ms) {
+    if (auto frame = p_take_frame()) return frame;
+    // One bounded read, then re-check: the event loop supplies the overall
+    // pacing, so there is no need to loop on the timeout here.
+    std::uint8_t chunk[4096];
+    const std::size_t n = socket_.recv_some(chunk, timeout_ms);
+    if (n > 0) buffer_.insert(buffer_.end(), chunk, chunk + n);
+    return p_take_frame();
+  }
+
+ private:
+  std::optional<std::string> p_take_frame() {
+    if (buffer_.size() < 4) return std::nullopt;
+    util::ByteReader reader(std::span<const std::uint8_t>(buffer_.data(), 4));
+    const std::uint32_t length = reader.u32();
+    if (length > kMaxFrameBytes) {
+      throw NetError("frame length " + std::to_string(length) + " exceeds limit");
+    }
+    if (buffer_.size() < 4u + length) return std::nullopt;
+    std::string payload(reinterpret_cast<const char*>(buffer_.data() + 4), length);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + length);
+    return payload;
+  }
+
+  Socket socket_;
+  util::ByteWriter writer_;      // retained-capacity length prefix scratch
+  std::vector<std::uint8_t> buffer_;  // receive reassembly buffer
+  std::mutex send_mutex_;
+};
+
+}  // namespace avis::net

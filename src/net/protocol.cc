@@ -1,0 +1,123 @@
+#include "net/protocol.h"
+
+#include <sstream>
+
+#include "util/json.h"
+
+namespace avis::net {
+
+namespace {
+
+std::string p_encode_hello(const Hello& m) {
+  std::ostringstream os;
+  os << "{\"type\": \"hello\", \"protocol\": " << m.protocol << ", \"build\": \""
+     << util::json_escape(m.build) << "\", \"worker_id\": \"" << util::json_escape(m.worker_id)
+     << "\"}";
+  return os.str();
+}
+
+std::string p_encode_hello_ack(const HelloAck& m) {
+  std::ostringstream os;
+  os << "{\"type\": \"hello_ack\", \"ok\": " << (m.ok ? "true" : "false") << ", \"reason\": \""
+     << util::json_escape(m.reason) << "\", \"build\": \"" << util::json_escape(m.build)
+     << "\"}";
+  return os.str();
+}
+
+std::string p_encode_assign(const AssignCell& m) {
+  std::ostringstream os;
+  os << "{\n  \"type\": \"assign_cell\",\n  \"cell\": " << m.cell
+     << ",\n  \"attempt\": " << m.attempt << ",\n  \"deadline_ms\": " << m.deadline_ms
+     << ",\n  \"label\": \"" << util::json_escape(m.label) << "\",\n  \"scenario\": "
+     << m.scenario.to_json(2).substr(2)  // strip the leading pad: key supplies it
+     << "\n}";
+  return os.str();
+}
+
+std::string p_encode_cell_report(const CellReport& m) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\n  \"type\": \"cell_report\",\n  \"cell\": " << m.cell << ",\n  \"ok\": "
+     << (m.ok ? "true" : "false") << ",\n  \"error\": \"" << util::json_escape(m.error)
+     << "\",\n  \"worker_id\": \"" << util::json_escape(m.worker_id)
+     << "\",\n  \"wall_seconds\": " << m.wall_seconds << ",\n  \"report\": "
+     << core::checker_report_json(m.report, 2).substr(2) << "\n}";
+  return os.str();
+}
+
+Hello p_decode_hello(const util::Json& json) {
+  Hello m;
+  m.protocol = static_cast<int>(json.at("protocol").as_int64());
+  m.build = json.at("build").as_string();
+  m.worker_id = json.at("worker_id").as_string();
+  return m;
+}
+
+HelloAck p_decode_hello_ack(const util::Json& json) {
+  HelloAck m;
+  m.ok = json.at("ok").as_bool();
+  m.reason = json.get_string("reason", "");
+  m.build = json.get_string("build", "");
+  return m;
+}
+
+AssignCell p_decode_assign(const util::Json& json) {
+  AssignCell m;
+  m.cell = static_cast<int>(json.at("cell").as_int64());
+  m.attempt = static_cast<int>(json.get_int64("attempt", 1));
+  m.deadline_ms = json.get_int64("deadline_ms", 0);
+  m.label = json.get_string("label", "");
+  m.scenario = core::ScenarioSpec::from_json(json.at("scenario"));
+  return m;
+}
+
+CellReport p_decode_cell_report(const util::Json& json) {
+  CellReport m;
+  m.cell = static_cast<int>(json.at("cell").as_int64());
+  m.ok = json.at("ok").as_bool();
+  m.error = json.get_string("error", "");
+  m.worker_id = json.get_string("worker_id", "");
+  if (const util::Json* wall = json.find("wall_seconds")) m.wall_seconds = wall->as_double();
+  if (m.ok) m.report = core::checker_report_from_json(json.at("report"));
+  return m;
+}
+
+}  // namespace
+
+std::string encode(const Message& message) {
+  return std::visit(
+      [](const auto& m) -> std::string {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello>) return p_encode_hello(m);
+        if constexpr (std::is_same_v<T, HelloAck>) return p_encode_hello_ack(m);
+        if constexpr (std::is_same_v<T, AssignCell>) return p_encode_assign(m);
+        if constexpr (std::is_same_v<T, CellReport>) return p_encode_cell_report(m);
+        if constexpr (std::is_same_v<T, Heartbeat>) return "{\"type\": \"heartbeat\"}";
+        if constexpr (std::is_same_v<T, Shutdown>) {
+          return "{\"type\": \"shutdown\", \"reason\": \"" + util::json_escape(m.reason) +
+                 "\"}";
+        }
+      },
+      message);
+}
+
+Message decode(std::string_view payload) {
+  try {
+    const util::Json json = util::Json::parse(payload);
+    const std::string& type = json.at("type").as_string();
+    if (type == "hello") return p_decode_hello(json);
+    if (type == "hello_ack") return p_decode_hello_ack(json);
+    if (type == "assign_cell") return p_decode_assign(json);
+    if (type == "cell_report") return p_decode_cell_report(json);
+    if (type == "heartbeat") return Heartbeat{};
+    if (type == "shutdown") return Shutdown{json.get_string("reason", "")};
+    throw ProtocolError("unknown message type: " + type);
+  } catch (const util::JsonError& err) {
+    // Malformed frames (truncated JSON, wrong field types, out-of-range
+    // enums) all funnel into the one error the transport layer handles.
+    throw ProtocolError(std::string("malformed frame: ") + err.what());
+  }
+}
+
+}  // namespace avis::net

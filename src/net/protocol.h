@@ -1,0 +1,84 @@
+// Message types for the distributed campaign service (docs/DISTRIBUTED.md).
+//
+// The wire format is deliberately the repo's existing interchange formats:
+// frames carry JSON (util/json.h) because PR 4 made ScenarioSpec JSON the
+// cell wire format and the campaign report JSON the aggregation format —
+// this header just gives those documents an envelope. Every message has a
+// "type" tag; unknown tags, missing fields, and out-of-range values decode
+// to a ProtocolError, which both ends treat as a faulty peer (close and, on
+// the coordinator, reassign) rather than undefined behavior.
+//
+//   worker -> coordinator: Hello, Heartbeat, CellReport
+//   coordinator -> worker: HelloAck, AssignCell, Shutdown
+//
+// A version handshake guards the pairing: Hello carries the protocol
+// version and build string, and the coordinator refuses (HelloAck.ok=false)
+// any worker whose protocol version differs — mismatched binaries must
+// refuse to pair instead of misparsing each other's frames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "core/campaign.h"
+#include "core/scenario.h"
+#include "net/socket.h"
+
+namespace avis::net {
+
+// Bumped on any frame-shape change. Mismatch => refuse to pair.
+inline constexpr int kProtocolVersion = 1;
+// Human-readable build identity, shown by --version and carried in Hello.
+inline constexpr const char* kBuildVersion = "avis-campaign 0.6";
+
+class ProtocolError : public NetError {
+ public:
+  using NetError::NetError;
+};
+
+struct Hello {
+  int protocol = kProtocolVersion;
+  std::string build = kBuildVersion;
+  std::string worker_id;
+};
+
+struct HelloAck {
+  bool ok = true;
+  std::string reason;  // set when ok == false (version mismatch, ...)
+  std::string build = kBuildVersion;
+};
+
+struct AssignCell {
+  int cell = 0;     // grid index; echoed back in CellReport
+  int attempt = 1;  // 1-based assignment count (provenance)
+  std::int64_t deadline_ms = 0;  // wall-clock budget the coordinator enforces
+  std::string label;             // display label override, usually empty
+  core::ScenarioSpec scenario;
+};
+
+struct CellReport {
+  int cell = 0;
+  bool ok = true;
+  std::string error;  // set when ok == false: the cell threw on the worker
+  std::string worker_id;
+  double wall_seconds = 0.0;
+  core::CheckerReport report;
+};
+
+struct Heartbeat {};
+
+struct Shutdown {
+  std::string reason;
+};
+
+using Message = std::variant<Hello, HelloAck, AssignCell, CellReport, Heartbeat, Shutdown>;
+
+// JSON round trip for one frame payload. decode throws ProtocolError on
+// anything malformed (including JSON errors from a truncated or hostile
+// payload — parsing runs under util::JsonLimits).
+std::string encode(const Message& message);
+Message decode(std::string_view payload);
+
+}  // namespace avis::net

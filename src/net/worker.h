@@ -1,0 +1,50 @@
+// Distributed campaign worker (docs/DISTRIBUTED.md).
+//
+// A worker is a loop: connect, Hello/HelloAck handshake, then run one
+// assigned cell at a time, heartbeating from a side thread the whole time
+// (FrameChannel serializes the shared socket). Cell failures are reported,
+// not fatal: a cell that throws goes back as CellReport{ok=false} and the
+// worker stays in the pool. Transport failures trigger reconnection with a
+// fresh registration — the coordinator treats the reconnect as a brand-new
+// worker. Only two things end the loop: a Shutdown frame (normal end of
+// campaign, returns true) or running out of consecutive connection attempts
+// (coordinator gone for good, returns false). A protocol-version refusal
+// throws — reconnecting cannot fix a mismatched binary.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "core/campaign.h"
+
+namespace avis::net {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string worker_id;  // empty = coordinator assigns "worker-N"
+
+  int heartbeat_interval_ms = 250;
+
+  // Reconnection: consecutive failed connection/handshake attempts before
+  // giving the coordinator up for dead. Resets on every successful
+  // registration, so a long campaign with one coordinator restart still
+  // completes.
+  int reconnect_attempts = 10;
+  int reconnect_delay_ms = 500;
+
+  // Cell execution pool width and checkpoint config (local choices; the
+  // report is bit-identical regardless).
+  int experiment_workers = 0;  // 0 = util::default_worker_count()
+  core::CheckpointConfig checkpoints;
+
+  std::ostream* log = nullptr;
+};
+
+// Runs the worker loop. Returns true after an orderly Shutdown from the
+// coordinator, false when reconnect_attempts consecutive connection attempts
+// failed. Throws ProtocolError if the coordinator refuses the handshake.
+bool run_worker(const WorkerOptions& options);
+
+}  // namespace avis::net

@@ -28,6 +28,18 @@ class JsonError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Hard ceilings applied while parsing. Scenario files were the original
+// consumer, but the same parser now sits on the distributed campaign wire
+// (src/net/), where the peer may be a mismatched binary or an attacker: a
+// hostile document must produce a JsonError, never unbounded recursion
+// (stack overflow) or unbounded allocation. The defaults are far above
+// anything a legitimate grid, report, or protocol frame produces.
+struct JsonLimits {
+  std::size_t max_depth = 64;                  // nested arrays/objects
+  std::size_t max_string_bytes = 1 << 20;      // decoded bytes per string
+  std::size_t max_number_chars = 128;          // characters per number token
+};
+
 class Json {
  public:
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -37,7 +49,7 @@ class Json {
 
   Json() = default;
 
-  static Json parse(std::string_view text);
+  static Json parse(std::string_view text, const JsonLimits& limits = {});
 
   Kind kind() const { return kind_; }
   bool is_null() const { return kind_ == Kind::kNull; }
@@ -161,7 +173,8 @@ class Json {
 
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
+  explicit JsonParser(std::string_view text, const JsonLimits& limits = {})
+      : text_(text), limits_(limits) {}
 
   Json parse_document() {
     Json value = p_parse_value();
@@ -241,13 +254,23 @@ class JsonParser {
     return json;
   }
 
+  // Containers are the only recursive productions, so the depth limit is
+  // charged (and released) here; everything else parses in constant stack.
+  void p_enter_container() {
+    if (++depth_ > limits_.max_depth) {
+      p_fail("nesting exceeds maximum depth of " + std::to_string(limits_.max_depth));
+    }
+  }
+
   Json p_parse_object() {
     p_expect('{');
+    p_enter_container();
     Json value;
     value.kind_ = Json::Kind::kObject;
     p_skip_whitespace();
     if (p_peek() == '}') {
       ++pos_;
+      --depth_;
       return value;
     }
     while (true) {
@@ -262,17 +285,20 @@ class JsonParser {
         continue;
       }
       p_expect('}');
+      --depth_;
       return value;
     }
   }
 
   Json p_parse_array() {
     p_expect('[');
+    p_enter_container();
     Json value;
     value.kind_ = Json::Kind::kArray;
     p_skip_whitespace();
     if (p_peek() == ']') {
       ++pos_;
+      --depth_;
       return value;
     }
     while (true) {
@@ -283,6 +309,7 @@ class JsonParser {
         continue;
       }
       p_expect(']');
+      --depth_;
       return value;
     }
   }
@@ -294,6 +321,10 @@ class JsonParser {
       if (pos_ >= text_.size()) p_fail("unterminated string");
       const char c = text_[pos_++];
       if (c == '"') return result;
+      if (result.size() >= limits_.max_string_bytes) {
+        p_fail("string exceeds maximum length of " + std::to_string(limits_.max_string_bytes) +
+               " bytes");
+      }
       if (static_cast<unsigned char>(c) < 0x20) p_fail("unescaped control character in string");
       if (c != '\\') {
         result.push_back(c);
@@ -369,6 +400,10 @@ class JsonParser {
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
       if (digit_run() == 0) p_fail("digits required in exponent");
     }
+    if (pos_ - start > limits_.max_number_chars) {
+      p_fail("number token exceeds maximum length of " +
+             std::to_string(limits_.max_number_chars) + " characters");
+    }
     Json value;
     value.kind_ = Json::Kind::kNumber;
     value.scalar_ = std::string(text_.substr(start, pos_ - start));
@@ -377,9 +412,13 @@ class JsonParser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  JsonLimits limits_;
+  std::size_t depth_ = 0;
 };
 
-inline Json Json::parse(std::string_view text) { return JsonParser(text).parse_document(); }
+inline Json Json::parse(std::string_view text, const JsonLimits& limits) {
+  return JsonParser(text, limits).parse_document();
+}
 
 // Escape a string for embedding in emitted JSON (shared by the scenario
 // writer and the campaign report).

@@ -10,6 +10,7 @@
 #include "test_helpers.h"
 #include "util/checked.h"
 #include "util/concurrency.h"
+#include "util/json.h"
 
 namespace {
 
@@ -169,6 +170,32 @@ TEST(Campaign, JsonReportCarriesPerCellMetrics) {
   EXPECT_NE(json.find("\"unsafe_by_bucket\": ["), std::string::npos);
   // Grid order is preserved in the report.
   EXPECT_LT(json.find("\"index\": 0"), json.find("\"index\": 1"));
+
+  // Execution provenance (docs/DISTRIBUTED.md): a single-process run is one
+  // attempt per cell, completed locally, never reassigned.
+  EXPECT_NE(json.find("\"attempts\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"completed_by\": \"local\""), std::string::npos);
+  EXPECT_NE(json.find("\"reassigned_from\": []"), std::string::npos);
+
+  // The campaign header carries checkpoint totals, and they are exactly the
+  // sums of the per-cell counters — the invariant the distributed merge
+  // path is held to.
+  const util::Json parsed = util::Json::parse(json);
+  const util::Json& campaign = parsed.at("campaign");
+  std::int64_t hits = 0, misses = 0, evicted = 0, skipped = 0;
+  for (const util::Json& cell : parsed.at("cells").as_array()) {
+    hits += cell.at("checkpoint_hits").as_int64();
+    misses += cell.at("checkpoint_misses").as_int64();
+    evicted += cell.at("checkpoint_evicted").as_int64();
+    skipped += cell.at("checkpoint_skipped_ms").as_int64();
+  }
+  EXPECT_EQ(campaign.at("checkpoint_hits").as_int64(), hits);
+  EXPECT_EQ(campaign.at("checkpoint_misses").as_int64(), misses);
+  EXPECT_EQ(campaign.at("checkpoint_evicted").as_int64(), evicted);
+  EXPECT_EQ(campaign.at("checkpoint_skipped_ms").as_int64(), skipped);
+  EXPECT_EQ(campaign.at("checkpoint_hits").as_int64(), result.total_checkpoint_hits());
+  EXPECT_EQ(campaign.at("checkpoint_skipped_ms").as_int64(),
+            result.total_checkpoint_skipped_ms());
 }
 
 TEST(Campaign, UnknownApproachFailsLoudly) {

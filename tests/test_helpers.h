@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/campaign.h"
 #include "core/checker.h"
 #include "core/harness.h"
 #include "fw/firmware.h"
@@ -80,6 +81,29 @@ inline void expect_reports_equal(const core::CheckerReport& serial,
     }
   }
   EXPECT_EQ(serial.unsafe_by_bucket(), parallel.unsafe_by_bucket());
+}
+
+// Campaign-level report identity: cell-by-cell report equality in grid
+// order, plus the aggregated checkpoint totals — the distributed merge path
+// must reproduce the single-process sums exactly. Wall-clock and provenance
+// fields (wall_seconds, attempts, completed_by, reassigned_from) are
+// excluded by design: they describe how the campaign ran, not what it found.
+inline void expect_campaign_results_equal(const core::CampaignResult& expected,
+                                          const core::CampaignResult& actual) {
+  ASSERT_EQ(expected.cells.size(), actual.cells.size());
+  for (std::size_t i = 0; i < expected.cells.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    EXPECT_EQ(expected.cells[i].spec.scenario.approach, actual.cells[i].spec.scenario.approach);
+    EXPECT_EQ(expected.cells[i].spec.scenario.workload, actual.cells[i].spec.scenario.workload);
+    EXPECT_EQ(expected.cells[i].spec.scenario.environment,
+              actual.cells[i].spec.scenario.environment);
+    expect_reports_equal(expected.cells[i].report, actual.cells[i].report);
+  }
+  EXPECT_EQ(expected.total_experiments(), actual.total_experiments());
+  EXPECT_EQ(expected.total_checkpoint_hits(), actual.total_checkpoint_hits());
+  EXPECT_EQ(expected.total_checkpoint_misses(), actual.total_checkpoint_misses());
+  EXPECT_EQ(expected.total_checkpoint_evicted(), actual.total_checkpoint_evicted());
+  EXPECT_EQ(expected.total_checkpoint_skipped_ms(), actual.total_checkpoint_skipped_ms());
 }
 
 // Time of the first transition whose mode name matches, from the golden run.

@@ -35,6 +35,9 @@
 #include "../bench/common.h"
 #include "core/campaign.h"
 #include "core/scenario.h"
+#include "net/coordinator.h"
+#include "net/protocol.h"
+#include "net/worker.h"
 #include "sim/environment_presets.h"
 #include "util/table.h"
 #include "workload/registry.h"
@@ -55,6 +58,17 @@ struct Options {
   core::CheckpointConfig checkpoints;
   bool quiet = false;
   bool list = false;
+
+  // Distributed modes (docs/DISTRIBUTED.md). --serve shards the grid across
+  // connected workers; --worker joins a coordinator's pool.
+  bool serve = false;
+  long long serve_port = 0;
+  std::string worker_endpoint;  // HOST:PORT
+  std::string worker_id;
+  long long max_attempts = 3;
+  long long cell_deadline_ms = 0;  // 0 = derive from the cell budget
+  long long degraded_after_ms = 2000;
+  bool no_degraded = false;
 };
 
 std::vector<std::string> split_csv(const std::string& arg) {
@@ -126,7 +140,20 @@ int usage(const char* argv0) {
       << "  --checkpoint-interval-ms N  snapshot cadence for the prefix run (default 1000)\n"
       << "  --out FILE               write the JSON report to FILE ('-' = stdout)\n"
       << "  --list                   print every registry (names + descriptions) and exit\n"
-      << "  --quiet                  suppress the text table\n";
+      << "  --quiet                  suppress the text table (and coordinator/worker logs)\n"
+      << "  --version                print build and protocol version and exit\n"
+      << "distributed mode (docs/DISTRIBUTED.md):\n"
+      << "  --serve PORT             coordinate: shard the grid across connected workers\n"
+      << "                           (PORT 0 = kernel-assigned, logged on stderr)\n"
+      << "  --worker HOST:PORT       join the coordinator at HOST:PORT as a worker\n"
+      << "  --worker-id NAME         stable worker name in logs and report provenance\n"
+      << "  --max-attempts N         assignment attempts per cell before the campaign\n"
+      << "                           aborts (default 3)\n"
+      << "  --cell-deadline-ms N     wall-clock deadline per assignment (default: derived\n"
+      << "                           from the cell budget, max(30s, budget/10))\n"
+      << "  --degraded-after-ms N    with no live workers for N ms, finish remaining\n"
+      << "                           cells in-process (default 2000)\n"
+      << "  --no-degraded            fail instead of completing in-process\n";
   return 2;
 }
 
@@ -234,6 +261,48 @@ int main(int argc, char** argv) {
       options.list = true;
     } else if (arg == "--quiet") {
       options.quiet = true;
+    } else if (arg == "--version") {
+      std::cout << net::kBuildVersion << " (protocol " << net::kProtocolVersion << ")\n";
+      return 0;
+    } else if (arg == "--serve") {
+      if (!number(n)) return usage(argv[0]);
+      if (n < 0 || n > 65535) {
+        std::cerr << "--serve: port must be 0..65535 (got " << n << ")\n";
+        return usage(argv[0]);
+      }
+      options.serve = true;
+      options.serve_port = n;
+    } else if (arg == "--worker") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.worker_endpoint = v;
+    } else if (arg == "--worker-id") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.worker_id = v;
+    } else if (arg == "--max-attempts") {
+      if (!number(n)) return usage(argv[0]);
+      if (n < 1) {
+        std::cerr << "--max-attempts must be at least 1 (got " << n << ")\n";
+        return usage(argv[0]);
+      }
+      options.max_attempts = n;
+    } else if (arg == "--cell-deadline-ms") {
+      if (!number(n)) return usage(argv[0]);
+      if (n < 0) {
+        std::cerr << "--cell-deadline-ms must be non-negative (got " << n << ")\n";
+        return usage(argv[0]);
+      }
+      options.cell_deadline_ms = n;
+    } else if (arg == "--degraded-after-ms") {
+      if (!number(n)) return usage(argv[0]);
+      if (n < 0) {
+        std::cerr << "--degraded-after-ms must be non-negative (got " << n << ")\n";
+        return usage(argv[0]);
+      }
+      options.degraded_after_ms = n;
+    } else if (arg == "--no-degraded") {
+      options.no_degraded = true;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       return usage(argv[0]);
@@ -247,6 +316,35 @@ int main(int argc, char** argv) {
     print_registry(std::cout, sim::environment_registry());
     print_registry(std::cout, core::bug_selector_registry());
     return 0;
+  }
+
+  if (!options.worker_endpoint.empty()) {
+    if (options.serve || options.grid_flag_seen || !options.scenario_file.empty()) {
+      std::cerr << "--worker takes its cells from the coordinator; --serve, --scenario-file "
+                   "and the grid-shaping flags do not apply\n";
+      return 2;
+    }
+    const std::size_t colon = options.worker_endpoint.rfind(':');
+    long long port = 0;
+    if (colon == std::string::npos || colon == 0 ||
+        !parse_number(options.worker_endpoint.c_str() + colon + 1, port) || port < 1 ||
+        port > 65535) {
+      std::cerr << "--worker expects HOST:PORT (got " << options.worker_endpoint << ")\n";
+      return 2;
+    }
+    net::WorkerOptions worker_options;
+    worker_options.host = options.worker_endpoint.substr(0, colon);
+    worker_options.port = static_cast<std::uint16_t>(port);
+    worker_options.worker_id = options.worker_id;
+    worker_options.experiment_workers = options.experiment_workers;
+    worker_options.checkpoints = options.checkpoints;
+    if (!options.quiet) worker_options.log = &std::cerr;
+    try {
+      return net::run_worker(worker_options) ? 0 : 1;
+    } catch (const std::exception& err) {
+      std::cerr << "worker failed: " << err.what() << "\n";
+      return 1;
+    }
   }
 
   if (!options.scenario_file.empty() && options.grid_flag_seen) {
@@ -301,13 +399,39 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  core::CampaignOptions campaign_options;
-  campaign_options.total_workers = options.total_workers;
-  campaign_options.cell_workers = options.cell_workers;
-  campaign_options.experiment_workers = options.experiment_workers;
-  campaign_options.checkpoints = options.checkpoints;
-  const core::CampaignRunner runner(campaign_options);
-  const core::CampaignResult result = runner.run(grid);
+  core::CampaignResult result;
+  if (options.serve) {
+    net::CoordinatorOptions serve_options;
+    serve_options.port = static_cast<std::uint16_t>(options.serve_port);
+    serve_options.max_attempts = static_cast<int>(options.max_attempts);
+    serve_options.cell_deadline_ms = options.cell_deadline_ms;
+    serve_options.allow_degraded = !options.no_degraded;
+    serve_options.degraded_after_ms = static_cast<int>(options.degraded_after_ms);
+    serve_options.experiment_workers = options.experiment_workers;
+    serve_options.checkpoints = options.checkpoints;
+    if (!options.quiet) serve_options.log = &std::cerr;
+    try {
+      net::CampaignCoordinator coordinator(std::move(grid), serve_options);
+      if (!options.quiet) {
+        std::cerr << "[coordinator] listening on port " << coordinator.port() << "\n";
+      }
+      result = coordinator.run();
+    } catch (const net::CampaignAborted& err) {
+      std::cerr << "campaign aborted: " << err.what() << "\n";
+      return 1;
+    } catch (const std::exception& err) {
+      std::cerr << "coordinator failed: " << err.what() << "\n";
+      return 1;
+    }
+  } else {
+    core::CampaignOptions campaign_options;
+    campaign_options.total_workers = options.total_workers;
+    campaign_options.cell_workers = options.cell_workers;
+    campaign_options.experiment_workers = options.experiment_workers;
+    campaign_options.checkpoints = options.checkpoints;
+    const core::CampaignRunner runner(campaign_options);
+    result = runner.run(grid);
+  }
 
   if (!options.quiet) {
     util::TextTable t({"#", "approach", "firmware", "workload", "environment", "sims",
