@@ -57,7 +57,7 @@ struct CampaignCoordinator::WorkerConn {
 
 CampaignCoordinator::CampaignCoordinator(std::vector<core::CampaignCellSpec> grid,
                                          CoordinatorOptions options)
-    : options_(options), grid_(std::move(grid)), listener_(options.port) {
+    : options_(options), grid_(std::move(grid)), listener_(options.port, options.bind_address) {
   util::expects(!grid_.empty(), "distributed campaign needs at least one cell");
   for (const auto& cell : grid_) {
     // In-process factory hooks (ablation strategies, re-inserted bug
@@ -246,6 +246,9 @@ core::CampaignResult CampaignCoordinator::run() {
       } catch (const NetError& err) {
         // PeerClosed (crashed/killed worker), ProtocolError (mismatched or
         // corrupt peer), or a transport error: all mean this worker is gone.
+        // CampaignAborted is not a NetError and must propagate: a live
+        // worker's failed CellReport hitting the retry cap aborts the
+        // campaign, it does not mean the worker is dead.
         fail_worker(*w, err.what());
       }
     }

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -37,13 +38,23 @@ namespace avis::net {
 
 // A cell exhausted its assignment attempts; the campaign cannot produce a
 // complete report and fails loudly instead of retrying forever.
-class CampaignAborted : public NetError {
+//
+// Deliberately NOT a NetError: the abort can be thrown from inside the
+// coordinator's frame-handling path (a live worker's failed CellReport hits
+// the retry cap), and the event loop converts NetError into "this worker is
+// dead" — an abort caught there would tear down the fleet and then spin on
+// a cell that can never complete.
+class CampaignAborted : public std::runtime_error {
  public:
-  using NetError::NetError;
+  using std::runtime_error::runtime_error;
 };
 
 struct CoordinatorOptions {
   std::uint16_t port = 0;  // 0 = kernel-assigned; read back via port()
+  // The protocol is unauthenticated, so exposure is an explicit choice:
+  // loopback by default; "0.0.0.0" (--bind) opens the trusted-network
+  // multi-host mode described in docs/DISTRIBUTED.md "Trust model".
+  std::string bind_address = "127.0.0.1";
 
   // Liveness: workers send Heartbeat every heartbeat_interval_ms; a worker
   // silent for interval * miss_threshold is dead. The interval is also

@@ -51,31 +51,53 @@ class FrameChannel {
   // NetError on a malformed length prefix.
   std::optional<std::string> poll_frame(int timeout_ms) {
     if (auto frame = p_take_frame()) return frame;
-    // One bounded read, then re-check: the event loop supplies the overall
-    // pacing, so there is no need to loop on the timeout here.
-    std::uint8_t chunk[4096];
-    const std::size_t n = socket_.recv_some(chunk, timeout_ms);
-    if (n > 0) buffer_.insert(buffer_.end(), chunk, chunk + n);
-    return p_take_frame();
+    // The first read honours the caller's timeout; after that, keep
+    // draining whatever is already available (timeout 0) until the frame
+    // completes or the kernel buffer runs dry. Without the drain, a frame
+    // near the size cap would need thousands of event-loop passes at one
+    // bounded read each.
+    std::uint8_t chunk[65536];
+    std::size_t n = socket_.recv_some(chunk, timeout_ms);
+    while (n > 0) {
+      if (consumed_ > 0) {
+        buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+      }
+      buffer_.insert(buffer_.end(), chunk, chunk + n);
+      if (auto frame = p_take_frame()) return frame;
+      n = socket_.recv_some(chunk, 0);
+    }
+    return std::nullopt;
   }
 
  private:
+  // Extracts the next complete frame from the reassembly buffer, advancing
+  // consumed_ instead of erasing from the front — repeated O(n) moves on a
+  // large buffered frame would dominate reassembly otherwise. The consumed
+  // prefix is reclaimed lazily: all at once when the buffer empties, or
+  // before the next append in poll_frame.
   std::optional<std::string> p_take_frame() {
-    if (buffer_.size() < 4) return std::nullopt;
-    util::ByteReader reader(std::span<const std::uint8_t>(buffer_.data(), 4));
+    const std::size_t avail = buffer_.size() - consumed_;
+    if (avail < 4) return std::nullopt;
+    util::ByteReader reader(std::span<const std::uint8_t>(buffer_.data() + consumed_, 4));
     const std::uint32_t length = reader.u32();
     if (length > kMaxFrameBytes) {
       throw NetError("frame length " + std::to_string(length) + " exceeds limit");
     }
-    if (buffer_.size() < 4u + length) return std::nullopt;
-    std::string payload(reinterpret_cast<const char*>(buffer_.data() + 4), length);
-    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + length);
+    if (avail < 4u + length) return std::nullopt;
+    std::string payload(reinterpret_cast<const char*>(buffer_.data() + consumed_ + 4), length);
+    consumed_ += 4u + length;
+    if (consumed_ == buffer_.size()) {
+      buffer_.clear();
+      consumed_ = 0;
+    }
     return payload;
   }
 
   Socket socket_;
   util::ByteWriter writer_;      // retained-capacity length prefix scratch
   std::vector<std::uint8_t> buffer_;  // receive reassembly buffer
+  std::size_t consumed_ = 0;          // bytes of buffer_ already handed out
   std::mutex send_mutex_;
 };
 

@@ -122,18 +122,23 @@ class Socket {
 };
 
 // A listening TCP socket. Binds on construction (port 0 = kernel-assigned;
-// read it back through port()), accepts with a poll() timeout.
+// read it back through port()), accepts with a poll() timeout. The bind
+// address is explicit because the frame protocol is unauthenticated
+// (docs/DISTRIBUTED.md "Trust model"): callers choose how far to expose it,
+// and the default is loopback-only.
 class Listener {
  public:
-  explicit Listener(std::uint16_t port) {
+  explicit Listener(std::uint16_t port, const std::string& bind_address = "127.0.0.1") {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+      throw NetError("invalid bind address '" + bind_address + "' (expected IPv4 dotted quad)");
+    }
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) throw NetError(p_errno_message("socket"));
     int one = 1;
     ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_ANY);
-    addr.sin_port = htons(port);
     if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
       const std::string message = p_errno_message("bind");
       ::close(fd_);

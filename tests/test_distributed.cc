@@ -295,6 +295,63 @@ TEST(Distributed, PoisonedCellExhaustsAttemptsAndAborts) {
   EXPECT_NE(aborted_message.find("cell 0"), std::string::npos) << aborted_message;
 }
 
+// Retry cap, live-worker variant: the worker stays connected and healthy
+// but reports the cell as failed on every attempt (CellReport{ok=false}).
+// The abort must propagate out of the frame-handling path promptly — not be
+// mistaken for a dead worker and leave the coordinator spinning with the
+// listener closed and no cell that can ever complete.
+TEST(Distributed, PoisonedCellFailedReportsFromLiveWorkerAbort) {
+  const auto cells = test_cells(1);
+
+  auto options = quick_options();
+  options.allow_degraded = false;  // pin the retry-cap path
+  options.max_attempts = 2;
+  net::CampaignCoordinator coordinator(cells, options);
+  const std::uint16_t port = coordinator.port();
+
+  const auto start = Clock::now();
+  std::string aborted_message;
+  std::thread serve([&] {
+    try {
+      coordinator.run();
+    } catch (const net::CampaignAborted& err) {
+      aborted_message = err.what();
+    }
+  });
+
+  FakeWorker saboteur(port, "saboteur");
+  ASSERT_TRUE(std::holds_alternative<net::HelloAck>(saboteur.next()));
+  // Fail every assignment while staying registered and responsive; the
+  // abort's Shutdown (or the closing connection) ends the loop.
+  try {
+    while (true) {
+      const net::Message message = saboteur.next();
+      if (const net::AssignCell* assign = std::get_if<net::AssignCell>(&message)) {
+        net::CellReport report;
+        report.cell = assign->cell;
+        report.ok = false;
+        report.error = "simulated strategy crash";
+        report.worker_id = "saboteur";
+        saboteur.channel.send(net::encode(net::Message{report}));
+      } else if (std::holds_alternative<net::Shutdown>(message)) {
+        break;
+      }
+    }
+  } catch (const net::NetError&) {
+    // Connection died with the aborting coordinator: equally conclusive.
+  }
+  serve.join();
+
+  // Promptly: two immediate failure reports plus one short backoff — not a
+  // liveness timeout, and certainly not a hang.
+  EXPECT_LT(Clock::now() - start, std::chrono::seconds(30));
+  EXPECT_NE(aborted_message.find("failed after 2 attempts"), std::string::npos)
+      << aborted_message;
+  EXPECT_NE(aborted_message.find("failed on worker: simulated strategy crash"),
+            std::string::npos)
+      << aborted_message;
+}
+
 // Version skew: a worker speaking a different protocol version is refused
 // with a reason naming both versions, and the campaign completes without it.
 TEST(Distributed, ProtocolVersionMismatchRefusesToPair) {

@@ -63,6 +63,7 @@ struct Options {
   // connected workers; --worker joins a coordinator's pool.
   bool serve = false;
   long long serve_port = 0;
+  std::string bind_address = "127.0.0.1";  // --bind; 0.0.0.0 = trusted-network mode
   std::string worker_endpoint;  // HOST:PORT
   std::string worker_id;
   long long max_attempts = 3;
@@ -145,6 +146,9 @@ int usage(const char* argv0) {
       << "distributed mode (docs/DISTRIBUTED.md):\n"
       << "  --serve PORT             coordinate: shard the grid across connected workers\n"
       << "                           (PORT 0 = kernel-assigned, logged on stderr)\n"
+      << "  --bind ADDR              coordinator listen address (default 127.0.0.1;\n"
+      << "                           the protocol is unauthenticated — bind 0.0.0.0 only\n"
+      << "                           on a trusted network, see docs/DISTRIBUTED.md)\n"
       << "  --worker HOST:PORT       join the coordinator at HOST:PORT as a worker\n"
       << "  --worker-id NAME         stable worker name in logs and report provenance\n"
       << "  --max-attempts N         assignment attempts per cell before the campaign\n"
@@ -272,6 +276,10 @@ int main(int argc, char** argv) {
       }
       options.serve = true;
       options.serve_port = n;
+    } else if (arg == "--bind") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.bind_address = v;
     } else if (arg == "--worker") {
       const char* v = value();
       if (!v) return usage(argv[0]);
@@ -403,6 +411,7 @@ int main(int argc, char** argv) {
   if (options.serve) {
     net::CoordinatorOptions serve_options;
     serve_options.port = static_cast<std::uint16_t>(options.serve_port);
+    serve_options.bind_address = options.bind_address;
     serve_options.max_attempts = static_cast<int>(options.max_attempts);
     serve_options.cell_deadline_ms = options.cell_deadline_ms;
     serve_options.allow_degraded = !options.no_degraded;
