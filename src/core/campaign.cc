@@ -16,7 +16,7 @@ namespace avis::core {
 // touches is constructed here, so cells are safe to run on pool threads —
 // or in a worker process on the other end of a socket (src/net/).
 CampaignCellResult run_cell(const CampaignCellSpec& spec, int experiment_workers,
-                            const CheckpointConfig& checkpoints) {
+                            const CheckpointConfig& checkpoints, int batch_width) {
   CampaignCellResult result;
   result.spec = spec;
   const auto start = std::chrono::steady_clock::now();
@@ -28,6 +28,7 @@ CampaignCellResult run_cell(const CampaignCellSpec& spec, int experiment_workers
   ExperimentSpec prototype = scenario_prototype(spec.scenario);
   if (spec.bugs_override) prototype.bugs = *spec.bugs_override;
   Checker checker(std::move(prototype), checkpoints);
+  checker.set_batch_width(batch_width);
   const MonitorModel& model = checker.model();
   result.strategy = spec.make_strategy
                         ? spec.make_strategy(model, spec.scenario.strategy_seed)
@@ -78,12 +79,14 @@ util::WorkerBudget CampaignRunner::worker_split(std::size_t cells) const {
 CampaignResult CampaignRunner::run(const std::vector<CampaignCellSpec>& grid) const {
   CampaignResult result;
   result.split = worker_split(grid.size());
+  result.batch_width =
+      options_.batch_width > 0 ? options_.batch_width : Checker::kAutoBatchWidth;
   result.cells.reserve(grid.size());
   const auto start = std::chrono::steady_clock::now();
   if (result.split.campaign_workers <= 1 || grid.size() <= 1) {
     for (const auto& spec : grid) {
-      result.cells.push_back(
-          run_cell(spec, result.split.experiment_workers, options_.checkpoints));
+      result.cells.push_back(run_cell(spec, result.split.experiment_workers,
+                                      options_.checkpoints, options_.batch_width));
     }
   } else {
     util::ThreadPool pool(result.split.campaign_workers);
@@ -91,8 +94,9 @@ CampaignResult CampaignRunner::run(const std::vector<CampaignCellSpec>& grid) co
     in_flight.reserve(grid.size());
     for (const auto& spec : grid) {
       in_flight.push_back(pool.submit([&spec, workers = result.split.experiment_workers,
-                                       checkpoints = options_.checkpoints] {
-        return run_cell(spec, workers, checkpoints);
+                                       checkpoints = options_.checkpoints,
+                                       batch_width = options_.batch_width] {
+        return run_cell(spec, workers, checkpoints, batch_width);
       }));
     }
     // Collection in submission order keeps the result vector in grid order
@@ -113,6 +117,7 @@ std::string campaign_report_json(const CampaignResult& result) {
   os << "    \"cells\": " << result.cells.size() << ",\n";
   os << "    \"cell_workers\": " << result.split.campaign_workers << ",\n";
   os << "    \"experiment_workers\": " << result.split.experiment_workers << ",\n";
+  os << "    \"batch_width\": " << result.batch_width << ",\n";
   os << "    \"wall_seconds\": " << result.wall_seconds << ",\n";
   os << "    \"total_experiments\": " << result.total_experiments() << ",\n";
   // Campaign-wide checkpoint totals: the merge path (distributed runs) must

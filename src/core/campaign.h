@@ -81,6 +81,7 @@ struct CampaignCellResult {
 
 struct CampaignResult {
   util::WorkerBudget split;       // worker split the campaign actually ran with
+  int batch_width = 0;            // resolved lockstep width the cells ran with
   double wall_seconds = 0.0;      // whole-campaign wall time
   std::vector<CampaignCellResult> cells;  // deterministic grid order
 
@@ -121,8 +122,10 @@ struct CampaignResult {
 // strategy, run the checker loop. This is the unit the campaign pool — and a
 // distributed worker process (src/net/worker.h) — executes; cells touch
 // nothing shared, so it is safe to call concurrently.
+// `batch_width` is the lockstep simulation width handed to the cell's
+// Checker (0 = auto; reports are bit-identical at any width).
 CampaignCellResult run_cell(const CampaignCellSpec& spec, int experiment_workers,
-                            const CheckpointConfig& checkpoints);
+                            const CheckpointConfig& checkpoints, int batch_width = 0);
 
 struct CampaignOptions {
   // Hardware budget divided between the two pool levels via
@@ -135,6 +138,10 @@ struct CampaignOptions {
   // own fault-free prefix). On by default; the CLI's --no-checkpoints and
   // parity tests turn it off.
   CheckpointConfig checkpoints;
+  // Lockstep batch width per cell (core::BatchHarness). 0 = auto
+  // (Checker::kAutoBatchWidth). Like the worker split, a wall-clock-only
+  // knob: reports are bit-identical at any width.
+  int batch_width = 0;
 };
 
 class CampaignRunner {

@@ -3,6 +3,7 @@
 // condition found. This is the outer loop all of Tables II-V run through.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <future>
 #include <map>
@@ -10,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/batch_harness.h"
 #include "core/budget.h"
 #include "core/harness.h"
 #include "core/invariant_monitor.h"
@@ -107,20 +109,54 @@ class Checker {
     return *model_;
   }
 
+  // Lockstep batch width for experiment simulation: how many independent
+  // plans the strategy hands out at a time to be stepped together through
+  // core::BatchHarness (bit-identical to one-at-a-time scalar runs — the
+  // batch engine's contract). 0 (the default) means auto, currently
+  // kAutoBatchWidth; width 1 still routes through the batch engine as a
+  // degenerate single-lane batch. Applies to run() and, per worker chunk,
+  // to run_parallel(); profiling and prefix recording stay scalar.
+  static constexpr int kAutoBatchWidth = 4;
+  void set_batch_width(int width) { batch_width_ = width; }
+  int batch_width() const { return batch_width_ > 0 ? batch_width_ : kAutoBatchWidth; }
+
+  // Serial checker loop, batched: up to batch_width() plans per strategy
+  // request, stepped in lockstep, results applied in proposal order. If the
+  // budget exhausts mid-batch the remaining results are discarded — exactly
+  // the experiments a width-1 loop would never have started — so the report
+  // is bit-identical to the historical one-at-a-time loop. Like
+  // run_parallel, discarded plans were already consumed from the strategy,
+  // so a strategy that went through a batched run should not be resumed
+  // with a fresh budget (no current caller does).
   CheckerReport run(InjectionStrategy& strategy, BudgetClock& budget) {
     const MonitorModel& monitor = model();
     const CheckpointStore* checkpoints = p_checkpoints(monitor);
     CheckerReport report;
     report.strategy_name = strategy.name();
-    auto context = contexts_.acquire();
-    while (!budget.exhausted()) {
-      auto plan = strategy.next(budget);
-      if (!plan) break;
-      const ExperimentSpec spec = p_make_spec(*plan, monitor);
-      ExperimentResult result = harness_.run(spec, &monitor, context.get(), checkpoints);
-      p_apply(report, strategy, budget, *plan, std::move(result));
+    auto engine = engines_.acquire(harness_);
+    bool out_of_budget = false;
+    while (!out_of_budget && !budget.exhausted()) {
+      std::vector<FaultPlan> plans =
+          strategy.next_batch(budget, p_adaptive_width(budget, batch_width()));
+      if (plans.empty()) break;
+      std::vector<ExperimentSpec> specs;
+      specs.reserve(plans.size());
+      for (const FaultPlan& plan : plans) specs.push_back(p_make_spec(plan, monitor));
+      // Handing the engine the remaining budget lets it stop simulating
+      // lanes whose results the discard loop below is guaranteed to throw
+      // away (see BatchHarness::run) — the discarded slots are then default
+      // results this loop never reads.
+      std::vector<ExperimentResult> results =
+          engine->run(specs, &monitor, checkpoints, budget.remaining_ms());
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (out_of_budget || (i > 0 && budget.exhausted())) {
+          out_of_budget = true;
+          continue;
+        }
+        p_apply(report, strategy, budget, plans[i], std::move(results[i]));
+      }
     }
-    contexts_.release(std::move(context));
+    engines_.release(std::move(engine));
     report.labels = budget.labels();
     report.budget_used_ms = budget.used_ms();
     report.checkpoint_evicted = checkpoints != nullptr ? checkpoints->evicted() : 0;
@@ -149,39 +185,54 @@ class Checker {
     report.strategy_name = strategy.name();
     bool out_of_budget = false;
     while (!out_of_budget && !budget.exhausted()) {
-      // Twice the worker count keeps the pool saturated while the caller
-      // thread applies results; strategies may return fewer (SABRE stops at
-      // its expansion-wave boundary to preserve the serial plan sequence).
-      std::vector<FaultPlan> plans = strategy.next_batch(budget, 2 * workers);
+      // Two width-sized lockstep chunks per worker keep the pool saturated
+      // while the caller thread applies results; strategies may return fewer
+      // plans (SABRE stops at its expansion-wave boundary to preserve the
+      // serial plan sequence). Near the budget boundary the chunk width
+      // shrinks with the adaptive cap, so a wave overshoots by at most the
+      // chunk count, not chunk-count-times-width, experiments.
+      const auto width = static_cast<std::size_t>(p_adaptive_width(budget, batch_width()));
+      std::vector<FaultPlan> plans =
+          strategy.next_batch(budget, 2 * workers * static_cast<int>(width));
       if (plans.empty()) break;
-      std::vector<std::future<ExperimentResult>> in_flight;
-      in_flight.reserve(plans.size());
-      for (const FaultPlan& plan : plans) {
-        in_flight.push_back(pool.submit(
-            [this, spec = p_make_spec(plan, monitor), &monitor, checkpoints] {
-              // Per-worker arena: whichever worker picks this task up checks
-              // a context out for the duration of the experiment, so the
-              // simulator/suite/firmware storage is reset, not reallocated,
-              // from one experiment to the next. An exception skips the
-              // release and simply retires the context.
-              auto context = contexts_.acquire();
-              ExperimentResult result = harness_.run(spec, &monitor, context.get(), checkpoints);
-              contexts_.release(std::move(context));
-              return result;
+      std::vector<std::future<std::vector<ExperimentResult>>> in_flight;
+      in_flight.reserve((plans.size() + width - 1) / width);
+      for (std::size_t begin = 0; begin < plans.size(); begin += width) {
+        const std::size_t end = std::min(plans.size(), begin + width);
+        std::vector<ExperimentSpec> specs;
+        specs.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) specs.push_back(p_make_spec(plans[i], monitor));
+        in_flight.push_back(
+            pool.submit([this, specs = std::move(specs), &monitor, checkpoints] {
+              // Per-worker engine: whichever worker picks this chunk up
+              // checks a batch engine out for the duration, so the lane
+              // worlds are reset, not reallocated, from one chunk to the
+              // next (the arena-reuse contract). An exception skips the
+              // release and simply retires the engine.
+              auto engine = engines_.acquire(harness_);
+              std::vector<ExperimentResult> results = engine->run(specs, &monitor, checkpoints);
+              engines_.release(std::move(engine));
+              return results;
             }));
       }
-      for (std::size_t i = 0; i < in_flight.size(); ++i) {
-        ExperimentResult result = in_flight[i].get();  // rethrows worker errors
-        // Result 0 is always applied: the serial loop runs and applies any
-        // plan next() returns, even when proposal-side charges (BFI's
-        // labels) crossed the budget limit while producing it. Later
-        // results are discarded once the budget exhausts — exactly the
-        // experiments a serial run would never have started.
-        if (out_of_budget || (i > 0 && budget.exhausted())) {
-          out_of_budget = true;
-          continue;
+      // Apply in flattened submission order — the proposal order — so the
+      // report is bit-identical to the serial loop for the same plans.
+      std::size_t applied = 0;
+      for (auto& chunk : in_flight) {
+        std::vector<ExperimentResult> results = chunk.get();  // rethrows worker errors
+        for (ExperimentResult& result : results) {
+          // Result 0 is always applied: the serial loop runs and applies any
+          // plan next() returns, even when proposal-side charges (BFI's
+          // labels) crossed the budget limit while producing it. Later
+          // results are discarded once the budget exhausts — exactly the
+          // experiments a serial run would never have started.
+          if (out_of_budget || (applied > 0 && budget.exhausted())) {
+            out_of_budget = true;
+          } else {
+            p_apply(report, strategy, budget, plans[applied], std::move(result));
+          }
+          ++applied;
         }
-        p_apply(report, strategy, budget, plans[i], std::move(result));
       }
     }
     report.labels = budget.labels();
@@ -216,6 +267,23 @@ class Checker {
     prototype.bugs = std::move(bugs);
     prototype.seed = seed_base;
     return prototype;
+  }
+
+  // Budget-aware batch sizing: a full-width batch proposed just before the
+  // budget exhausts runs experiments whose results the mid-batch discard
+  // rule throws away — pure wall-clock waste, and a no-injection control
+  // plan at a wave's tail wastes a full-duration run. Estimate how many
+  // experiments still fit from the average charge so far (label charges
+  // included, which only biases the estimate low, i.e. conservative) and
+  // cap the request. A strategy's plan sequence is independent of the
+  // request size (the next_batch contract), so the cap moves wall clock
+  // only, never the report.
+  int p_adaptive_width(const BudgetClock& budget, int width) const {
+    if (budget.experiments() == 0) return width;
+    const sim::SimTimeMs avg =
+        std::max<sim::SimTimeMs>(1, budget.used_ms() / budget.experiments());
+    const sim::SimTimeMs fit = (budget.remaining_ms() + avg - 1) / avg;
+    return std::clamp(static_cast<int>(std::min<sim::SimTimeMs>(fit, width)), 1, width);
   }
 
   ExperimentSpec p_make_spec(const FaultPlan& plan, const MonitorModel& monitor) const {
@@ -281,6 +349,8 @@ class Checker {
   CheckpointConfig checkpoint_config_;
   SimulationHarness harness_;
   ExperimentContextPool contexts_;
+  BatchHarnessPool engines_;
+  int batch_width_ = 0;  // 0 = auto (kAutoBatchWidth)
   std::optional<MonitorModel> model_;
   std::optional<CheckpointStore> checkpoints_;
 };

@@ -6,15 +6,6 @@
 
 namespace avis::core {
 
-namespace {
-// The workload (ground station) is pumped at 20 ms — a realistic GCS loop
-// rate, and far slower than the 1 kHz firmware loop.
-constexpr sim::SimTimeMs kWorkloadPeriodMs = 20;
-// After the workload passes or fails, let the vehicle settle briefly so
-// late-manifesting violations (e.g. ground impact) are still observed.
-constexpr sim::SimTimeMs kGraceMs = 4000;
-}  // namespace
-
 ExperimentResult SimulationHarness::run(const ExperimentSpec& spec,
                                         const MonitorModel* monitor_model,
                                         ExperimentContext* context,
@@ -58,7 +49,7 @@ ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
   // exactly (same seed draws in the same order, same boot traffic) so that
   // a run is a pure function of its spec either way.
   ExperimentContext local_context;
-  ExperimentContext& arena = context != nullptr ? *context : local_context;
+  ExperimentWorld& world = (context != nullptr ? *context : local_context).world();
 
   // Checkpointed prefix forking: a run whose plan injects nothing before
   // time t is identical to the prefix run up to (the top of) iteration t,
@@ -72,7 +63,20 @@ ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
   }
 
   RecordingDirector director(custom_director);
+  RunState rs = p_provision(spec, director, monitor_model, world, restore_from, resume);
+  p_loop(spec, world, director, rs, capture_into);
+  return p_finalize(spec, world, director, rs);
+}
+
+RunState SimulationHarness::p_provision(const ExperimentSpec& spec,
+                                        RecordingDirector& director,
+                                        const MonitorModel* monitor_model,
+                                        ExperimentWorld& world,
+                                        const CheckpointStore* restore_from,
+                                        const ExperimentSnapshot* resume) const {
   const bool restoring = resume != nullptr;
+  util::expects(!restoring || restore_from != nullptr,
+                "a resume snapshot must come with the store that owns it");
 
   // Provisioning is one code path for cold and restored runs — identical
   // wiring, identical construction order — with the restore pass loading
@@ -85,19 +89,19 @@ ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
   // same spec fly the same world; preset factories carry no per-run state.
   // A restored run's RNG stream position is loaded below, so the
   // construction seed only matters cold.
-  arena.simulator_.emplace(spec.environment_factory ? spec.environment_factory()
-                                                    : sim::Environment{},
-                           sim::QuadcopterParams{}, seed_source.next_u64());
+  world.simulator.emplace(spec.environment_factory ? spec.environment_factory()
+                                                   : sim::Environment{},
+                          sim::QuadcopterParams{}, seed_source.next_u64());
 
   // Sensor suite: the expensive one (12 heap-allocated instances). Reset
   // re-seeds the existing instances with the same fork sequence the
   // constructor would draw; a restored run loads full instance state
   // instead, so the reset would be wasted work.
   util::Rng sensor_seeds = seed_source.fork(1);
-  if (!arena.suite_) {
-    arena.suite_.emplace(iris_suite(), sensor_seeds);
+  if (!world.suite) {
+    world.suite.emplace(iris_suite(), sensor_seeds);
   } else if (!restoring) {
-    arena.suite_->reset(iris_suite(), sensor_seeds);
+    world.suite->reset(iris_suite(), sensor_seeds);
   }
 
   // Cold runs record from the first (boot) report; a restored run parks the
@@ -105,18 +109,18 @@ ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
   // already lives in the spliced transition prefix and must not be
   // recorded a second time.
   hinj::FaultDirector& boot_director =
-      restoring ? static_cast<hinj::FaultDirector&>(arena.parked_director_) : director;
-  if (arena.server_) {
-    arena.server_->set_director(boot_director);
+      restoring ? static_cast<hinj::FaultDirector&>(world.parked_director) : director;
+  if (world.server) {
+    world.server->set_director(boot_director);
   } else {
-    arena.server_.emplace(boot_director);
+    world.server.emplace(boot_director);
   }
   // The client persists across runs: it is stateless between frames but
   // owns the warmed-up request/response buffers.
-  if (!arena.client_) arena.client_.emplace(*arena.server_);
+  if (!world.client) world.client.emplace(*world.server);
 
-  arena.channel_.reset_link();
-  if (!arena.bus_) arena.bus_.emplace(*arena.suite_, *arena.client_);
+  world.channel.reset_link();
+  if (!world.bus) world.bus.emplace(*world.suite, *world.client);
 
   fw::FirmwareConfig fw_config = spec.personality == fw::Personality::kArduPilotLike
                                      ? fw::FirmwareConfig::ardupilot()
@@ -125,16 +129,16 @@ ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
   // Firmware state is rebuilt per run (its constructor reports the boot
   // mode through hinj, which must land after the director swap above);
   // emplacing into retained storage keeps the object off the heap.
-  arena.firmware_.emplace(std::move(fw_config), *arena.bus_, *arena.client_,
-                          arena.channel_.vehicle(), arena.simulator_->environment());
+  world.firmware.emplace(std::move(fw_config), *world.bus, *world.client,
+                         world.channel.vehicle(), world.simulator->environment());
 
   if (restoring) {
-    arena.simulator_->load(resume->simulator);
-    arena.suite_->load(resume->suite);
-    arena.firmware_->load(resume->firmware);
+    world.simulator->load(resume->simulator);
+    world.suite->load(resume->suite);
+    world.firmware->load(resume->firmware);
     // Link state after the firmware re-boot (construction sends nothing
     // over MAVLink today; the ordering keeps that a non-assumption).
-    arena.channel_.load(resume->channel);
+    world.channel.load(resume->channel);
     // Now swap in the recording director, preloaded with the prefix's
     // transition recording up to the snapshot.
     const auto& prefix_transitions = restore_from->prefix_transitions();
@@ -143,61 +147,60 @@ ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
                          prefix_transitions.begin() +
                              static_cast<std::ptrdiff_t>(resume->transitions_len)),
                      resume->current_mode, resume->last_heartbeat_ms);
-    arena.server_->set_director(director);
+    world.server->set_director(director);
   }
 
-  sim::Simulator& simulator = *arena.simulator_;
-  fw::Firmware& firmware = *arena.firmware_;
-
-  auto workload_ptr =
+  RunState rs;
+  rs.workload =
       spec.workload_factory ? spec.workload_factory() : workload::make_workload(spec.workload);
-  util::expects(workload_ptr != nullptr, "unknown workload id");
-  workload::GcsContext gcs(arena.channel_.gcs(), simulator.environment().frame());
+  util::expects(rs.workload != nullptr, "unknown workload id");
+  rs.gcs.emplace(world.channel.gcs(), world.simulator->environment().frame());
   if (resume != nullptr) {
-    workload_ptr->load(resume->workload);
-    gcs.load(resume->gcs);
+    rs.workload->load(resume->workload);
+    rs.gcs->load(resume->gcs);
   }
 
-  MonitorSession* monitor = nullptr;
   if (monitor_model != nullptr) {
-    if (!arena.monitor_) {
-      arena.monitor_.emplace(*monitor_model);
+    if (!world.monitor) {
+      world.monitor.emplace(*monitor_model);
     }
     if (resume != nullptr) {
-      arena.monitor_->restore(*monitor_model, restore_from->prefix_trace(), resume->monitor);
+      world.monitor->restore(*monitor_model, restore_from->prefix_trace(), resume->monitor);
     } else {
-      arena.monitor_->restart(*monitor_model);
+      world.monitor->restart(*monitor_model);
     }
-    monitor = &*arena.monitor_;
+    rs.monitor = &*world.monitor;
   }
 
-  ExperimentResult result;
-  result.trace.reserve(static_cast<std::size_t>(spec.max_duration_ms / kSamplePeriodMs) + 1);
-  bool firmware_dead = false;
-  sim::SimTimeMs workload_done_at = -1;
-
-  // The workload and monitor cadences are hoisted out of the per-millisecond
-  // loop: comparing against a precomputed next-fire time replaces two integer
-  // divisions per step.
-  sim::SimTimeMs next_workload_ms = 0;
-  sim::SimTimeMs next_sample_ms = 0;
-  sim::SimTimeMs start_ms = 0;
+  rs.result.trace.reserve(static_cast<std::size_t>(spec.max_duration_ms / kSamplePeriodMs) + 1);
 
   if (resume != nullptr) {
     // Splice the recorded prefix into the result and resume the loop state
     // exactly where the snapshot froze it.
     const auto& prefix_trace = restore_from->prefix_trace();
-    result.trace.assign(prefix_trace.begin(),
-                        prefix_trace.begin() + static_cast<std::ptrdiff_t>(resume->trace_len));
-    result.workload_passed = resume->workload_passed;
-    result.violation = resume->violation;
-    result.resumed_from_ms = resume->time_ms;
-    firmware_dead = resume->firmware_dead;
-    workload_done_at = resume->workload_done_at;
-    next_workload_ms = resume->next_workload_ms;
-    next_sample_ms = resume->next_sample_ms;
-    start_ms = resume->time_ms;
+    rs.result.trace.assign(prefix_trace.begin(),
+                           prefix_trace.begin() + static_cast<std::ptrdiff_t>(resume->trace_len));
+    rs.result.workload_passed = resume->workload_passed;
+    rs.result.violation = resume->violation;
+    rs.result.resumed_from_ms = resume->time_ms;
+    rs.firmware_dead = resume->firmware_dead;
+    rs.workload_done_at = resume->workload_done_at;
+    rs.next_workload_ms = resume->next_workload_ms;
+    rs.next_sample_ms = resume->next_sample_ms;
+    rs.start_ms = resume->time_ms;
   }
+  return rs;
+}
+
+void SimulationHarness::p_loop(const ExperimentSpec& spec, ExperimentWorld& world,
+                               RecordingDirector& director, RunState& rs,
+                               CheckpointStore* capture_into) const {
+  sim::Simulator& simulator = *world.simulator;
+  fw::Firmware& firmware = *world.firmware;
+  workload::Workload& workload = *rs.workload;
+  workload::GcsContext& gcs = *rs.gcs;
+  MonitorSession* monitor = rs.monitor;
+  ExperimentResult& result = rs.result;
 
   // Capture schedule (prefix run only): the cadence grid merged with the
   // config's exact extra times (golden transition timestamps), ascending
@@ -219,7 +222,7 @@ ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
                         capture_times.end());
   }
 
-  for (sim::SimTimeMs now = start_ms; now < spec.max_duration_ms; ++now) {
+  for (sim::SimTimeMs now = rs.start_ms; now < spec.max_duration_ms; ++now) {
     // Checkpoint capture, at the top of the iteration so a restored run
     // re-enters the loop at exactly this point.
     if (capture_idx < capture_times.size() && now == capture_times[capture_idx]) {
@@ -227,44 +230,44 @@ ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
       ExperimentSnapshot snap;
       snap.time_ms = now;
       snap.simulator = simulator.save();
-      snap.suite = arena.suite_->save();
+      snap.suite = world.suite->save();
       snap.firmware = firmware.save();
-      snap.channel = arena.channel_.save();
-      snap.workload = workload_ptr->save();
+      snap.channel = world.channel.save();
+      snap.workload = workload.save();
       snap.gcs = gcs.save();
       if (monitor != nullptr) snap.monitor = monitor->save();
       snap.transitions_len = director.transitions().size();
       snap.current_mode = director.current_mode();
       snap.last_heartbeat_ms = director.last_heartbeat_ms();
-      snap.next_workload_ms = next_workload_ms;
-      snap.next_sample_ms = next_sample_ms;
-      snap.workload_done_at = workload_done_at;
+      snap.next_workload_ms = rs.next_workload_ms;
+      snap.next_sample_ms = rs.next_sample_ms;
+      snap.workload_done_at = rs.workload_done_at;
       snap.workload_passed = result.workload_passed;
-      snap.firmware_dead = firmware_dead;
+      snap.firmware_dead = rs.firmware_dead;
       snap.trace_len = result.trace.size();
       snap.violation = result.violation;
       capture_into->add(std::move(snap));
     }
 
     // Step 1: the workload runs until it yields back to the harness.
-    const bool workload_due = now == next_workload_ms;
-    if (workload_due) next_workload_ms += kWorkloadPeriodMs;
-    if (workload_due && !firmware_dead) {
+    const bool workload_due = now == rs.next_workload_ms;
+    if (workload_due) rs.next_workload_ms += kWorkloadPeriodMs;
+    if (workload_due && !rs.firmware_dead) {
       gcs.pump(now);
-      const workload::WorkloadStatus ws = workload_ptr->step(gcs);
-      if (ws != workload::WorkloadStatus::kRunning && workload_done_at < 0) {
-        workload_done_at = now;
+      const workload::WorkloadStatus ws = workload.step(gcs);
+      if (ws != workload::WorkloadStatus::kRunning && rs.workload_done_at < 0) {
+        rs.workload_done_at = now;
         result.workload_passed = ws == workload::WorkloadStatus::kPassed;
       }
     }
 
     // Steps 3-5: firmware reads (instrumented) sensors and commands motors.
     sim::MotorCommands motors;
-    if (!firmware_dead) {
+    if (!rs.firmware_dead) {
       try {
         motors = firmware.step(now, simulator.state());
       } catch (const util::InvariantError& err) {
-        firmware_dead = true;
+        rs.firmware_dead = true;
         util::log_warn() << "firmware aborted: " << err.what();
       }
     }
@@ -275,8 +278,8 @@ ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
     if (step_hook_) step_hook_(simulator.now_ms(), simulator.state(), firmware);
 
     // Sample the state tuple at the monitor rate.
-    if (now == next_sample_ms) {
-      next_sample_ms += kSamplePeriodMs;
+    if (now == rs.next_sample_ms) {
+      rs.next_sample_ms += kSamplePeriodMs;
       StateSample sample;
       sample.time_ms = now;
       sample.position = simulator.state().position;
@@ -288,10 +291,10 @@ ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
 
       if (monitor != nullptr) {
         const bool workload_failed =
-            workload_done_at >= 0 && workload_ptr->status() == workload::WorkloadStatus::kFailed;
+            rs.workload_done_at >= 0 && workload.status() == workload::WorkloadStatus::kFailed;
         const auto violation =
             monitor->on_sample(sample, simulator.state().crashed, simulator.last_crash(),
-                               firmware_dead, workload_failed);
+                               rs.firmware_dead, workload_failed);
         if (violation && !result.violation) {
           result.violation = violation;
           if (spec.stop_on_violation) {
@@ -304,23 +307,28 @@ ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
 
     // End conditions: workload finished (plus grace), or vehicle crashed and
     // the wreck has been recorded for a little while.
-    if (workload_done_at >= 0 && now - workload_done_at >= kGraceMs) {
+    if (rs.workload_done_at >= 0 && now - rs.workload_done_at >= kGraceMs) {
       result.duration_ms = now + 1;
       break;
     }
-    if (simulator.state().crashed && workload_done_at < 0) {
-      workload_done_at = now;  // nothing more will happen; start grace
+    if (simulator.state().crashed && rs.workload_done_at < 0) {
+      rs.workload_done_at = now;  // nothing more will happen; start grace
       result.workload_passed = false;
     }
   }
+}
 
+ExperimentResult SimulationHarness::p_finalize(const ExperimentSpec& spec,
+                                               ExperimentWorld& world,
+                                               RecordingDirector& director, RunState& rs) const {
+  ExperimentResult result = std::move(rs.result);
   if (result.duration_ms == 0) result.duration_ms = spec.max_duration_ms;
   result.transitions = director.take_transitions();
-  result.fired_bugs = firmware.fired_bugs();
-  result.crash_cause = simulator.last_crash();
+  result.fired_bugs = world.firmware->fired_bugs();
+  result.crash_cause = world.simulator->last_crash();
   // The run's RecordingDirector is about to leave scope; park the retained
-  // server on the context's inert director so a pooled arena never dangles.
-  arena.server_->set_director(arena.parked_director_);
+  // server on the world's inert director so a pooled arena never dangles.
+  world.server->set_director(world.parked_director);
   return result;
 }
 

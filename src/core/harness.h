@@ -28,6 +28,7 @@
 #include "sensors/sensor_models.h"
 #include "sim/simulator.h"
 #include "util/checked.h"
+#include "workload/context.h"
 #include "workload/default_workloads.h"
 
 namespace avis::core {
@@ -115,11 +116,35 @@ class RecordingDirector final : public hinj::FaultDirector {
   std::int64_t last_heartbeat_ms_ = 0;
 };
 
+// The storage for one provisioned world: simulator, sensor suite, hinj
+// connection, MAVLink channel, firmware, monitor session. A world hosts one
+// experiment at a time; the harness owns the provisioning/reset protocol
+// that makes reuse bit-identical to fresh construction. Plain public
+// storage on purpose: SimulationHarness provisions into it, BatchHarness
+// keeps one per lane, and a future multi-vehicle arena keeps several per
+// experiment — the world is no longer welded to the context that pools it.
+struct ExperimentWorld {
+  ExperimentWorld() = default;
+  ExperimentWorld(const ExperimentWorld&) = delete;
+  ExperimentWorld& operator=(const ExperimentWorld&) = delete;
+
+  std::optional<sim::Simulator> simulator;
+  std::optional<sensors::SensorSuite> suite;
+  // Between runs the server is parked on this inert director, so a pooled
+  // world never holds a pointer to a finished run's stack-local
+  // RecordingDirector.
+  hinj::NullDirector parked_director;
+  std::optional<hinj::Server> server;
+  std::optional<hinj::Client> client;  // owns the warmed-up hinj frame buffers
+  mavlink::Channel channel;            // owns the warmed-up frame freelist
+  std::optional<fw::SensorBus> bus;
+  std::optional<fw::Firmware> firmware;
+  std::optional<MonitorSession> monitor;
+};
+
 // Reusable per-worker experiment arena (ROADMAP: "per-worker experiment
-// arenas"). Holds the storage for everything a run provisions — simulator,
-// sensor suite, hinj connection, MAVLink channel, firmware, monitor session
-// — so consecutive runs on the same worker reset state in place instead of
-// rebuilding it on the heap. The harness owns the reset protocol; callers
+// arenas"). Wraps one ExperimentWorld so consecutive runs on the same
+// worker reset state in place instead of rebuilding it on the heap; callers
 // just keep the context alive and pass it back in. One context serves one
 // run at a time (it is a worker's scratch space, not shared state).
 class ExperimentContext {
@@ -128,21 +153,10 @@ class ExperimentContext {
   ExperimentContext(const ExperimentContext&) = delete;
   ExperimentContext& operator=(const ExperimentContext&) = delete;
 
- private:
-  friend class SimulationHarness;
+  ExperimentWorld& world() { return world_; }
 
-  std::optional<sim::Simulator> simulator_;
-  std::optional<sensors::SensorSuite> suite_;
-  // Between runs the server is parked on this inert director, so a pooled
-  // context never holds a pointer to a finished run's stack-local
-  // RecordingDirector.
-  hinj::NullDirector parked_director_;
-  std::optional<hinj::Server> server_;
-  std::optional<hinj::Client> client_;  // owns the warmed-up hinj frame buffers
-  mavlink::Channel channel_;            // owns the warmed-up frame freelist
-  std::optional<fw::SensorBus> bus_;
-  std::optional<fw::Firmware> firmware_;
-  std::optional<MonitorSession> monitor_;
+ private:
+  ExperimentWorld world_;
 };
 
 // Hands contexts to pool workers: a worker checks one out per experiment
@@ -191,6 +205,34 @@ class ExperimentContextPool {
   std::vector<std::unique_ptr<ExperimentContext>> free_;
   std::size_t checked_out_ = 0;
   std::size_t high_water_ = 0;
+};
+
+// Harness cadences, shared with the batch engine (core/batch_harness.h): a
+// batched lane must pump its workload and sample its monitor on exactly the
+// scalar schedule or the parity contract breaks.
+// The workload (ground station) is pumped at 20 ms — a realistic GCS loop
+// rate, and far slower than the 1 kHz firmware loop.
+inline constexpr sim::SimTimeMs kWorkloadPeriodMs = 20;
+// After the workload passes or fails, let the vehicle settle briefly so
+// late-manifesting violations (e.g. ground impact) are still observed.
+inline constexpr sim::SimTimeMs kGraceMs = 4000;
+
+// The per-run loop state one experiment threads through provisioning, the
+// step loop and finalization. The scalar path keeps one on the stack; the
+// batch engine keeps one per lane, mirrors its fields while the lane steps
+// in lockstep, and hands it (with the lane's world) back to the scalar loop
+// when the lane diverges — the experiment finishes on the identical code
+// path either way.
+struct RunState {
+  ExperimentResult result;
+  std::unique_ptr<workload::Workload> workload;
+  std::optional<workload::GcsContext> gcs;
+  MonitorSession* monitor = nullptr;  // points into the world; null = unmonitored
+  bool firmware_dead = false;
+  sim::SimTimeMs workload_done_at = -1;
+  sim::SimTimeMs next_workload_ms = 0;
+  sim::SimTimeMs next_sample_ms = 0;
+  sim::SimTimeMs start_ms = 0;
 };
 
 class SimulationHarness {
@@ -263,6 +305,8 @@ class SimulationHarness {
   void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
 
  private:
+  friend class BatchHarness;
+
   // The one experiment loop behind run/run_with_director/record_prefix.
   // `restore_from` resumes from the best usable snapshot (nullptr = cold);
   // `capture_into` records cadenced snapshots while running (the prefix
@@ -271,6 +315,19 @@ class SimulationHarness {
                          const MonitorModel* monitor_model, ExperimentContext* context,
                          const CheckpointStore* restore_from,
                          CheckpointStore* capture_into) const;
+
+  // The three phases of p_run, split out so the batch engine can run them
+  // per lane: provision the world (cold, or restored from `resume`, which
+  // must come from `restore_from`), run the step loop from rs.start_ms, and
+  // finalize the result. p_loop/p_finalize assume p_provision's wiring.
+  RunState p_provision(const ExperimentSpec& spec, RecordingDirector& director,
+                       const MonitorModel* monitor_model, ExperimentWorld& world,
+                       const CheckpointStore* restore_from,
+                       const ExperimentSnapshot* resume) const;
+  void p_loop(const ExperimentSpec& spec, ExperimentWorld& world, RecordingDirector& director,
+              RunState& rs, CheckpointStore* capture_into) const;
+  ExperimentResult p_finalize(const ExperimentSpec& spec, ExperimentWorld& world,
+                              RecordingDirector& director, RunState& rs) const;
 
   StepHook step_hook_;
 };

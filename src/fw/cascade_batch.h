@@ -1,0 +1,56 @@
+// Batched lockstep PID-cascade lanes: the ControlCascade's mutable state
+// (three rate-PID capsules plus the velocity-loop derivative memory) for a
+// batch of experiments, stored structure-of-arrays.
+//
+// The cascade math itself is never duplicated: each step, the batch engine
+// loads a lane into its firmware's own ControlCascade (the load must happen
+// before the control phase — p_set_mode may legitimately reset the cascade,
+// and that reset has to land on the lane's real state), runs the scalar
+// update() when armed, and stores the result back here. The lanes are the
+// between-step residence — compact and contiguous across the batch — while
+// the work happens in the scalar work register, keeping per-lane operation
+// order exactly the scalar order.
+#pragma once
+
+#include <vector>
+
+#include "fw/controllers.h"
+#include "geo/vec3.h"
+
+namespace avis::fw {
+
+class CascadeBatch {
+ public:
+  explicit CascadeBatch(int width)
+      : rate_roll_(static_cast<std::size_t>(width)),
+        rate_pitch_(static_cast<std::size_t>(width)),
+        rate_yaw_(static_cast<std::size_t>(width)),
+        last_vel_error_(static_cast<std::size_t>(width)) {}
+
+  int width() const { return static_cast<int>(rate_roll_.size()); }
+
+  void pack(int lane, const ControlCascade::Snapshot& s) {
+    const auto i = static_cast<std::size_t>(lane);
+    rate_roll_[i] = s.rate_roll;
+    rate_pitch_[i] = s.rate_pitch;
+    rate_yaw_[i] = s.rate_yaw;
+    last_vel_error_[i] = s.last_vel_error;
+  }
+
+  ControlCascade::Snapshot unpack(int lane) const {
+    const auto i = static_cast<std::size_t>(lane);
+    return {rate_roll_[i], rate_pitch_[i], rate_yaw_[i], last_vel_error_[i]};
+  }
+
+  // Work-register sync around one control step.
+  void load_into(int lane, ControlCascade& cascade) const { cascade.load(unpack(lane)); }
+  void store_from(int lane, const ControlCascade& cascade) { pack(lane, cascade.save()); }
+
+ private:
+  std::vector<Pid::State> rate_roll_;
+  std::vector<Pid::State> rate_pitch_;
+  std::vector<Pid::State> rate_yaw_;
+  std::vector<geo::Vec3> last_vel_error_;
+};
+
+}  // namespace avis::fw

@@ -1,0 +1,253 @@
+#include "fw/estimator_batch.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "fw/estimator_gains.h"
+
+namespace avis::fw {
+
+using namespace estimator_gains;
+
+EstimatorBatch::EstimatorBatch(int width)
+    : position_(static_cast<std::size_t>(width)),
+      velocity_(static_cast<std::size_t>(width)),
+      attitude_(static_cast<std::size_t>(width)),
+      body_rates_(static_cast<std::size_t>(width)),
+      battery_voltage_(static_cast<std::size_t>(width), 12.6),
+      battery_remaining_(static_cast<std::size_t>(width), 1.0),
+      prev_attitude_(static_cast<std::size_t>(width)),
+      last_gps_velocity_(static_cast<std::size_t>(width)),
+      last_gps_local_(static_cast<std::size_t>(width)),
+      have_gps_sample_(static_cast<std::size_t>(width), 0),
+      have_gps_ever_(static_cast<std::size_t>(width), 0),
+      dead_reckoning_(static_cast<std::size_t>(width), 0),
+      quirks_(static_cast<std::size_t>(width)),
+      health_(static_cast<std::size_t>(width)),
+      frozen_alt_valid_(static_cast<std::size_t>(width), 0),
+      frozen_alt_z_(static_cast<std::size_t>(width), 0.0) {}
+
+void EstimatorBatch::pack(int lane, const StateEstimator::Snapshot& s) {
+  const auto i = static_cast<std::size_t>(lane);
+  // Fault-free invariants (see the header): a lane carrying a quirk or a
+  // distorted published solution belongs past its divergence point.
+  assert(!s.quirks.hold_stale_gps_velocity && !s.quirks.freeze_altitude &&
+         s.quirks.altitude_bias == 0.0 && !s.quirks.freeze_heading && !s.quirks.stale_rates &&
+         !s.quirks.gps_altitude_only && !s.quirks.derived_rates && s.quirks.yaw_rate_bias == 0.0);
+  assert(s.published.position.x == s.state.position.x &&
+         s.published.position.y == s.state.position.y &&
+         s.published.position.z == s.state.position.z &&
+         s.published.velocity.x == s.state.velocity.x &&
+         s.published.velocity.y == s.state.velocity.y &&
+         s.published.velocity.z == s.state.velocity.z);
+  position_[i] = s.state.position;
+  velocity_[i] = s.state.velocity;
+  attitude_[i] = s.state.attitude;
+  body_rates_[i] = s.state.body_rates;
+  battery_voltage_[i] = s.state.battery_voltage;
+  battery_remaining_[i] = s.state.battery_remaining;
+  prev_attitude_[i] = s.prev_attitude;
+  last_gps_velocity_[i] = s.last_gps_velocity;
+  last_gps_local_[i] = s.last_gps_local;
+  have_gps_sample_[i] = s.have_gps_sample ? 1 : 0;
+  have_gps_ever_[i] = s.have_gps_ever ? 1 : 0;
+  dead_reckoning_[i] = s.dead_reckoning ? 1 : 0;
+  quirks_[i] = s.quirks;
+  health_[i] = s.health;
+  frozen_alt_valid_[i] = s.frozen_alt_valid ? 1 : 0;
+  frozen_alt_z_[i] = s.frozen_alt_z;
+}
+
+StateEstimator::Snapshot EstimatorBatch::unpack(int lane) const {
+  const auto i = static_cast<std::size_t>(lane);
+  StateEstimator::Snapshot s;
+  s.state = fused(lane);
+  s.published = s.state;  // no quirks pre-injection: published == state
+  s.quirks = quirks_[i];
+  s.health = health_[i];
+  s.last_gps_velocity = last_gps_velocity_[i];
+  s.last_gps_local = last_gps_local_[i];
+  s.have_gps_sample = have_gps_sample_[i] != 0;
+  s.prev_attitude = prev_attitude_[i];
+  s.frozen_alt_valid = frozen_alt_valid_[i] != 0;
+  s.frozen_alt_z = frozen_alt_z_[i];
+  s.dead_reckoning = dead_reckoning_[i] != 0;
+  s.have_gps_ever = have_gps_ever_[i] != 0;
+  return s;
+}
+
+EstimatedState EstimatorBatch::fused(int lane) const {
+  const auto i = static_cast<std::size_t>(lane);
+  EstimatedState e;
+  e.position = position_[i];
+  e.velocity = velocity_[i];
+  e.attitude = attitude_[i];
+  e.body_rates = body_rates_[i];
+  e.battery_voltage = battery_voltage_[i];
+  e.battery_remaining = battery_remaining_[i];
+  return e;
+}
+
+void EstimatorBatch::step(sim::SimTimeMs now, sensors::SuiteBatch& suite,
+                          const sim::VehicleState* truth, const sim::Environment* const* env,
+                          const int* lanes, int count) {
+  const sensors::SuiteConfig& config = suite.config();
+
+  // Each family pass mirrors the matching block of StateEstimator::update
+  // with the dead-family/quirk branches removed (provably unreachable
+  // pre-injection). Every instance is still read, in ascending order —
+  // reads refresh held samples and advance per-instance noise streams, and
+  // both must track the scalar path exactly for a later divergence to be
+  // seamless.
+
+  // ---- Gyroscopes: fuse the primary; propagate attitude. ----
+  for (int j = 0; j < count; ++j) {
+    const int k = lanes[j];
+    const auto i = static_cast<std::size_t>(k);
+    sensors::GyroSample gyro;
+    bool got = false;
+    for (int inst = 0; inst < config.gyroscopes; ++inst) {
+      sensors::GyroSample s;
+      if (suite.read_gyro(inst, k, now, truth[k], s) && !got) {
+        gyro = s;
+        got = true;
+      }
+    }
+    assert(got);
+    body_rates_[i] = gyro.body_rates;
+    // The scalar path adds quirks_.yaw_rate_bias here; pre-injection it is
+    // 0.0, but the add stays because -0.0 + 0.0 == +0.0 — skipping it could
+    // leave a sign bit the scalar path would have cleared.
+    body_rates_[i].z += 0.0;
+    attitude_[i].integrate_rates(body_rates_[i], kDt);
+  }
+
+  // ---- Accelerometers: tilt correction + velocity/position propagation. ----
+  for (int j = 0; j < count; ++j) {
+    const int k = lanes[j];
+    const auto i = static_cast<std::size_t>(k);
+    sensors::AccelSample accel;
+    bool got = false;
+    for (int inst = 0; inst < config.accelerometers; ++inst) {
+      sensors::AccelSample s;
+      if (suite.read_accel(inst, k, now, truth[k], s) && !got) {
+        accel = s;
+        got = true;
+      }
+    }
+    assert(got);
+    const geo::Vec3& f = accel.specific_force;
+    const double f_mag = f.norm();
+    if (std::abs(f_mag - kGravity) < kTiltGateMs2) {
+      const double roll_meas = std::atan2(-f.y, -f.z);
+      const double pitch_meas = std::atan2(f.x, std::sqrt(f.y * f.y + f.z * f.z));
+      attitude_[i].roll += kTiltGain * kDt * geo::wrap_angle(roll_meas - attitude_[i].roll);
+      attitude_[i].pitch += kTiltGain * kDt * geo::wrap_angle(pitch_meas - attitude_[i].pitch);
+    }
+    const geo::Vec3 world_accel =
+        attitude_[i].body_to_world(f) + geo::Vec3{0.0, 0.0, kGravity};
+    velocity_[i] += world_accel * kDt;
+    position_[i] += velocity_[i] * kDt;
+  }
+
+  // ---- Barometer: vertical correction. ----
+  for (int j = 0; j < count; ++j) {
+    const int k = lanes[j];
+    const auto i = static_cast<std::size_t>(k);
+    sensors::BaroSample baro;
+    bool got = false;
+    for (int inst = 0; inst < config.barometers; ++inst) {
+      sensors::BaroSample s;
+      if (suite.read_baro(inst, k, now, truth[k], s) && !got) {
+        baro = s;
+        got = true;
+      }
+    }
+    assert(got);
+    const double alt_err = baro.pressure_altitude_m - (-position_[i].z);
+    position_[i].z -= kBaroPosGain * kDt * alt_err;
+    velocity_[i].z -= kBaroVelGain * kDt * alt_err;
+  }
+
+  // ---- GPS: horizontal correction. The barometer family is alive, so the
+  // GPS-altitude fallback branch is dead here just as it is scalar. ----
+  for (int j = 0; j < count; ++j) {
+    const int k = lanes[j];
+    const auto i = static_cast<std::size_t>(k);
+    sensors::GpsSample gps;
+    bool got = false;
+    for (int inst = 0; inst < config.gpses; ++inst) {
+      sensors::GpsSample s;
+      if (suite.read_gps(inst, k, now, truth[k], *env[k], s) && !got && s.has_fix) {
+        gps = s;
+        got = true;
+      }
+    }
+    assert(got);
+    have_gps_ever_[i] = 1;
+    const geo::Vec3 gps_local = env[k]->frame().to_local(gps.position);
+    last_gps_local_[i] = gps_local;
+    have_gps_sample_[i] = 1;
+    position_[i].x += kGpsPosGain * kDt * (gps_local.x - position_[i].x);
+    position_[i].y += kGpsPosGain * kDt * (gps_local.y - position_[i].y);
+    velocity_[i].x += kGpsVelGain * kDt * (gps.velocity_ned.x - velocity_[i].x);
+    velocity_[i].y += kGpsVelGain * kDt * (gps.velocity_ned.y - velocity_[i].y);
+    velocity_[i].z += kGpsVelZGain * kDt * (gps.velocity_ned.z - velocity_[i].z);
+    last_gps_velocity_[i] = gps.velocity_ned;
+    dead_reckoning_[i] = 0;
+  }
+
+  // ---- Compass: heading correction. ----
+  for (int j = 0; j < count; ++j) {
+    const int k = lanes[j];
+    const auto i = static_cast<std::size_t>(k);
+    sensors::CompassSample compass;
+    bool got = false;
+    for (int inst = 0; inst < config.compasses; ++inst) {
+      sensors::CompassSample s;
+      if (suite.read_compass(inst, k, now, truth[k], s) && !got) {
+        compass = s;
+        got = true;
+      }
+    }
+    assert(got);
+    attitude_[i].yaw +=
+        kYawGain * kDt * geo::wrap_angle(compass.heading_rad - attitude_[i].yaw);
+    attitude_[i].yaw = geo::wrap_angle(attitude_[i].yaw);
+  }
+
+  // ---- Battery. ----
+  for (int j = 0; j < count; ++j) {
+    const int k = lanes[j];
+    const auto i = static_cast<std::size_t>(k);
+    sensors::BatterySample bat;
+    bool got = false;
+    for (int inst = 0; inst < config.batteries; ++inst) {
+      sensors::BatterySample s;
+      if (suite.read_battery(inst, k, now, truth[k], s) && !got) {
+        bat = s;
+        got = true;
+      }
+    }
+    assert(got);
+    battery_voltage_[i] = bat.voltage;
+    battery_remaining_[i] = bat.remaining_fraction;
+  }
+
+  // ---- Publish tail: the primary-death scan, derived-rates fallback and
+  // quirk distortions are all no-ops pre-injection; what remains is the
+  // prev-attitude latch (and, scalar-side, published_ = state_). ----
+  for (int j = 0; j < count; ++j) {
+    const auto i = static_cast<std::size_t>(lanes[j]);
+    prev_attitude_[i] = attitude_[i];
+    // Same debug tripwire as the scalar estimator's output: a non-finite
+    // lane silently corrupts everything downstream until it diverges.
+    assert(std::isfinite(position_[i].x) && std::isfinite(position_[i].y) &&
+           std::isfinite(position_[i].z) && std::isfinite(velocity_[i].x) &&
+           std::isfinite(velocity_[i].y) && std::isfinite(velocity_[i].z) &&
+           std::isfinite(attitude_[i].roll) && std::isfinite(attitude_[i].pitch) &&
+           std::isfinite(attitude_[i].yaw));
+  }
+}
+
+}  // namespace avis::fw

@@ -1,0 +1,85 @@
+// Batched lockstep state estimation: the fused filter state of a batch of
+// experiments, stored structure-of-arrays and updated with the fault-free
+// straight-line of StateEstimator::update.
+//
+// Pre-injection (the only regime a batched lane runs in — core::BatchHarness
+// diverges a lane at its plan's first activation) the scalar update
+// simplifies provably: every sensor family stays fully alive, so the
+// fail-over scans degenerate to "read every instance, fuse the primary",
+// the health table never changes, no quirk is ever set (every quirk write in
+// fw/firmware.cc is gated on a family or primary death), and the published
+// solution equals the internal one bit-for-bit. step() is that simplified
+// update, one family pass at a time across all lanes, reading sensors
+// through sensors::SuiteBatch with the exact per-lane read order (every
+// instance, ascending) of the scalar path — which keeps each lane's RNG
+// streams and filter state bit-identical to a scalar run, so a diverging
+// lane unpacks into a StateEstimator::Snapshot indistinguishable from one
+// produced by scalar stepping.
+//
+// Gains live in fw/estimator_gains.h, shared with the scalar estimator, so
+// the two passes cannot drift numerically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fw/estimator.h"
+#include "geo/attitude.h"
+#include "geo/vec3.h"
+#include "sensors/suite_batch.h"
+#include "sim/environment.h"
+#include "sim/simulator.h"
+#include "sim/vehicle_state.h"
+
+namespace avis::fw {
+
+class EstimatorBatch {
+ public:
+  explicit EstimatorBatch(int width);
+
+  int width() const { return static_cast<int>(position_.size()); }
+
+  // Load one lane from a scalar estimator snapshot. Debug builds assert the
+  // fault-free invariants the batch update relies on: default quirks and
+  // published == state (a snapshot violating them belongs to a lane that
+  // should already have diverged).
+  void pack(int lane, const StateEstimator::Snapshot& s);
+
+  // Reconstruct the scalar snapshot for a diverging or retiring lane.
+  StateEstimator::Snapshot unpack(int lane) const;
+
+  // The lane's current fused solution (state == published pre-injection);
+  // the batch engine writes it into the lane firmware's estimator
+  // (StateEstimator::adopt_fused) before the control phase.
+  EstimatedState fused(int lane) const;
+
+  // One 1 kHz fused update for the `count` lanes listed in `lanes`, one
+  // family pass at a time. `truth` and `env` are indexed by lane id.
+  void step(sim::SimTimeMs now, sensors::SuiteBatch& suite, const sim::VehicleState* truth,
+            const sim::Environment* const* env, const int* lanes, int count);
+
+ private:
+  // Hot per-lane filter state, touched every step.
+  std::vector<geo::Vec3> position_;
+  std::vector<geo::Vec3> velocity_;
+  std::vector<geo::Attitude> attitude_;
+  std::vector<geo::Vec3> body_rates_;
+  std::vector<double> battery_voltage_;
+  std::vector<double> battery_remaining_;
+  std::vector<geo::Attitude> prev_attitude_;
+  std::vector<geo::Vec3> last_gps_velocity_;
+  std::vector<geo::Vec3> last_gps_local_;
+  std::vector<std::uint8_t> have_gps_sample_;
+  std::vector<std::uint8_t> have_gps_ever_;
+  std::vector<std::uint8_t> dead_reckoning_;
+
+  // Cold per-lane state: static while the lane steps in batch (the update
+  // never touches it pre-injection), carried verbatim for exact unpack.
+  std::vector<EstimatorQuirks> quirks_;
+  std::vector<std::array<SourceHealth, 6>> health_;
+  std::vector<std::uint8_t> frozen_alt_valid_;
+  std::vector<double> frozen_alt_z_;
+};
+
+}  // namespace avis::fw

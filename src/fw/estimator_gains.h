@@ -1,0 +1,31 @@
+// Complementary-filter correction gains, shared between the scalar
+// StateEstimator (fw/estimator.cc) and the batched lockstep lanes
+// (fw/estimator_batch.cc). The batch path re-derives the fault-free
+// straight-line of the scalar update, and its bit-identity contract only
+// holds if both read the exact same constants — so they live here instead
+// of being duplicated in two translation units.
+#pragma once
+
+#include "sim/simulator.h"
+
+namespace avis::fw::estimator_gains {
+
+inline constexpr double kDt = sim::kStepSeconds;
+inline constexpr double kGravity = 9.80665;
+
+// Chosen for convergence well inside a takeoff's duration while rejecting
+// sensor noise. Tilt correction must be gentle and gated: while the vehicle
+// accelerates, the specific force is not gravity, and a strong correction
+// "leans" the attitude estimate, which corrupts the velocity estimate in a
+// positive feedback loop (the classic complementary-filter lean bias).
+inline constexpr double kTiltGain = 0.4;
+inline constexpr double kTiltGateMs2 = 1.0;  // only correct when |f| is within 1 m/s^2 of g
+inline constexpr double kYawGain = 2.5;
+inline constexpr double kBaroPosGain = 3.0;
+inline constexpr double kBaroVelGain = 1.6;
+inline constexpr double kGpsPosGain = 1.3;
+inline constexpr double kGpsVelGain = 3.0;
+inline constexpr double kGpsVelZGain = 0.8;
+inline constexpr double kGpsAltGain = 1.1;  // weaker: GPS altitude is coarse
+
+}  // namespace avis::fw::estimator_gains

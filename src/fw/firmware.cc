@@ -117,6 +117,15 @@ void Firmware::load(const Snapshot& s) {
 
 sim::MotorCommands Firmware::step(sim::SimTimeMs now, const sim::VehicleState& truth) {
   estimator_.update(now, truth, *env_);
+  const ControlPhase phase = step_control_phase(now, truth);
+  if (!phase.armed) {
+    return {};
+  }
+  return cascade_.update(phase.setpoint, estimator_.state(), kDt);
+}
+
+Firmware::ControlPhase Firmware::step_control_phase(sim::SimTimeMs now,
+                                                    const sim::VehicleState& truth) {
   p_handle_mavlink(now);
   if (armed_) {
     p_failsafes(now);
@@ -125,9 +134,8 @@ sim::MotorCommands Firmware::step(sim::SimTimeMs now, const sim::VehicleState& t
   p_send_telemetry(now, truth);
   if (!armed_) {
     cascade_.reset();
-    return {};
   }
-  return cascade_.update(sp, estimator_.state(), kDt);
+  return {sp, armed_};
 }
 
 // --------------------------------------------------------------------------

@@ -323,7 +323,8 @@ core::CampaignResult CampaignCoordinator::run() {
         if (cell.attempts >= options_.max_attempts) abort_campaign(i);
         cell.attempts += 1;
         core::CampaignCellResult local =
-            core::run_cell(grid_[i], experiment_workers, options_.checkpoints);
+            core::run_cell(grid_[i], experiment_workers, options_.checkpoints,
+                           options_.batch_width);
         cell.done = true;
         cell.report = std::move(local.report);
         cell.wall_seconds = local.wall_seconds;
@@ -350,6 +351,8 @@ core::CampaignResult CampaignCoordinator::run() {
   core::CampaignResult result;
   result.split.campaign_workers = std::max(1, peak_workers);
   result.split.experiment_workers = experiment_workers;
+  result.batch_width = options_.batch_width > 0 ? options_.batch_width
+                                                : core::Checker::kAutoBatchWidth;
   result.cells.reserve(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
     core::CampaignCellResult out;

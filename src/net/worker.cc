@@ -100,7 +100,7 @@ SessionEnd p_run_session(const WorkerOptions& options, FrameChannel& channel,
         spec.scenario = assign->scenario;
         spec.label = assign->label;
         core::CampaignCellResult result =
-            core::run_cell(spec, experiment_workers, options.checkpoints);
+            core::run_cell(spec, experiment_workers, options.checkpoints, options.batch_width);
         report.ok = true;
         report.report = std::move(result.report);
       } catch (const std::exception& err) {

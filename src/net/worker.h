@@ -37,6 +37,7 @@ struct WorkerOptions {
   // Cell execution pool width and checkpoint config (local choices; the
   // report is bit-identical regardless).
   int experiment_workers = 0;  // 0 = util::default_worker_count()
+  int batch_width = 0;         // lockstep simulation width; 0 = auto
   core::CheckpointConfig checkpoints;
 
   std::ostream* log = nullptr;

@@ -112,17 +112,32 @@ class SensorInstance {
   bool failed_ = false;
 };
 
+// Each sensor's measurement model is a static function so the batched
+// sensor lanes (sensors::SuiteBatch) draw samples with exactly the math —
+// and exactly the RNG draw order — of the scalar instances; p_measure
+// delegates to it. The default noise/bias constants are named for the same
+// reason: a batch suite must be parameterized identically to a scalar one.
 class Gyroscope final : public SensorInstance<GyroSample> {
  public:
-  Gyroscope(SensorId id, util::Rng rng, double noise = 0.002, double bias = 0.001)
-      : SensorInstance(id, 1000.0, rng), noise_(noise), bias_(bias) {}
+  static constexpr double kRateHz = 1000.0;
+  static constexpr double kDefaultNoise = 0.002;
+  static constexpr double kDefaultBias = 0.001;
+
+  Gyroscope(SensorId id, util::Rng rng, double noise = kDefaultNoise,
+            double bias = kDefaultBias)
+      : SensorInstance(id, kRateHz, rng), noise_(noise), bias_(bias) {}
+
+  static GyroSample measure(const sim::VehicleState& truth, util::Rng& rng, double noise,
+                            double bias) {
+    return {truth.body_rates + geo::Vec3{bias + rng.gaussian(noise),
+                                         bias + rng.gaussian(noise),
+                                         bias + rng.gaussian(noise)}};
+  }
 
  protected:
   GyroSample p_measure(const sim::VehicleState& truth, const sim::Environment&,
                        util::Rng& rng) override {
-    return {truth.body_rates + geo::Vec3{bias_ + rng.gaussian(noise_),
-                                         bias_ + rng.gaussian(noise_),
-                                         bias_ + rng.gaussian(noise_)}};
+    return measure(truth, rng, noise_, bias_);
   }
 
  private:
@@ -132,19 +147,29 @@ class Gyroscope final : public SensorInstance<GyroSample> {
 
 class Accelerometer final : public SensorInstance<AccelSample> {
  public:
-  Accelerometer(SensorId id, util::Rng rng, double noise = 0.05, double bias = 0.02)
-      : SensorInstance(id, 1000.0, rng), noise_(noise), bias_(bias) {}
+  static constexpr double kRateHz = 1000.0;
+  static constexpr double kDefaultNoise = 0.05;
+  static constexpr double kDefaultBias = 0.02;
 
- protected:
-  AccelSample p_measure(const sim::VehicleState& truth, const sim::Environment&,
-                        util::Rng& rng) override {
+  Accelerometer(SensorId id, util::Rng rng, double noise = kDefaultNoise,
+                double bias = kDefaultBias)
+      : SensorInstance(id, kRateHz, rng), noise_(noise), bias_(bias) {}
+
+  static AccelSample measure(const sim::VehicleState& truth, util::Rng& rng, double noise,
+                             double bias) {
     // Accelerometers measure specific force: acceleration minus gravity,
     // expressed in the body frame.
     const geo::Vec3 gravity{0.0, 0.0, 9.80665};
     const geo::Vec3 specific_world = truth.acceleration - gravity;
     const geo::Vec3 body = truth.attitude.world_to_body(specific_world);
-    return {body + geo::Vec3{bias_ + rng.gaussian(noise_), bias_ + rng.gaussian(noise_),
-                             bias_ + rng.gaussian(noise_)}};
+    return {body + geo::Vec3{bias + rng.gaussian(noise), bias + rng.gaussian(noise),
+                             bias + rng.gaussian(noise)}};
+  }
+
+ protected:
+  AccelSample p_measure(const sim::VehicleState& truth, const sim::Environment&,
+                        util::Rng& rng) override {
+    return measure(truth, rng, noise_, bias_);
   }
 
  private:
@@ -154,13 +179,20 @@ class Accelerometer final : public SensorInstance<AccelSample> {
 
 class Barometer final : public SensorInstance<BaroSample> {
  public:
-  Barometer(SensorId id, util::Rng rng, double noise = 0.12)
-      : SensorInstance(id, 50.0, rng), noise_(noise) {}
+  static constexpr double kRateHz = 50.0;
+  static constexpr double kDefaultNoise = 0.12;
+
+  Barometer(SensorId id, util::Rng rng, double noise = kDefaultNoise)
+      : SensorInstance(id, kRateHz, rng), noise_(noise) {}
+
+  static BaroSample measure(const sim::VehicleState& truth, util::Rng& rng, double noise) {
+    return {truth.altitude() + rng.gaussian(noise)};
+  }
 
  protected:
   BaroSample p_measure(const sim::VehicleState& truth, const sim::Environment&,
                        util::Rng& rng) override {
-    return {truth.altitude() + rng.gaussian(noise_)};
+    return measure(truth, rng, noise_);
   }
 
  private:
@@ -169,17 +201,21 @@ class Barometer final : public SensorInstance<BaroSample> {
 
 class Gps final : public SensorInstance<GpsSample> {
  public:
+  static constexpr double kRateHz = 5.0;
   // Horizontal ~1.2 m, vertical ~2.8 m 1-sigma: consumer GPS. The vertical
   // coarseness is the paper's Fig. 1 root hazard.
-  Gps(SensorId id, util::Rng rng, double h_noise = 0.9, double v_noise = 2.8)
-      : SensorInstance(id, 5.0, rng), h_noise_(h_noise), v_noise_(v_noise) {}
+  static constexpr double kDefaultHNoise = 0.9;
+  static constexpr double kDefaultVNoise = 2.8;
 
- protected:
-  GpsSample p_measure(const sim::VehicleState& truth, const sim::Environment& env,
-                      util::Rng& rng) override {
-    const geo::Vec3 noisy_local = truth.position + geo::Vec3{rng.gaussian(h_noise_),
-                                                             rng.gaussian(h_noise_),
-                                                             -rng.gaussian(v_noise_)};
+  Gps(SensorId id, util::Rng rng, double h_noise = kDefaultHNoise,
+      double v_noise = kDefaultVNoise)
+      : SensorInstance(id, kRateHz, rng), h_noise_(h_noise), v_noise_(v_noise) {}
+
+  static GpsSample measure(const sim::VehicleState& truth, const sim::Environment& env,
+                           util::Rng& rng, double h_noise, double v_noise) {
+    const geo::Vec3 noisy_local = truth.position + geo::Vec3{rng.gaussian(h_noise),
+                                                             rng.gaussian(h_noise),
+                                                             -rng.gaussian(v_noise)};
     GpsSample s;
     s.position = env.frame().to_geodetic(noisy_local);
     s.velocity_ned = truth.velocity + geo::Vec3{rng.gaussian(0.1), rng.gaussian(0.1),
@@ -190,6 +226,12 @@ class Gps final : public SensorInstance<GpsSample> {
     return s;
   }
 
+ protected:
+  GpsSample p_measure(const sim::VehicleState& truth, const sim::Environment& env,
+                      util::Rng& rng) override {
+    return measure(truth, env, rng, h_noise_, v_noise_);
+  }
+
  private:
   double h_noise_;
   double v_noise_;
@@ -197,13 +239,20 @@ class Gps final : public SensorInstance<GpsSample> {
 
 class Compass final : public SensorInstance<CompassSample> {
  public:
-  Compass(SensorId id, util::Rng rng, double noise = 0.015)
-      : SensorInstance(id, 100.0, rng), noise_(noise) {}
+  static constexpr double kRateHz = 100.0;
+  static constexpr double kDefaultNoise = 0.015;
+
+  Compass(SensorId id, util::Rng rng, double noise = kDefaultNoise)
+      : SensorInstance(id, kRateHz, rng), noise_(noise) {}
+
+  static CompassSample measure(const sim::VehicleState& truth, util::Rng& rng, double noise) {
+    return {geo::wrap_angle(truth.attitude.yaw + rng.gaussian(noise))};
+  }
 
  protected:
   CompassSample p_measure(const sim::VehicleState& truth, const sim::Environment&,
                           util::Rng& rng) override {
-    return {geo::wrap_angle(truth.attitude.yaw + rng.gaussian(noise_))};
+    return measure(truth, rng, noise_);
   }
 
  private:
@@ -212,13 +261,20 @@ class Compass final : public SensorInstance<CompassSample> {
 
 class BatterySensor final : public SensorInstance<BatterySample> {
  public:
-  BatterySensor(SensorId id, util::Rng rng, double noise = 0.02)
-      : SensorInstance(id, 10.0, rng), noise_(noise) {}
+  static constexpr double kRateHz = 10.0;
+  static constexpr double kDefaultNoise = 0.02;
+
+  BatterySensor(SensorId id, util::Rng rng, double noise = kDefaultNoise)
+      : SensorInstance(id, kRateHz, rng), noise_(noise) {}
+
+  static BatterySample measure(const sim::VehicleState& truth, util::Rng& rng, double noise) {
+    return {truth.battery_voltage + rng.gaussian(noise), truth.battery_remaining};
+  }
 
  protected:
   BatterySample p_measure(const sim::VehicleState& truth, const sim::Environment&,
                           util::Rng& rng) override {
-    return {truth.battery_voltage + rng.gaussian(noise_), truth.battery_remaining};
+    return measure(truth, rng, noise_);
   }
 
  private:

@@ -1,0 +1,198 @@
+// Batched lockstep sensor lanes: the mutable state of every SensorSuite
+// instance for a batch of experiments, stored structure-of-arrays and read
+// through the same measurement statics the scalar instances use.
+//
+// One InstanceLanes block per physical sensor instance (gyro 0, gyro 1,
+// baro 0, ...): each block holds, lane-major, the noise stream, the held
+// sample, its refresh clock, and the latched failure — exactly the fields of
+// sensors::InstanceState. The read path mirrors SensorInstance::read line
+// for line (hold, refresh cadence, failure latch) and draws noise through
+// the sensor's static measure(), so a lane's sample sequence — including the
+// RNG stream position after every read — is bit-identical to the scalar
+// suite's. That is what lets a lane diverge to the scalar path mid-run: its
+// unpacked InstanceState is indistinguishable from one that lived through
+// the same steps scalar.
+//
+// The batch path skips the hinj should-fail query that fw::SensorBus issues
+// before each read: lanes only run pre-injection (core::BatchHarness
+// diverges a lane at its plan's first activation), where the query provably
+// returns false and has no observable effect (ScheduledDirector::should_fail
+// is pure). Failure latches are carried for pack/unpack fidelity, and reads
+// honor them, but a latched failure in a stepping lane means the harness
+// missed a divergence — the debug assert below is the tripwire.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sensors/sensor_models.h"
+#include "sim/environment.h"
+#include "sim/simulator.h"
+#include "sim/vehicle_state.h"
+#include "util/checked.h"
+#include "util/rng.h"
+
+namespace avis::sensors {
+
+// Lane-major mutable state of one sensor instance across the batch.
+template <typename Sample>
+struct InstanceLanes {
+  explicit InstanceLanes(int width, sim::SimTimeMs interval)
+      : interval_ms(interval),
+        rng(static_cast<std::size_t>(width), util::Rng(0)),
+        held(static_cast<std::size_t>(width)),
+        has_sample(static_cast<std::size_t>(width), 0),
+        last_sample_ms(static_cast<std::size_t>(width), 0),
+        failed(static_cast<std::size_t>(width), 0) {}
+
+  void pack(int lane, const InstanceState<Sample>& s) {
+    const auto i = static_cast<std::size_t>(lane);
+    rng[i].load(s.rng);
+    held[i] = s.held;
+    has_sample[i] = s.has_sample ? 1 : 0;
+    last_sample_ms[i] = s.last_sample_ms;
+    failed[i] = s.failed ? 1 : 0;
+  }
+
+  InstanceState<Sample> unpack(int lane) const {
+    const auto i = static_cast<std::size_t>(lane);
+    return {rng[i].save(), held[i], has_sample[i] != 0, last_sample_ms[i], failed[i] != 0};
+  }
+
+  // SensorInstance::read's hold/refresh logic; the caller supplies the
+  // measurement (it differs per sensor type). Returns false for a failed
+  // instance, leaving `out` untouched, exactly like the scalar driver.
+  template <typename MeasureFn>
+  bool read(int lane, sim::SimTimeMs now, Sample& out, MeasureFn&& measure) {
+    const auto i = static_cast<std::size_t>(lane);
+    if (failed[i]) {
+      assert(false && "batched lane read a failed sensor: divergence was missed");
+      return false;
+    }
+    if (!has_sample[i] || now - last_sample_ms[i] >= interval_ms) {
+      held[i] = measure(rng[i]);
+      last_sample_ms[i] = now;
+      has_sample[i] = 1;
+    }
+    out = held[i];
+    return true;
+  }
+
+  sim::SimTimeMs interval_ms;
+  std::vector<util::Rng> rng;
+  std::vector<Sample> held;
+  std::vector<std::uint8_t> has_sample;
+  std::vector<sim::SimTimeMs> last_sample_ms;
+  std::vector<std::uint8_t> failed;
+};
+
+class SuiteBatch {
+ public:
+  SuiteBatch(const SuiteConfig& config, int width) : config_(config) {
+    const auto interval = [](double rate_hz) {
+      return static_cast<sim::SimTimeMs>(1000.0 / rate_hz);
+    };
+    for (int i = 0; i < config.gyroscopes; ++i)
+      gyros_.emplace_back(width, interval(Gyroscope::kRateHz));
+    for (int i = 0; i < config.accelerometers; ++i)
+      accels_.emplace_back(width, interval(Accelerometer::kRateHz));
+    for (int i = 0; i < config.barometers; ++i)
+      baros_.emplace_back(width, interval(Barometer::kRateHz));
+    for (int i = 0; i < config.gpses; ++i) gpses_.emplace_back(width, interval(Gps::kRateHz));
+    for (int i = 0; i < config.compasses; ++i)
+      compasses_.emplace_back(width, interval(Compass::kRateHz));
+    for (int i = 0; i < config.batteries; ++i)
+      batteries_.emplace_back(width, interval(BatterySensor::kRateHz));
+  }
+
+  const SuiteConfig& config() const { return config_; }
+
+  // Load/extract one lane's complete suite state. The snapshot must carry
+  // the same sensor complement (same contract as SensorSuite::load).
+  void pack(int lane, const SuiteSnapshot& s) {
+    util::expects(s.gyros.size() == gyros_.size() && s.accels.size() == accels_.size() &&
+                      s.baros.size() == baros_.size() && s.gpses.size() == gpses_.size() &&
+                      s.compasses.size() == compasses_.size() &&
+                      s.batteries.size() == batteries_.size(),
+                  "suite snapshot must match the batch's sensor complement");
+    for (std::size_t i = 0; i < gyros_.size(); ++i) gyros_[i].pack(lane, s.gyros[i]);
+    for (std::size_t i = 0; i < accels_.size(); ++i) accels_[i].pack(lane, s.accels[i]);
+    for (std::size_t i = 0; i < baros_.size(); ++i) baros_[i].pack(lane, s.baros[i]);
+    for (std::size_t i = 0; i < gpses_.size(); ++i) gpses_[i].pack(lane, s.gpses[i]);
+    for (std::size_t i = 0; i < compasses_.size(); ++i) compasses_[i].pack(lane, s.compasses[i]);
+    for (std::size_t i = 0; i < batteries_.size(); ++i) batteries_[i].pack(lane, s.batteries[i]);
+  }
+
+  SuiteSnapshot unpack(int lane) const {
+    SuiteSnapshot s;
+    for (const auto& g : gyros_) s.gyros.push_back(g.unpack(lane));
+    for (const auto& a : accels_) s.accels.push_back(a.unpack(lane));
+    for (const auto& b : baros_) s.baros.push_back(b.unpack(lane));
+    for (const auto& g : gpses_) s.gpses.push_back(g.unpack(lane));
+    for (const auto& c : compasses_) s.compasses.push_back(c.unpack(lane));
+    for (const auto& b : batteries_) s.batteries.push_back(b.unpack(lane));
+    return s;
+  }
+
+  // Per-type reads. The noise/bias parameters are the model defaults — the
+  // scalar suite is only ever built with them (SensorSuite's constructor
+  // passes none), so the batch is parameterized identically by construction.
+  bool read_gyro(int instance, int lane, sim::SimTimeMs now, const sim::VehicleState& truth,
+                 GyroSample& out) {
+    return gyros_[static_cast<std::size_t>(instance)].read(
+        lane, now, out, [&](util::Rng& rng) {
+          return Gyroscope::measure(truth, rng, Gyroscope::kDefaultNoise, Gyroscope::kDefaultBias);
+        });
+  }
+
+  bool read_accel(int instance, int lane, sim::SimTimeMs now, const sim::VehicleState& truth,
+                  AccelSample& out) {
+    return accels_[static_cast<std::size_t>(instance)].read(
+        lane, now, out, [&](util::Rng& rng) {
+          return Accelerometer::measure(truth, rng, Accelerometer::kDefaultNoise,
+                                        Accelerometer::kDefaultBias);
+        });
+  }
+
+  bool read_baro(int instance, int lane, sim::SimTimeMs now, const sim::VehicleState& truth,
+                 BaroSample& out) {
+    return baros_[static_cast<std::size_t>(instance)].read(
+        lane, now, out,
+        [&](util::Rng& rng) { return Barometer::measure(truth, rng, Barometer::kDefaultNoise); });
+  }
+
+  bool read_gps(int instance, int lane, sim::SimTimeMs now, const sim::VehicleState& truth,
+                const sim::Environment& env, GpsSample& out) {
+    return gpses_[static_cast<std::size_t>(instance)].read(
+        lane, now, out, [&](util::Rng& rng) {
+          return Gps::measure(truth, env, rng, Gps::kDefaultHNoise, Gps::kDefaultVNoise);
+        });
+  }
+
+  bool read_compass(int instance, int lane, sim::SimTimeMs now, const sim::VehicleState& truth,
+                    CompassSample& out) {
+    return compasses_[static_cast<std::size_t>(instance)].read(
+        lane, now, out,
+        [&](util::Rng& rng) { return Compass::measure(truth, rng, Compass::kDefaultNoise); });
+  }
+
+  bool read_battery(int instance, int lane, sim::SimTimeMs now, const sim::VehicleState& truth,
+                    BatterySample& out) {
+    return batteries_[static_cast<std::size_t>(instance)].read(
+        lane, now, out, [&](util::Rng& rng) {
+          return BatterySensor::measure(truth, rng, BatterySensor::kDefaultNoise);
+        });
+  }
+
+ private:
+  SuiteConfig config_;
+  std::vector<InstanceLanes<GyroSample>> gyros_;
+  std::vector<InstanceLanes<AccelSample>> accels_;
+  std::vector<InstanceLanes<BaroSample>> baros_;
+  std::vector<InstanceLanes<GpsSample>> gpses_;
+  std::vector<InstanceLanes<CompassSample>> compasses_;
+  std::vector<InstanceLanes<BatterySample>> batteries_;
+};
+
+}  // namespace avis::sensors

@@ -1,0 +1,82 @@
+// Batched lockstep physics: one sim::Simulator's worth of mutable state per
+// lane (vehicle state, wind/contact RNG stream, crash latch), stored
+// structure-of-arrays, stepped by the existing scalar QuadcopterDynamics.
+//
+// The dynamics math is NOT re-derived: each lane's state is unpacked into a
+// caller-held scalar VehicleState work register, stepped through
+// QuadcopterDynamics::step — the identical code path the scalar Simulator
+// runs, with the lane's own wind RNG — and packed back. Per-lane operation
+// order is therefore exactly the scalar order, which is what makes a lane's
+// physics bit-identical to a scalar run and lets it diverge mid-campaign
+// (core::BatchHarness) without a seam.
+//
+// All lanes share one QuadcopterDynamics: the harness provisions every
+// simulator with default QuadcopterParams (core/harness.cc), so parameters
+// are batch-invariant. Time is batch-invariant too (lockstep), so the group
+// clock lives with the caller and only enters at unpack().
+#pragma once
+
+#include "sim/environment.h"
+#include "sim/quadcopter.h"
+#include "sim/simulator.h"
+#include "sim/vehicle_state.h"
+#include "sim/vehicle_state_batch.h"
+#include "util/rng.h"
+
+namespace avis::sim {
+
+class QuadcopterBatch {
+ public:
+  explicit QuadcopterBatch(int width, QuadcopterParams params = {})
+      : dynamics_(params),
+        states_(width),
+        wind_rng_(static_cast<std::size_t>(width), util::Rng(0)),
+        last_crash_(static_cast<std::size_t>(width), CrashCause::kNone) {}
+
+  int width() const { return states_.width(); }
+
+  // Load one lane from a scalar simulator snapshot (state, wind stream
+  // position, latched crash). The snapshot's time_ms is the group clock and
+  // is carried by the caller.
+  void pack(int lane, const Simulator::Snapshot& s) {
+    states_.pack(lane, s.state);
+    wind_rng_[static_cast<std::size_t>(lane)].load(s.rng);
+    last_crash_[static_cast<std::size_t>(lane)] = s.last_crash;
+  }
+
+  // Reconstruct the scalar snapshot for a diverging or retiring lane.
+  Simulator::Snapshot unpack(int lane, SimTimeMs time_ms) const {
+    return {states_.unpack(lane), wind_rng_[static_cast<std::size_t>(lane)].save(), time_ms,
+            last_crash_[static_cast<std::size_t>(lane)]};
+  }
+
+  // One physics step for one lane. `scratch` is the caller's work register
+  // holding this lane's current state (see unpack_state); it is advanced in
+  // place and written back to the lanes. Mirrors sim::Simulator::step minus
+  // the clock tick and observer fan-out (lockstep groups have neither).
+  CrashCause step(int lane, VehicleState& scratch, const MotorCommands& motors,
+                  const Environment& env) {
+    const CrashCause crash =
+        dynamics_.step(scratch, motors, env, kStepSeconds, wind_rng_[static_cast<std::size_t>(lane)]);
+    if (crash != CrashCause::kNone) last_crash_[static_cast<std::size_t>(lane)] = crash;
+    states_.pack(lane, scratch);
+    return crash;
+  }
+
+  void unpack_state(int lane, VehicleState& out) const { out = states_.unpack(lane); }
+
+  CrashCause last_crash(int lane) const {
+    return last_crash_[static_cast<std::size_t>(lane)];
+  }
+
+  const VehicleStateBatch& states() const { return states_; }
+
+ private:
+  QuadcopterDynamics dynamics_;
+  VehicleStateBatch states_;
+  // Per-lane wind/ground-contact noise streams (the scalar Simulator's rng_).
+  std::vector<util::Rng> wind_rng_;
+  std::vector<CrashCause> last_crash_;
+};
+
+}  // namespace avis::sim

@@ -1,0 +1,93 @@
+// Structure-of-arrays storage for the per-step vehicle state of a batch of
+// lockstep experiments (core::BatchHarness).
+//
+// Layout granularity: one vector per VehicleState field, so a subsystem pass
+// that touches only a few fields (the batched estimator reads body_rates,
+// attitude, acceleration, ...) walks contiguous memory across lanes instead
+// of striding over whole VehicleState objects. Vec3-valued fields stay as
+// `std::vector<geo::Vec3>` rather than three scalar vectors: the three
+// components are always consumed together, so splitting them buys nothing
+// and costs address arithmetic.
+//
+// pack/unpack are exact copies in both directions — a lane that diverges to
+// the scalar path (or a round-trip in the property tests) reproduces the
+// scalar VehicleState bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/attitude.h"
+#include "geo/vec3.h"
+#include "sim/vehicle_state.h"
+
+namespace avis::sim {
+
+class VehicleStateBatch {
+ public:
+  explicit VehicleStateBatch(int width)
+      : position_(static_cast<std::size_t>(width)),
+        velocity_(static_cast<std::size_t>(width)),
+        acceleration_(static_cast<std::size_t>(width)),
+        attitude_(static_cast<std::size_t>(width)),
+        body_rates_(static_cast<std::size_t>(width)),
+        motors_(static_cast<std::size_t>(width)),
+        battery_voltage_(static_cast<std::size_t>(width), 12.6),
+        battery_remaining_(static_cast<std::size_t>(width), 1.0),
+        on_ground_(static_cast<std::size_t>(width), 1),
+        crashed_(static_cast<std::size_t>(width), 0) {}
+
+  int width() const { return static_cast<int>(position_.size()); }
+
+  void pack(int lane, const VehicleState& s) {
+    const auto i = static_cast<std::size_t>(lane);
+    position_[i] = s.position;
+    velocity_[i] = s.velocity;
+    acceleration_[i] = s.acceleration;
+    attitude_[i] = s.attitude;
+    body_rates_[i] = s.body_rates;
+    motors_[i] = s.motors;
+    battery_voltage_[i] = s.battery_voltage;
+    battery_remaining_[i] = s.battery_remaining;
+    on_ground_[i] = s.on_ground ? 1 : 0;
+    crashed_[i] = s.crashed ? 1 : 0;
+  }
+
+  VehicleState unpack(int lane) const {
+    const auto i = static_cast<std::size_t>(lane);
+    VehicleState s;
+    s.position = position_[i];
+    s.velocity = velocity_[i];
+    s.acceleration = acceleration_[i];
+    s.attitude = attitude_[i];
+    s.body_rates = body_rates_[i];
+    s.motors = motors_[i];
+    s.battery_voltage = battery_voltage_[i];
+    s.battery_remaining = battery_remaining_[i];
+    s.on_ground = on_ground_[i] != 0;
+    s.crashed = crashed_[i] != 0;
+    return s;
+  }
+
+  // Field lanes, for passes that touch a subset of the state.
+  const geo::Vec3& position(int lane) const { return position_[static_cast<std::size_t>(lane)]; }
+  const geo::Vec3& acceleration(int lane) const {
+    return acceleration_[static_cast<std::size_t>(lane)];
+  }
+  bool on_ground(int lane) const { return on_ground_[static_cast<std::size_t>(lane)] != 0; }
+  bool crashed(int lane) const { return crashed_[static_cast<std::size_t>(lane)] != 0; }
+
+ private:
+  std::vector<geo::Vec3> position_;
+  std::vector<geo::Vec3> velocity_;
+  std::vector<geo::Vec3> acceleration_;
+  std::vector<geo::Attitude> attitude_;
+  std::vector<geo::Vec3> body_rates_;
+  std::vector<MotorCommands> motors_;
+  std::vector<double> battery_voltage_;
+  std::vector<double> battery_remaining_;
+  std::vector<std::uint8_t> on_ground_;
+  std::vector<std::uint8_t> crashed_;
+};
+
+}  // namespace avis::sim

@@ -8,16 +8,21 @@ band is deliberately generous (fail only on >30% items/sec regression) so a
 noisy runner does not block an innocent change. A real hot-loop regression
 (2x slower harness, broken checkpoint reuse) still trips it loudly.
 
-Usage: check_bench_regression.py CURRENT.json BASELINE.json
+Usage: check_bench_regression.py CURRENT.json BASELINE.json [GATED_NAME...]
+
+Extra arguments override the default gated-name list, so the same gate can
+run against other bench binaries (CI gates perf_micro's BM_BatchStep rows
+against bench/baselines/BENCH_perf_micro.json this way).
 """
 
 import json
 import sys
 
 # Single-worker benches worth gating; names must match google-benchmark's
-# JSON "name" field exactly.
+# JSON "name" field exactly. BM_SingleExperiment is gated at batch width 4 —
+# the width the checker runs at by default (Checker::kAutoBatchWidth).
 GATED = [
-    "BM_SingleExperiment",
+    "BM_SingleExperiment/4",
     "BM_CheckerCampaign/1/process_time/real_time",
 ]
 
@@ -36,13 +41,14 @@ def rates(report_path):
 
 
 def main(argv):
-    if len(argv) != 3:
+    if len(argv) < 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     current = rates(argv[1])
     baseline = rates(argv[2])
+    gated = argv[3:] if len(argv) > 3 else GATED
     failures = []
-    for name in GATED:
+    for name in gated:
         # A gated bench missing from either side is a failure: silently
         # skipping would turn the gate into a no-op after a bench rename or
         # a truncated baseline refresh.
