@@ -204,4 +204,56 @@ static void BM_SabrePendingFeedback(benchmark::State& state) {
 }
 BENCHMARK(BM_SabrePendingFeedback);
 
+// Checkpoint-tree store lookups: resolve() against a root (30 snapshots)
+// plus Arg(0) merged two-event chain recordings. Each iteration resolves a
+// depth-1 extension, a depth-2 extension and a tree miss (root fallback) —
+// the three shapes every provisioned experiment pays exactly once. The
+// prefix-signature buckets keep this flat in the number of recordings; a
+// per-experiment cost that scaled with tree size would eat the restore win
+// on long campaigns.
+static void BM_CheckpointTree(benchmark::State& state) {
+  const int recordings = static_cast<int>(state.range(0));
+  const sensors::SensorId compass{sensors::SensorType::kCompass, 0};
+  const sensors::SensorId gps{sensors::SensorType::kGps, 0};
+  const sensors::SensorId baro{sensors::SensorType::kBarometer, 0};
+  core::CheckpointStore store{core::CheckpointConfig{}};
+  store.begin(core::ExperimentSpec{}, false);
+  for (sim::SimTimeMs t = 1000; t <= 30000; t += 1000) {
+    core::ExperimentSnapshot snap;
+    snap.time_ms = t;
+    store.add(std::move(snap));
+  }
+  store.finish(core::ExperimentResult{});
+  for (int r = 0; r < recordings; ++r) {
+    core::FaultPlan plan;
+    plan.add(10000 + r, compass);
+    plan.add(20000 + r, gps);
+    std::vector<core::ExperimentSnapshot> snaps;
+    for (sim::SimTimeMs t = 11000 + r; t <= 26000; t += 1000) {
+      core::ExperimentSnapshot snap;
+      snap.time_ms = t;
+      snaps.push_back(std::move(snap));
+    }
+    store.merge_run(plan, std::move(snaps), {}, {});
+  }
+  const int mid = recordings / 2;
+  core::FaultPlan shallow;  // extends {compass} before its gps event: depth 1
+  shallow.add(10000 + mid, compass);
+  shallow.add(18000, baro);
+  core::FaultPlan deep;  // extends the full {compass, gps} chain: depth 2
+  deep.add(10000 + mid, compass);
+  deep.add(20000 + mid, gps);
+  deep.add(26000, baro);
+  core::FaultPlan miss;  // no recorded ancestor: falls back to the root
+  miss.add(5000, baro);
+  miss.add(15000, gps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.resolve(shallow));
+    benchmark::DoNotOptimize(store.resolve(deep));
+    benchmark::DoNotOptimize(store.resolve(miss));
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_CheckpointTree)->Arg(8)->Arg(64);
+
 BENCHMARK_MAIN();

@@ -31,6 +31,11 @@ struct BatchHarness::Lane {
   const sim::Environment* env = nullptr;
   sim::SimTimeMs first_injection = 0;
   std::size_t result_slot = 0;
+  // Checkpoint-tree recording sink for this lane's run (engaged when the
+  // checker wants the plan recorded); filled by the scalar loop after the
+  // lane diverges — every capture time is past the first injection, so the
+  // batch stretch never captures.
+  std::optional<TreeCapture> tree_capture;
 };
 
 BatchHarness::BatchHarness(const SimulationHarness& harness) : harness_(&harness) {}
@@ -39,8 +44,12 @@ BatchHarness::~BatchHarness() = default;
 std::vector<ExperimentResult> BatchHarness::run(const std::vector<ExperimentSpec>& specs,
                                                 const MonitorModel* monitor_model,
                                                 const CheckpointStore* checkpoints,
-                                                sim::SimTimeMs budget_remaining_ms) {
+                                                sim::SimTimeMs budget_remaining_ms,
+                                                int tree_capture_limit,
+                                                std::vector<std::vector<ExperimentSnapshot>>*
+                                                    tree_captures) {
   std::vector<ExperimentResult> results(specs.size());
+  if (tree_captures != nullptr) tree_captures->assign(specs.size(), {});
   if (specs.empty()) return results;
   while (lanes_.size() < specs.size()) lanes_.push_back(std::make_unique<Lane>());
 
@@ -63,21 +72,47 @@ std::vector<ExperimentResult> BatchHarness::run(const std::vector<ExperimentSpec
     lane.spec = &spec;
     lane.result_slot = idx;
     lane.first_injection = spec.plan.first_injection_ms();
-    const ExperimentSnapshot* resume = nullptr;
-    if (checkpoints != nullptr && !checkpoints->empty()) {
+    CheckpointResume resume;
+    if (checkpoints != nullptr && checkpoints->has_restore_points()) {
       checkpoints->require_matches(spec, monitor_model != nullptr);
-      resume = checkpoints->best_for(lane.first_injection);
+      resume = checkpoints->resolve(spec.plan);
     }
     lane.scheduled.emplace(spec.plan);
     lane.recording.emplace(*lane.scheduled);
-    lane.rs =
-        harness_->p_provision(spec, *lane.recording, monitor_model, lane.world, checkpoints,
-                              resume);
+    lane.rs = harness_->p_provision(spec, *lane.recording, monitor_model, lane.world, resume);
     lane.env = &lane.world.simulator->environment();
+    lane.tree_capture.reset();
+    if (tree_capture_limit > 0 && checkpoints != nullptr && checkpoints->trees_enabled() &&
+        !spec.plan.events.empty() &&
+        static_cast<int>(spec.plan.events.size()) <= tree_capture_limit) {
+      lane.tree_capture.emplace(plan_tree_capture(spec, checkpoints->config()));
+    }
+    // A lane that resumes at or past its first injection (a tree restore,
+    // or a root snapshot landing exactly on the injection) has no
+    // plan-independent stretch for the batched fast path to cover — its
+    // very first batch step would diverge it. Run it straight through the
+    // scalar loop instead; the batch blocks never see it.
+    if (lane.rs.start_ms >= lane.first_injection ||
+        lane.rs.start_ms >= spec.max_duration_ms) {
+      if (!abort_) {
+        harness_->p_loop(spec, lane.world, *lane.recording, lane.rs, nullptr,
+                         lane.tree_capture ? &*lane.tree_capture : nullptr);
+        results[idx] = harness_->p_finalize(spec, lane.world, *lane.recording, lane.rs);
+        p_note_done(idx, results[idx].duration_ms);
+      }
+      continue;
+    }
     group.push_back(&lane);
   }
 
-  p_run_group(group, monitor_model, results);
+  if (!group.empty() && !abort_) p_run_group(group, monitor_model, results);
+
+  if (tree_captures != nullptr) {
+    for (std::size_t idx = 0; idx < specs.size(); ++idx) {
+      Lane& lane = *lanes_[idx];
+      if (lane.tree_capture) (*tree_captures)[idx] = std::move(lane.tree_capture->snapshots);
+    }
+  }
   return results;
 }
 
@@ -172,7 +207,8 @@ void BatchHarness::p_run_group(const std::vector<Lane*>& group,
         if (now >= lane.spec->max_duration_ms || now >= lane.first_injection) {
           leave_batch(k, now);
           lane.rs.start_ms = now;
-          harness_->p_loop(*lane.spec, lane.world, *lane.recording, lane.rs, nullptr);
+          harness_->p_loop(*lane.spec, lane.world, *lane.recording, lane.rs, nullptr,
+                           lane.tree_capture ? &*lane.tree_capture : nullptr);
           results[lane.result_slot] =
               harness_->p_finalize(*lane.spec, lane.world, *lane.recording, lane.rs);
           p_note_done(lane.result_slot, results[lane.result_slot].duration_ms);

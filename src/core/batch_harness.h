@@ -57,10 +57,20 @@ class BatchHarness {
   // return a default ExperimentResult — callers that pass a budget must not
   // read past the discard boundary (the checker's apply loop never does).
   // The default (-1) runs every lane to completion.
+  //
+  // Checkpoint-tree recording: `tree_capture_limit` > 0 records lanes whose
+  // plan has at most that many events (the strategy's chain_extension_limit
+  // — plans it may later extend); the captured snapshots land in
+  // `tree_captures` (resized to specs.size(); empty for unrecorded lanes).
+  // The caller merges them into the store between waves — this engine only
+  // ever reads the store.
   std::vector<ExperimentResult> run(const std::vector<ExperimentSpec>& specs,
                                     const MonitorModel* monitor_model = nullptr,
                                     const CheckpointStore* checkpoints = nullptr,
-                                    sim::SimTimeMs budget_remaining_ms = -1);
+                                    sim::SimTimeMs budget_remaining_ms = -1,
+                                    int tree_capture_limit = 0,
+                                    std::vector<std::vector<ExperimentSnapshot>>* tree_captures =
+                                        nullptr);
 
   // Pool support: a reused BatchHarness may be handed to a different (but
   // equivalent) harness instance.

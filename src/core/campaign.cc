@@ -81,6 +81,9 @@ CampaignResult CampaignRunner::run(const std::vector<CampaignCellSpec>& grid) co
   result.split = worker_split(grid.size());
   result.batch_width =
       options_.batch_width > 0 ? options_.batch_width : Checker::kAutoBatchWidth;
+  result.checkpoints_enabled = options_.checkpoints.enabled;
+  result.checkpoint_trees = options_.checkpoints.enabled && options_.checkpoints.trees;
+  result.checkpoint_budget_bytes = options_.checkpoints.byte_budget;
   result.cells.reserve(grid.size());
   const auto start = std::chrono::steady_clock::now();
   if (result.split.campaign_workers <= 1 || grid.size() <= 1) {
@@ -118,14 +121,25 @@ std::string campaign_report_json(const CampaignResult& result) {
   os << "    \"cell_workers\": " << result.split.campaign_workers << ",\n";
   os << "    \"experiment_workers\": " << result.split.experiment_workers << ",\n";
   os << "    \"batch_width\": " << result.batch_width << ",\n";
+  // The checkpoint knobs the campaign ran with (CLI: --no-checkpoints,
+  // --no-checkpoint-trees, --checkpoint-budget-mb). Deliberately inside the
+  // checkpoint_* prefix: the smoke diff masks that prefix when comparing
+  // checkpoint modes, and these keys (like the counters) legitimately
+  // differ across modes.
+  os << "    \"checkpoint_enabled\": " << (result.checkpoints_enabled ? "true" : "false")
+     << ",\n";
+  os << "    \"checkpoint_trees\": " << (result.checkpoint_trees ? "true" : "false") << ",\n";
+  os << "    \"checkpoint_budget_bytes\": " << result.checkpoint_budget_bytes << ",\n";
   os << "    \"wall_seconds\": " << result.wall_seconds << ",\n";
   os << "    \"total_experiments\": " << result.total_experiments() << ",\n";
+  os << "    \"stalled_runs\": " << result.total_stalled_runs() << ",\n";
   // Campaign-wide checkpoint totals: the merge path (distributed runs) must
   // reproduce the single-process sums exactly, so they are part of the
   // report-identity contract rather than derived downstream.
   os << "    \"checkpoint_hits\": " << result.total_checkpoint_hits() << ",\n";
   os << "    \"checkpoint_misses\": " << result.total_checkpoint_misses() << ",\n";
   os << "    \"checkpoint_evicted\": " << result.total_checkpoint_evicted() << ",\n";
+  os << "    \"checkpoint_tree_evicted\": " << result.total_checkpoint_tree_evicted() << ",\n";
   os << "    \"checkpoint_skipped_ms\": " << result.total_checkpoint_skipped_ms() << "\n";
   os << "  },\n";
   os << "  \"cells\": [\n";
@@ -169,8 +183,16 @@ std::string campaign_report_json(const CampaignResult& result) {
     os << "      \"checkpoint_hits\": " << report.checkpoint_hits << ",\n";
     os << "      \"checkpoint_misses\": " << report.checkpoint_misses << ",\n";
     os << "      \"checkpoint_hit_rate\": " << report.checkpoint_hit_rate() << ",\n";
+    os << "      \"checkpoint_hits_by_level\": [";
+    for (std::size_t j = 0; j < report.checkpoint_hits_by_level.size(); ++j) {
+      if (j) os << ", ";
+      os << report.checkpoint_hits_by_level[j];
+    }
+    os << "],\n";
     os << "      \"checkpoint_evicted\": " << report.checkpoint_evicted << ",\n";
+    os << "      \"checkpoint_tree_evicted\": " << report.checkpoint_tree_evicted << ",\n";
     os << "      \"checkpoint_skipped_ms\": " << report.checkpoint_skipped_ms << ",\n";
+    os << "      \"stalled_runs\": " << report.stalled_runs << ",\n";
     // Execution provenance (docs/DISTRIBUTED.md): how many assignments the
     // cell took and which workers lost it. Wall-clock-class fields — masked
     // alongside wall_seconds in report identity comparisons.
@@ -241,8 +263,16 @@ std::string checker_report_json(const CheckerReport& report, int indent) {
   os << pad << "  \"budget_used_ms\": " << report.budget_used_ms << ",\n";
   os << pad << "  \"checkpoint_hits\": " << report.checkpoint_hits << ",\n";
   os << pad << "  \"checkpoint_misses\": " << report.checkpoint_misses << ",\n";
+  os << pad << "  \"checkpoint_hits_by_level\": [";
+  for (std::size_t i = 0; i < report.checkpoint_hits_by_level.size(); ++i) {
+    if (i) os << ", ";
+    os << report.checkpoint_hits_by_level[i];
+  }
+  os << "],\n";
   os << pad << "  \"checkpoint_evicted\": " << report.checkpoint_evicted << ",\n";
+  os << pad << "  \"checkpoint_tree_evicted\": " << report.checkpoint_tree_evicted << ",\n";
   os << pad << "  \"checkpoint_skipped_ms\": " << report.checkpoint_skipped_ms << ",\n";
+  os << pad << "  \"stalled_runs\": " << report.stalled_runs << ",\n";
   os << pad << "  \"bug_first_found\": [";
   bool first = true;
   for (const auto& [bug, index] : report.bug_first_found) {
@@ -298,8 +328,14 @@ CheckerReport checker_report_from_json(const util::Json& json) {
   report.budget_used_ms = json.at("budget_used_ms").as_int64();
   report.checkpoint_hits = static_cast<int>(json.at("checkpoint_hits").as_int64());
   report.checkpoint_misses = static_cast<int>(json.at("checkpoint_misses").as_int64());
+  for (const util::Json& level : json.at("checkpoint_hits_by_level").as_array()) {
+    report.checkpoint_hits_by_level.push_back(static_cast<int>(level.as_int64()));
+  }
   report.checkpoint_evicted = static_cast<int>(json.at("checkpoint_evicted").as_int64());
+  report.checkpoint_tree_evicted =
+      static_cast<int>(json.at("checkpoint_tree_evicted").as_int64());
   report.checkpoint_skipped_ms = json.at("checkpoint_skipped_ms").as_int64();
+  report.stalled_runs = static_cast<int>(json.at("stalled_runs").as_int64());
   for (const util::Json& entry : json.at("bug_first_found").as_array()) {
     report.bug_first_found[p_bug_from_wire(entry.at("bug"))] =
         static_cast<int>(entry.at("experiment").as_int64());

@@ -82,6 +82,11 @@ struct CampaignCellResult {
 struct CampaignResult {
   util::WorkerBudget split;       // worker split the campaign actually ran with
   int batch_width = 0;            // resolved lockstep width the cells ran with
+  // Checkpoint knobs the cells ran with, echoed into the report JSON next
+  // to batch_width so an archived report is self-describing.
+  bool checkpoints_enabled = true;
+  bool checkpoint_trees = true;
+  std::size_t checkpoint_budget_bytes = 0;
   double wall_seconds = 0.0;      // whole-campaign wall time
   std::vector<CampaignCellResult> cells;  // deterministic grid order
 
@@ -113,6 +118,16 @@ struct CampaignResult {
   sim::SimTimeMs total_checkpoint_skipped_ms() const {
     sim::SimTimeMs total = 0;
     for (const auto& cell : cells) total += cell.report.checkpoint_skipped_ms;
+    return total;
+  }
+  int total_checkpoint_tree_evicted() const {
+    int total = 0;
+    for (const auto& cell : cells) total += cell.report.checkpoint_tree_evicted;
+    return total;
+  }
+  int total_stalled_runs() const {
+    int total = 0;
+    for (const auto& cell : cells) total += cell.report.stalled_runs;
     return total;
   }
 };

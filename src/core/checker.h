@@ -50,6 +50,22 @@ struct CheckerReport {
   int checkpoint_misses = 0;
   int checkpoint_evicted = 0;
   sim::SimTimeMs checkpoint_skipped_ms = 0;
+  // Per-level restore counters (checkpoint trees): index 0 counts restores
+  // from the fault-free root, index d >= 1 restores from a tree snapshot
+  // with d injections already activated. Sums to checkpoint_hits. Sized to
+  // the deepest level hit. Like every checkpoint counter this is wall-clock
+  // observability; serial and parallel runs may count coincidental prefix
+  // hits differently (wave timing decides what is recorded when a plan
+  // resolves), which is why report-identity checks mask checkpoint_*.
+  std::vector<int> checkpoint_hits_by_level;
+  // Tree snapshots evicted under byte-budget pressure (root evictions stay
+  // in checkpoint_evicted).
+  int checkpoint_tree_evicted = 0;
+  // Experiments that ran to max_duration without a violation (the
+  // workload never finished and nothing tripped the monitor) — the
+  // ROADMAP's stalled-run observability item. Deterministic across
+  // checkpoint modes: duration_ms is a logical quantity.
+  int stalled_runs = 0;
 
   double checkpoint_hit_rate() const {
     const int total = checkpoint_hits + checkpoint_misses;
@@ -117,6 +133,10 @@ class Checker {
   // degenerate single-lane batch. Applies to run() and, per worker chunk,
   // to run_parallel(); profiling and prefix recording stay scalar.
   static constexpr int kAutoBatchWidth = 4;
+  // Slack every experiment gets past the profiled mission duration before
+  // it is cut off (p_make_spec); a safe run that uses all of it counts as
+  // stalled (CheckerReport::stalled_runs).
+  static constexpr sim::SimTimeMs kSettleMs = 45000;
   void set_batch_width(int width) { batch_width_ = width; }
   int batch_width() const { return batch_width_ > 0 ? batch_width_ : kAutoBatchWidth; }
 
@@ -131,10 +151,18 @@ class Checker {
   CheckerReport run(InjectionStrategy& strategy, BudgetClock& budget) {
     const MonitorModel& monitor = model();
     const CheckpointStore* checkpoints = p_checkpoints(monitor);
+    // Per-campaign tree: every campaign over this checker starts from an
+    // empty tree so its hit counters (and plan recordings) are a function
+    // of the campaign alone, not of which strategies ran before it.
+    if (checkpoints_) checkpoints_->clear_tree();
+    const int capture_limit =
+        checkpoints != nullptr && checkpoints->trees_enabled() ? strategy.chain_extension_limit()
+                                                               : 0;
     CheckerReport report;
     report.strategy_name = strategy.name();
     auto engine = engines_.acquire(harness_);
     bool out_of_budget = false;
+    std::vector<std::vector<ExperimentSnapshot>> captures;
     while (!out_of_budget && !budget.exhausted()) {
       std::vector<FaultPlan> plans =
           strategy.next_batch(budget, p_adaptive_width(budget, batch_width()));
@@ -147,19 +175,24 @@ class Checker {
       // away (see BatchHarness::run) — the discarded slots are then default
       // results this loop never reads.
       std::vector<ExperimentResult> results =
-          engine->run(specs, &monitor, checkpoints, budget.remaining_ms());
+          engine->run(specs, &monitor, checkpoints, budget.remaining_ms(), capture_limit,
+                      capture_limit > 0 ? &captures : nullptr);
       for (std::size_t i = 0; i < results.size(); ++i) {
         if (out_of_budget || (i > 0 && budget.exhausted())) {
           out_of_budget = true;
           continue;
         }
-        p_apply(report, strategy, budget, plans[i], std::move(results[i]));
+        // The engine is idle between waves, so merges land inline (the
+        // parallel loop defers them instead — see run_parallel).
+        p_apply(report, strategy, budget, plans[i], std::move(results[i]),
+                capture_limit > 0 ? &captures[i] : nullptr, nullptr);
       }
     }
     engines_.release(std::move(engine));
     report.labels = budget.labels();
     report.budget_used_ms = budget.used_ms();
     report.checkpoint_evicted = checkpoints != nullptr ? checkpoints->evicted() : 0;
+    report.checkpoint_tree_evicted = checkpoints != nullptr ? checkpoints->tree_evicted() : 0;
     return report;
   }
 
@@ -178,12 +211,22 @@ class Checker {
     if (workers <= 1) return run(strategy, budget);
     const MonitorModel& monitor = model();
     // Recorded on this thread before any batch is dispatched; workers then
-    // share the store strictly read-only.
+    // share the store strictly read-only. Tree merges are deferred to the
+    // end of each wave (below) to keep that invariant.
     const CheckpointStore* checkpoints = p_checkpoints(monitor);
+    if (checkpoints_) checkpoints_->clear_tree();
+    const int capture_limit =
+        checkpoints != nullptr && checkpoints->trees_enabled() ? strategy.chain_extension_limit()
+                                                               : 0;
     util::ThreadPool pool(workers);
     CheckerReport report;
     report.strategy_name = strategy.name();
     bool out_of_budget = false;
+    struct ChunkOutput {
+      std::vector<ExperimentResult> results;
+      std::vector<std::vector<ExperimentSnapshot>> captures;
+    };
+    std::vector<PendingMerge> deferred;
     while (!out_of_budget && !budget.exhausted()) {
       // Two width-sized lockstep chunks per worker keep the pool saturated
       // while the caller thread applies results; strategies may return fewer
@@ -195,7 +238,7 @@ class Checker {
       std::vector<FaultPlan> plans =
           strategy.next_batch(budget, 2 * workers * static_cast<int>(width));
       if (plans.empty()) break;
-      std::vector<std::future<std::vector<ExperimentResult>>> in_flight;
+      std::vector<std::future<ChunkOutput>> in_flight;
       in_flight.reserve((plans.size() + width - 1) / width);
       for (std::size_t begin = 0; begin < plans.size(); begin += width) {
         const std::size_t end = std::min(plans.size(), begin + width);
@@ -203,24 +246,26 @@ class Checker {
         specs.reserve(end - begin);
         for (std::size_t i = begin; i < end; ++i) specs.push_back(p_make_spec(plans[i], monitor));
         in_flight.push_back(
-            pool.submit([this, specs = std::move(specs), &monitor, checkpoints] {
+            pool.submit([this, specs = std::move(specs), &monitor, checkpoints, capture_limit] {
               // Per-worker engine: whichever worker picks this chunk up
               // checks a batch engine out for the duration, so the lane
               // worlds are reset, not reallocated, from one chunk to the
               // next (the arena-reuse contract). An exception skips the
               // release and simply retires the engine.
               auto engine = engines_.acquire(harness_);
-              std::vector<ExperimentResult> results = engine->run(specs, &monitor, checkpoints);
+              ChunkOutput out;
+              out.results = engine->run(specs, &monitor, checkpoints, -1, capture_limit,
+                                        capture_limit > 0 ? &out.captures : nullptr);
               engines_.release(std::move(engine));
-              return results;
+              return out;
             }));
       }
       // Apply in flattened submission order — the proposal order — so the
       // report is bit-identical to the serial loop for the same plans.
       std::size_t applied = 0;
       for (auto& chunk : in_flight) {
-        std::vector<ExperimentResult> results = chunk.get();  // rethrows worker errors
-        for (ExperimentResult& result : results) {
+        ChunkOutput out = chunk.get();  // rethrows worker errors
+        for (std::size_t j = 0; j < out.results.size(); ++j) {
           // Result 0 is always applied: the serial loop runs and applies any
           // plan next() returns, even when proposal-side charges (BFI's
           // labels) crossed the budget limit while producing it. Later
@@ -229,15 +274,26 @@ class Checker {
           if (out_of_budget || (applied > 0 && budget.exhausted())) {
             out_of_budget = true;
           } else {
-            p_apply(report, strategy, budget, plans[applied], std::move(result));
+            p_apply(report, strategy, budget, plans[applied], std::move(out.results[j]),
+                    capture_limit > 0 ? &out.captures[j] : nullptr, &deferred);
           }
           ++applied;
         }
       }
+      // The wave is fully drained: no worker holds a chunk, so the store
+      // can be mutated. Merging here (not inside p_apply) is what lets the
+      // next wave's children resolve their parents' recordings without the
+      // engine threads ever observing a mutation.
+      for (PendingMerge& merge : deferred) {
+        checkpoints_->merge_run(merge.plan, std::move(merge.snapshots), std::move(merge.trace),
+                                std::move(merge.transitions));
+      }
+      deferred.clear();
     }
     report.labels = budget.labels();
     report.budget_used_ms = budget.used_ms();
     report.checkpoint_evicted = checkpoints != nullptr ? checkpoints->evicted() : 0;
+    report.checkpoint_tree_evicted = checkpoints != nullptr ? checkpoints->tree_evicted() : 0;
     return report;
   }
 
@@ -293,7 +349,7 @@ class Checker {
     // this deterministic substrate a run then differs from the golden run
     // only through the injected faults, which keeps Eq. 1 free of
     // seed-variance noise (the paper absorbs that noise into tau instead).
-    spec.max_duration_ms = monitor.profiling_duration_ms() + 45000;
+    spec.max_duration_ms = monitor.profiling_duration_ms() + kSettleMs;
     return spec;
   }
 
@@ -319,15 +375,40 @@ class Checker {
     return &*checkpoints_;
   }
 
+  // One finished directed run waiting to be merged into the checkpoint
+  // tree at the wave boundary (run_parallel defers merges so worker threads
+  // only ever read the store).
+  struct PendingMerge {
+    FaultPlan plan;
+    std::vector<ExperimentSnapshot> snapshots;
+    std::vector<StateSample> trace;
+    std::vector<ModeTransition> transitions;
+  };
+
+  // Applies one result: budget charge, counters, strategy feedback, unsafe
+  // record, and — when the run was recorded for the checkpoint tree
+  // (`captured` non-null and non-empty) — the tree merge, inline when
+  // `deferred` is null or queued onto it otherwise. Unsafe runs are never
+  // merged: the strategies only extend bug-free chains.
   void p_apply(CheckerReport& report, InjectionStrategy& strategy, BudgetClock& budget,
-               const FaultPlan& plan, ExperimentResult result) {
+               const FaultPlan& plan, ExperimentResult result,
+               std::vector<ExperimentSnapshot>* captured, std::vector<PendingMerge>* deferred) {
     budget.charge_experiment(result.duration_ms);
     ++report.experiments;
     if (result.resumed_from_ms > 0) {
       ++report.checkpoint_hits;
       report.checkpoint_skipped_ms += result.resumed_from_ms;
+      const auto level = static_cast<std::size_t>(result.resumed_depth);
+      if (report.checkpoint_hits_by_level.size() <= level) {
+        report.checkpoint_hits_by_level.resize(level + 1, 0);
+      }
+      ++report.checkpoint_hits_by_level[level];
     } else if (checkpoints_) {
       ++report.checkpoint_misses;
+    }
+    if (!result.unsafe() &&
+        result.duration_ms >= model_->profiling_duration_ms() + kSettleMs) {
+      ++report.stalled_runs;
     }
     strategy.feedback(plan, result);
     if (result.unsafe()) {
@@ -342,6 +423,14 @@ class Checker {
         report.bug_first_found.try_emplace(id, report.experiments);
       }
       report.unsafe.push_back(std::move(record));
+    } else if (captured != nullptr && !captured->empty() && checkpoints_) {
+      if (deferred == nullptr) {
+        checkpoints_->merge_run(plan, std::move(*captured), std::move(result.trace),
+                                std::move(result.transitions));
+      } else {
+        deferred->push_back(PendingMerge{plan, std::move(*captured), std::move(result.trace),
+                                         std::move(result.transitions)});
+      }
     }
   }
 

@@ -100,6 +100,11 @@ struct ExperimentResult {
   // only — every observable field above is bit-identical either way, and
   // duration_ms stays the run's full logical duration.
   sim::SimTimeMs resumed_from_ms = 0;
+  // Depth of the checkpoint the run resumed from: 0 = fault-free root (or
+  // cold when resumed_from_ms == 0), d >= 1 = a tree snapshot with d
+  // injections already activated. Wall-clock provenance like
+  // resumed_from_ms; feeds the per-level hit counters in CheckerReport.
+  int resumed_depth = 0;
 
   bool unsafe() const { return violation.has_value(); }
 };

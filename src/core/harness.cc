@@ -37,12 +37,31 @@ CheckpointStore SimulationHarness::record_prefix(const ExperimentSpec& spec,
   return store;
 }
 
+ExperimentResult SimulationHarness::run_recording(const ExperimentSpec& spec,
+                                                  const MonitorModel* monitor_model,
+                                                  ExperimentContext* context,
+                                                  CheckpointStore& store) const {
+  ScheduledDirector director(spec.plan);
+  TreeCapture capture = plan_tree_capture(spec, store.config());
+  ExperimentResult result =
+      p_run(spec, director, monitor_model, context, &store, nullptr, &capture);
+  // An unsafe run's snapshots can never be restored (strategies only extend
+  // bug-free chains), so merging them would only burn budget.
+  if (!result.unsafe()) {
+    store.merge_run(spec.plan, std::move(capture.snapshots),
+                    std::vector<StateSample>(result.trace),
+                    std::vector<ModeTransition>(result.transitions));
+  }
+  return result;
+}
+
 ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
                                           hinj::FaultDirector& custom_director,
                                           const MonitorModel* monitor_model,
                                           ExperimentContext* context,
                                           const CheckpointStore* restore_from,
-                                          CheckpointStore* capture_into) const {
+                                          CheckpointStore* capture_into,
+                                          TreeCapture* tree_capture) const {
   // Without a caller-supplied arena, provision into a one-shot local one —
   // same code path, same construction order, the storage just dies with the
   // run. The reset protocol below must mirror from-scratch construction
@@ -51,20 +70,21 @@ ExperimentResult SimulationHarness::p_run(const ExperimentSpec& spec,
   ExperimentContext local_context;
   ExperimentWorld& world = (context != nullptr ? *context : local_context).world();
 
-  // Checkpointed prefix forking: a run whose plan injects nothing before
-  // time t is identical to the prefix run up to (the top of) iteration t,
-  // so restoring the latest snapshot at-or-before the plan's first
-  // injection skips the re-simulation of that shared prefix without
-  // changing a single observable bit (docs/PERFORMANCE.md).
-  const ExperimentSnapshot* resume = nullptr;
-  if (restore_from != nullptr && !restore_from->empty()) {
+  // Checkpoint forking: a run whose plan matches a recorded (possibly
+  // faulty) prefix up to time t is identical to that recording up to (the
+  // top of) iteration t, so restoring the deepest usable snapshot — tree
+  // first, fault-free root as fallback — skips the re-simulation of the
+  // shared prefix without changing a single observable bit
+  // (docs/PERFORMANCE.md).
+  CheckpointResume resume;
+  if (restore_from != nullptr && restore_from->has_restore_points()) {
     restore_from->require_matches(spec, monitor_model != nullptr);
-    resume = restore_from->best_for(spec.plan.first_injection_ms());
+    resume = restore_from->resolve(spec.plan);
   }
 
   RecordingDirector director(custom_director);
-  RunState rs = p_provision(spec, director, monitor_model, world, restore_from, resume);
-  p_loop(spec, world, director, rs, capture_into);
+  RunState rs = p_provision(spec, director, monitor_model, world, resume);
+  p_loop(spec, world, director, rs, capture_into, tree_capture);
   return p_finalize(spec, world, director, rs);
 }
 
@@ -72,11 +92,10 @@ RunState SimulationHarness::p_provision(const ExperimentSpec& spec,
                                         RecordingDirector& director,
                                         const MonitorModel* monitor_model,
                                         ExperimentWorld& world,
-                                        const CheckpointStore* restore_from,
-                                        const ExperimentSnapshot* resume) const {
-  const bool restoring = resume != nullptr;
-  util::expects(!restoring || restore_from != nullptr,
-                "a resume snapshot must come with the store that owns it");
+                                        const CheckpointResume& resume) const {
+  const bool restoring = static_cast<bool>(resume);
+  util::expects(!restoring || (resume.trace != nullptr && resume.transitions != nullptr),
+                "a resume snapshot must come with its recording");
 
   // Provisioning is one code path for cold and restored runs — identical
   // wiring, identical construction order — with the restore pass loading
@@ -133,20 +152,22 @@ RunState SimulationHarness::p_provision(const ExperimentSpec& spec,
                          world.channel.vehicle(), world.simulator->environment());
 
   if (restoring) {
-    world.simulator->load(resume->simulator);
-    world.suite->load(resume->suite);
-    world.firmware->load(resume->firmware);
+    const ExperimentSnapshot& snap = *resume.snapshot;
+    world.simulator->load(snap.simulator);
+    world.suite->load(snap.suite);
+    world.firmware->load(snap.firmware);
     // Link state after the firmware re-boot (construction sends nothing
     // over MAVLink today; the ordering keeps that a non-assumption).
-    world.channel.load(resume->channel);
-    // Now swap in the recording director, preloaded with the prefix's
-    // transition recording up to the snapshot.
-    const auto& prefix_transitions = restore_from->prefix_transitions();
+    world.channel.load(snap.channel);
+    // Now swap in the recording director, preloaded with the recording's
+    // transitions up to the snapshot (for a tree snapshot that recording
+    // already includes the ancestor chain's post-injection transitions).
+    const auto& recorded_transitions = *resume.transitions;
     director.restore(std::vector<ModeTransition>(
-                         prefix_transitions.begin(),
-                         prefix_transitions.begin() +
-                             static_cast<std::ptrdiff_t>(resume->transitions_len)),
-                     resume->current_mode, resume->last_heartbeat_ms);
+                         recorded_transitions.begin(),
+                         recorded_transitions.begin() +
+                             static_cast<std::ptrdiff_t>(snap.transitions_len)),
+                     snap.current_mode, snap.last_heartbeat_ms);
     world.server->set_director(director);
   }
 
@@ -155,17 +176,17 @@ RunState SimulationHarness::p_provision(const ExperimentSpec& spec,
       spec.workload_factory ? spec.workload_factory() : workload::make_workload(spec.workload);
   util::expects(rs.workload != nullptr, "unknown workload id");
   rs.gcs.emplace(world.channel.gcs(), world.simulator->environment().frame());
-  if (resume != nullptr) {
-    rs.workload->load(resume->workload);
-    rs.gcs->load(resume->gcs);
+  if (restoring) {
+    rs.workload->load(resume.snapshot->workload);
+    rs.gcs->load(resume.snapshot->gcs);
   }
 
   if (monitor_model != nullptr) {
     if (!world.monitor) {
       world.monitor.emplace(*monitor_model);
     }
-    if (resume != nullptr) {
-      world.monitor->restore(*monitor_model, restore_from->prefix_trace(), resume->monitor);
+    if (restoring) {
+      world.monitor->restore(*monitor_model, *resume.trace, resume.snapshot->monitor);
     } else {
       world.monitor->restart(*monitor_model);
     }
@@ -174,27 +195,30 @@ RunState SimulationHarness::p_provision(const ExperimentSpec& spec,
 
   rs.result.trace.reserve(static_cast<std::size_t>(spec.max_duration_ms / kSamplePeriodMs) + 1);
 
-  if (resume != nullptr) {
+  if (restoring) {
     // Splice the recorded prefix into the result and resume the loop state
     // exactly where the snapshot froze it.
-    const auto& prefix_trace = restore_from->prefix_trace();
-    rs.result.trace.assign(prefix_trace.begin(),
-                           prefix_trace.begin() + static_cast<std::ptrdiff_t>(resume->trace_len));
-    rs.result.workload_passed = resume->workload_passed;
-    rs.result.violation = resume->violation;
-    rs.result.resumed_from_ms = resume->time_ms;
-    rs.firmware_dead = resume->firmware_dead;
-    rs.workload_done_at = resume->workload_done_at;
-    rs.next_workload_ms = resume->next_workload_ms;
-    rs.next_sample_ms = resume->next_sample_ms;
-    rs.start_ms = resume->time_ms;
+    const ExperimentSnapshot& snap = *resume.snapshot;
+    const auto& recorded_trace = *resume.trace;
+    rs.result.trace.assign(recorded_trace.begin(),
+                           recorded_trace.begin() + static_cast<std::ptrdiff_t>(snap.trace_len));
+    rs.result.workload_passed = snap.workload_passed;
+    rs.result.violation = snap.violation;
+    rs.result.resumed_from_ms = snap.time_ms;
+    rs.result.resumed_depth = resume.depth;
+    rs.firmware_dead = snap.firmware_dead;
+    rs.workload_done_at = snap.workload_done_at;
+    rs.next_workload_ms = snap.next_workload_ms;
+    rs.next_sample_ms = snap.next_sample_ms;
+    rs.start_ms = snap.time_ms;
   }
   return rs;
 }
 
 void SimulationHarness::p_loop(const ExperimentSpec& spec, ExperimentWorld& world,
                                RecordingDirector& director, RunState& rs,
-                               CheckpointStore* capture_into) const {
+                               CheckpointStore* capture_into,
+                               TreeCapture* tree_capture) const {
   sim::Simulator& simulator = *world.simulator;
   fw::Firmware& firmware = *world.firmware;
   workload::Workload& workload = *rs.workload;
@@ -222,31 +246,72 @@ void SimulationHarness::p_loop(const ExperimentSpec& spec, ExperimentWorld& worl
                         capture_times.end());
   }
 
+  // Tree capture schedule (directed run, checkpoint trees on): planned by
+  // plan_tree_capture. A restored run starts past some of the planned
+  // times; those snapshots already exist (or were evicted) — skip them.
+  std::size_t tree_idx = 0;
+  if (tree_capture != nullptr) {
+    while (tree_idx < tree_capture->times.size() &&
+           tree_capture->times[tree_idx] < rs.start_ms) {
+      ++tree_idx;
+    }
+  }
+
+  // One snapshot assembly for both capture paths: the state saved at the
+  // top of iteration `now` must be identical whether it lands in the root
+  // store or a tree recording.
+  const auto assemble_snapshot = [&](sim::SimTimeMs now) {
+    ExperimentSnapshot snap;
+    snap.time_ms = now;
+    snap.simulator = simulator.save();
+    snap.suite = world.suite->save();
+    snap.firmware = firmware.save();
+    snap.channel = world.channel.save();
+    snap.workload = workload.save();
+    snap.gcs = gcs.save();
+    if (monitor != nullptr) snap.monitor = monitor->save();
+    snap.transitions_len = director.transitions().size();
+    snap.current_mode = director.current_mode();
+    snap.last_heartbeat_ms = director.last_heartbeat_ms();
+    snap.next_workload_ms = rs.next_workload_ms;
+    snap.next_sample_ms = rs.next_sample_ms;
+    snap.workload_done_at = rs.workload_done_at;
+    snap.workload_passed = result.workload_passed;
+    snap.firmware_dead = rs.firmware_dead;
+    snap.trace_len = result.trace.size();
+    snap.violation = result.violation;
+    return snap;
+  };
+
   for (sim::SimTimeMs now = rs.start_ms; now < spec.max_duration_ms; ++now) {
     // Checkpoint capture, at the top of the iteration so a restored run
     // re-enters the loop at exactly this point.
     if (capture_idx < capture_times.size() && now == capture_times[capture_idx]) {
       ++capture_idx;
-      ExperimentSnapshot snap;
-      snap.time_ms = now;
-      snap.simulator = simulator.save();
-      snap.suite = world.suite->save();
-      snap.firmware = firmware.save();
-      snap.channel = world.channel.save();
-      snap.workload = workload.save();
-      snap.gcs = gcs.save();
-      if (monitor != nullptr) snap.monitor = monitor->save();
-      snap.transitions_len = director.transitions().size();
-      snap.current_mode = director.current_mode();
-      snap.last_heartbeat_ms = director.last_heartbeat_ms();
-      snap.next_workload_ms = rs.next_workload_ms;
-      snap.next_sample_ms = rs.next_sample_ms;
-      snap.workload_done_at = rs.workload_done_at;
-      snap.workload_passed = result.workload_passed;
-      snap.firmware_dead = rs.firmware_dead;
-      snap.trace_len = result.trace.size();
-      snap.violation = result.violation;
-      capture_into->add(std::move(snap));
+      capture_into->add(assemble_snapshot(now));
+    }
+
+    // Tree capture, same top-of-iteration point. Stop once the recording
+    // horizon is reached: SABRE schedules children only at the first
+    // `transition_horizon` transitions after the first injection, so
+    // snapshots past that point can never be restored. The horizon check
+    // runs before the capture — a transition at exactly `now` is not yet
+    // recorded at the top of the iteration, so the snapshot a child
+    // injecting at `now` needs is still captured.
+    if (tree_capture != nullptr && !tree_capture->done &&
+        tree_idx < tree_capture->times.size() && now == tree_capture->times[tree_idx]) {
+      ++tree_idx;
+      int post_injection = 0;
+      for (auto it = director.transitions().rbegin(); it != director.transitions().rend();
+           ++it) {
+        if (it->time_ms <= tree_capture->first_injection) break;
+        ++post_injection;
+      }
+      if (post_injection >= tree_capture->transition_horizon) {
+        tree_capture->done = true;
+      } else {
+        tree_capture->snapshots.push_back(assemble_snapshot(now));
+      }
     }
 
     // Step 1: the workload runs until it yields back to the harness.

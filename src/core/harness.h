@@ -287,6 +287,16 @@ class SimulationHarness {
                                 const CheckpointConfig& config,
                                 ExperimentContext* context = nullptr) const;
 
+  // Checkpoint-tree building block: run one *directed* experiment, restoring
+  // from the deepest usable snapshot in `store` (tree or root), while
+  // recording tree snapshots on the store's cadence + at the plan's later
+  // activations; if the run stays safe, merge the captures back into the
+  // store so deeper chains can fork from them. This is the scalar form of
+  // what Checker/BatchHarness do across a campaign — tests use it to grow a
+  // tree without standing up a checker.
+  ExperimentResult run_recording(const ExperimentSpec& spec, const MonitorModel* monitor_model,
+                                 ExperimentContext* context, CheckpointStore& store) const;
+
   // Convenience: N fault-free profiling runs with distinct seeds, then
   // monitor calibration (paper: "We assume runs without sensor failures are
   // correct"). The prototype overload carries the full experiment identity
@@ -308,24 +318,30 @@ class SimulationHarness {
   friend class BatchHarness;
 
   // The one experiment loop behind run/run_with_director/record_prefix.
-  // `restore_from` resumes from the best usable snapshot (nullptr = cold);
-  // `capture_into` records cadenced snapshots while running (the prefix
-  // run). The two are mutually exclusive by construction.
+  // `restore_from` resumes from the best usable snapshot — tree or root —
+  // via CheckpointStore::resolve (nullptr = cold); `capture_into` records
+  // cadenced snapshots while running (the prefix run); `tree_capture`
+  // records tree snapshots while running a *directed* experiment (planned
+  // by plan_tree_capture; the caller merges the captures into a store if
+  // the run stays safe). capture_into and tree_capture are mutually
+  // exclusive by construction.
   ExperimentResult p_run(const ExperimentSpec& spec, hinj::FaultDirector& custom_director,
                          const MonitorModel* monitor_model, ExperimentContext* context,
                          const CheckpointStore* restore_from,
-                         CheckpointStore* capture_into) const;
+                         CheckpointStore* capture_into,
+                         TreeCapture* tree_capture = nullptr) const;
 
   // The three phases of p_run, split out so the batch engine can run them
-  // per lane: provision the world (cold, or restored from `resume`, which
-  // must come from `restore_from`), run the step loop from rs.start_ms, and
-  // finalize the result. p_loop/p_finalize assume p_provision's wiring.
+  // per lane: provision the world (cold, or restored from `resume`, whose
+  // pointers must stay valid through the call), run the step loop from
+  // rs.start_ms, and finalize the result. p_loop/p_finalize assume
+  // p_provision's wiring.
   RunState p_provision(const ExperimentSpec& spec, RecordingDirector& director,
                        const MonitorModel* monitor_model, ExperimentWorld& world,
-                       const CheckpointStore* restore_from,
-                       const ExperimentSnapshot* resume) const;
+                       const CheckpointResume& resume) const;
   void p_loop(const ExperimentSpec& spec, ExperimentWorld& world, RecordingDirector& director,
-              RunState& rs, CheckpointStore* capture_into) const;
+              RunState& rs, CheckpointStore* capture_into,
+              TreeCapture* tree_capture = nullptr) const;
   ExperimentResult p_finalize(const ExperimentSpec& spec, ExperimentWorld& world,
                               RecordingDirector& director, RunState& rs) const;
 

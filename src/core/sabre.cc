@@ -240,6 +240,18 @@ std::optional<FaultPlan> SabreScheduler::next(BudgetClock& budget) {
         const QueueEntry entry = augmented_queue_.front();
         augmented_queue_.pop_front();
         p_expand_primary(entry);
+        // Plan-aware scheduling (checkpoint trees): a parent's follow-up
+        // entries are adjacent in the lane and share its base plan, whose
+        // recording both expansions would restore from. Expanding them into
+        // the same wave groups the chain extensions together while the
+        // parent recording is freshest; the entries are feedback-complete
+        // (their shared parent already ran), so wave semantics are intact.
+        while (!augmented_queue_.empty() &&
+               augmented_queue_.front().base.signature() == entry.base.signature()) {
+          const QueueEntry sibling = augmented_queue_.front();
+          augmented_queue_.pop_front();
+          p_expand_primary(sibling);
+        }
       } else {
         ++primary_since_augmented_;
         const QueueEntry entry = queue_.front();

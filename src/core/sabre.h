@@ -74,6 +74,11 @@ class SabreScheduler final : public InjectionStrategy {
   // plan sequence identical to serial execution.
   std::vector<FaultPlan> next_batch(BudgetClock& budget, int max_plans) override;
   void feedback(const FaultPlan& plan, const ExperimentResult& result) override;
+  // Checkpoint-tree recording contract: the augmented frontier extends
+  // bug-free plans by one event at a time, and feedback() caps the lane at
+  // plan.size() >= 2, so only size-1 plans ever grow — recording singleton
+  // runs captures every possible parent.
+  int chain_extension_limit() const override { return 1; }
   const char* name() const override { return "Avis (SABRE)"; }
 
   // Statistics for the ablation benches.

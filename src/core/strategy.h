@@ -45,6 +45,20 @@ class InjectionStrategy {
   // Result of simulating the proposed plan.
   virtual void feedback(const FaultPlan& plan, const ExperimentResult& result) = 0;
 
+  // Plan-aware scheduling contract (checkpoint trees, core/checkpoint.h):
+  // the checker records directed runs whose plans this strategy may later
+  // extend into longer chains, so descendants fork from the recorded faulty
+  // prefix instead of re-simulating it. A strategy that extends chains
+  // must return the maximum number of events a recorded plan can grow by
+  // (the checker records plans with size in [1, limit]); 0 = this strategy
+  // never extends a submitted plan, record nothing. Implied ordering
+  // contract on next()/next_batch(): a chain's parent is proposed in an
+  // earlier wave than its children (feedback-driven strategies get this for
+  // free), and plans sharing a signature prefix should be grouped into the
+  // same wave so their shared parent recording is still resident when they
+  // resolve.
+  virtual int chain_extension_limit() const { return 0; }
+
   virtual const char* name() const = 0;
 };
 

@@ -35,6 +35,13 @@ Firmware::Firmware(FirmwareConfig config, SensorBus& bus, hinj::Client& hinj_cli
       env_(&env),
       estimator_(config_, bus),
       cascade_(config_.gains) {
+  // The enabled-set and personality are fixed for the life of the firmware;
+  // fold both into a flat mask so the per-step bug hooks pay an array load
+  // instead of a hash probe.
+  for (BugId id : kAllBugs) {
+    bug_armed_mask_[static_cast<std::size_t>(id)] =
+        config_.bugs.enabled(id) && bug_info(id).personality == config_.personality;
+  }
   // Report the boot mode so the engine's mode trace starts at t=0.
   hinj_->update_mode(composite_mode().id(), composite_mode().name(), 0);
 }
@@ -658,8 +665,7 @@ sim::SimTimeMs Firmware::p_primary_death_time(sensors::SensorType t) const {
 }
 
 bool Firmware::p_bug_armed(BugId id) const {
-  return config_.bugs.enabled(id) && bug_info(id).personality == config_.personality &&
-         !p_fired(id);
+  return bug_armed_mask_[static_cast<std::size_t>(id)] && !p_fired(id);
 }
 
 void Firmware::p_fire(BugId id, sim::SimTimeMs now, const char* note) {

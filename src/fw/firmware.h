@@ -198,6 +198,7 @@ class Firmware {
   bool position_valid_ = true;
 
   // Seeded-bug runtime.
+  std::array<bool, 15> bug_armed_mask_{};  // enabled && personality match, fixed at boot
   std::array<BugState, 15> bug_state_{};
   std::vector<BugId> fired_bugs_;
 

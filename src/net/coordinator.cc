@@ -298,6 +298,7 @@ core::CampaignResult CampaignCoordinator::run() {
       assign.deadline_ms = deadline;
       assign.label = grid_[static_cast<std::size_t>(pick)].label;
       assign.scenario = grid_[static_cast<std::size_t>(pick)].scenario;
+      assign.checkpoints = options_.checkpoints;
       log(cell_name(static_cast<std::size_t>(pick)) + " -> " + w->id + " (attempt " +
           std::to_string(cell.attempts) + ", deadline " + std::to_string(deadline) + " ms)");
       try {

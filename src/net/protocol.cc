@@ -28,7 +28,13 @@ std::string p_encode_assign(const AssignCell& m) {
   std::ostringstream os;
   os << "{\n  \"type\": \"assign_cell\",\n  \"cell\": " << m.cell
      << ",\n  \"attempt\": " << m.attempt << ",\n  \"deadline_ms\": " << m.deadline_ms
-     << ",\n  \"label\": \"" << util::json_escape(m.label) << "\",\n  \"scenario\": "
+     << ",\n  \"label\": \"" << util::json_escape(m.label)
+     << "\",\n  \"checkpoints\": {\"enabled\": " << (m.checkpoints.enabled ? "true" : "false")
+     << ", \"trees\": " << (m.checkpoints.trees ? "true" : "false")
+     << ", \"interval_ms\": " << m.checkpoints.interval_ms
+     << ", \"tree_transition_horizon\": " << m.checkpoints.tree_transition_horizon
+     << ", \"byte_budget\": " << m.checkpoints.byte_budget
+     << "},\n  \"scenario\": "
      << m.scenario.to_json(2).substr(2)  // strip the leading pad: key supplies it
      << "\n}";
   return os.str();
@@ -68,6 +74,14 @@ AssignCell p_decode_assign(const util::Json& json) {
   m.attempt = static_cast<int>(json.get_int64("attempt", 1));
   m.deadline_ms = json.get_int64("deadline_ms", 0);
   m.label = json.get_string("label", "");
+  const util::Json& cp = json.at("checkpoints");
+  m.checkpoints.enabled = cp.at("enabled").as_bool();
+  m.checkpoints.trees = cp.at("trees").as_bool();
+  m.checkpoints.interval_ms = cp.at("interval_ms").as_int64();
+  m.checkpoints.tree_transition_horizon =
+      static_cast<int>(cp.at("tree_transition_horizon").as_int64());
+  m.checkpoints.byte_budget =
+      static_cast<std::size_t>(cp.at("byte_budget").as_int64());
   m.scenario = core::ScenarioSpec::from_json(json.at("scenario"));
   return m;
 }

@@ -29,7 +29,12 @@
 namespace avis::net {
 
 // Bumped on any frame-shape change. Mismatch => refuse to pair.
-inline constexpr int kProtocolVersion = 1;
+// v2: AssignCell carries the campaign's checkpoint configuration so worker
+// cells run with the coordinator's knobs (--no-checkpoints,
+// --no-checkpoint-trees, --checkpoint-budget-mb) instead of local defaults,
+// and CellReport's CheckerReport gained checkpoint_hits_by_level /
+// checkpoint_tree_evicted / stalled_runs.
+inline constexpr int kProtocolVersion = 2;
 // Human-readable build identity, shown by --version and carried in Hello.
 inline constexpr const char* kBuildVersion = "avis-campaign 0.6";
 
@@ -56,6 +61,11 @@ struct AssignCell {
   std::int64_t deadline_ms = 0;  // wall-clock budget the coordinator enforces
   std::string label;             // display label override, usually empty
   core::ScenarioSpec scenario;
+  // The coordinator's checkpoint knobs. Reports are bit-identical with or
+  // without checkpoints, but the campaign JSON echoes the configuration, so
+  // a worker running different knobs than the coordinator would produce a
+  // report that lies about how it was computed.
+  core::CheckpointConfig checkpoints;
 };
 
 struct CellReport {

@@ -34,11 +34,12 @@ struct WorkerOptions {
   int reconnect_attempts = 10;
   int reconnect_delay_ms = 500;
 
-  // Cell execution pool width and checkpoint config (local choices; the
-  // report is bit-identical regardless).
+  // Cell execution pool width (a local choice; the report is bit-identical
+  // regardless). Checkpoint configuration is NOT a local choice: it arrives
+  // with each AssignCell frame so every cell runs — and its report echoes —
+  // the coordinator's knobs.
   int experiment_workers = 0;  // 0 = util::default_worker_count()
   int batch_width = 0;         // lockstep simulation width; 0 = auto
-  core::CheckpointConfig checkpoints;
 
   std::ostream* log = nullptr;
 };

@@ -70,6 +70,10 @@ TEST(RngSnapshot, MidStreamSaveLoadPreservesTheMarsagliaSpare) {
   }
 }
 
+// best_for is a binary search (std::upper_bound) over the time-sorted
+// snapshot list; the boundary cases pin the off-by-one surface: exact-time
+// hits on the first / a middle / the last snapshot, an injection strictly
+// before the first snapshot, and one after the last.
 TEST(Checkpoint, FirstInjectionPicksTheLatestUsableSnapshot) {
   CheckpointConfig config;
   config.interval_ms = 5000;
@@ -81,10 +85,27 @@ TEST(Checkpoint, FirstInjectionPicksTheLatestUsableSnapshot) {
     store.add(std::move(snap));
   }
   store.finish(ExperimentResult{});
+  EXPECT_EQ(store.best_for(0), nullptr);     // injects at t=0: nothing usable
   EXPECT_EQ(store.best_for(4999), nullptr);  // injects before the first snapshot
-  EXPECT_EQ(store.best_for(5000)->time_ms, 5000);
+  EXPECT_EQ(store.best_for(5000)->time_ms, 5000);    // exact hit, first
+  EXPECT_EQ(store.best_for(5001)->time_ms, 5000);    // just past the first
+  EXPECT_EQ(store.best_for(10000)->time_ms, 10000);  // exact hit, middle
   EXPECT_EQ(store.best_for(12000)->time_ms, 10000);
+  EXPECT_EQ(store.best_for(15000)->time_ms, 15000);  // exact hit, last
+  EXPECT_EQ(store.best_for(99999)->time_ms, 15000);  // after the last
   EXPECT_EQ(store.best_for(FaultPlan::kNever)->time_ms, 15000);  // empty plan
+}
+
+TEST(Checkpoint, BestForHandlesASingleSnapshotStore) {
+  CheckpointStore store{CheckpointConfig{}};
+  store.begin(ExperimentSpec{}, false);
+  ExperimentSnapshot snap;
+  snap.time_ms = 7000;
+  store.add(std::move(snap));
+  store.finish(ExperimentResult{});
+  EXPECT_EQ(store.best_for(6999), nullptr);
+  EXPECT_EQ(store.best_for(7000)->time_ms, 7000);
+  EXPECT_EQ(store.best_for(7001)->time_ms, 7000);
 }
 
 // The headline contract: restore-vs-fresh parity across the full registry
@@ -226,9 +247,10 @@ TEST(Checkpoint, ByteBudgetEvictsToCoarserCadenceWithoutBreakingParity) {
 }
 
 // Checker-level: a checkpointed campaign reports the same experiments,
-// budget charges and unsafe records as one with checkpointing off — the
-// counters are the only new information.
-TEST(Checkpoint, CheckerCampaignIsReportIdenticalWithCheckpointingOnOrOff) {
+// budget charges, unsafe records and stalled-run count as one with trees
+// disabled or checkpointing off entirely — the checkpoint counters are the
+// only fields allowed to differ across the three modes.
+TEST(Checkpoint, CheckerCampaignIsReportIdenticalAcrossCheckpointModes) {
   constexpr sim::SimTimeMs kBudgetMs = 600 * 1000;
   const auto suite = SimulationHarness::iris_suite();
 
@@ -237,6 +259,19 @@ TEST(Checkpoint, CheckerCampaignIsReportIdenticalWithCheckpointingOnOrOff) {
   prototype.workload = workload::WorkloadId::kAuto;
   prototype.seed = 100;
 
+  // Blanks a report's checkpoint accounting; everything else must then
+  // match the cold run bit for bit. stalled_runs is deliberately NOT
+  // blanked — it is derived from results, not from checkpoint state.
+  const auto normalized = [](CheckerReport report) {
+    report.checkpoint_hits = 0;
+    report.checkpoint_misses = 0;
+    report.checkpoint_hits_by_level.clear();
+    report.checkpoint_evicted = 0;
+    report.checkpoint_tree_evicted = 0;
+    report.checkpoint_skipped_ms = 0;
+    return report;
+  };
+
   CheckpointConfig off;
   off.enabled = false;
   Checker cold_checker(prototype, off);
@@ -244,22 +279,43 @@ TEST(Checkpoint, CheckerCampaignIsReportIdenticalWithCheckpointingOnOrOff) {
   BudgetClock cold_budget(kBudgetMs);
   const CheckerReport cold = cold_checker.run(cold_strategy, cold_budget);
   EXPECT_EQ(cold.checkpoint_hits + cold.checkpoint_misses, 0);
+  EXPECT_TRUE(cold.checkpoint_hits_by_level.empty());
 
-  Checker warm_checker(prototype);  // checkpointing on by default
+  CheckpointConfig root_only;
+  root_only.trees = false;
+  Checker root_checker(prototype, root_only);
+  SabreScheduler root_strategy(suite, root_checker.model().golden_transitions());
+  BudgetClock root_budget(kBudgetMs);
+  const CheckerReport root = root_checker.run(root_strategy, root_budget);
+  EXPECT_GT(root.checkpoint_hits, 0);
+  // Trees off: every hit restores the fault-free root (level 0).
+  for (std::size_t level = 1; level < root.checkpoint_hits_by_level.size(); ++level) {
+    EXPECT_EQ(root.checkpoint_hits_by_level[level], 0) << "level " << level;
+  }
+  EXPECT_EQ(root.checkpoint_tree_evicted, 0);
+
+  Checker warm_checker(prototype);  // checkpointing + trees on by default
   SabreScheduler warm_strategy(suite, warm_checker.model().golden_transitions());
   BudgetClock warm_budget(kBudgetMs);
   const CheckerReport warm = warm_checker.run(warm_strategy, warm_budget);
   EXPECT_GT(warm.checkpoint_hits, 0);
   EXPECT_GT(warm.checkpoint_skipped_ms, 0);
   EXPECT_EQ(warm.checkpoint_hits + warm.checkpoint_misses, warm.experiments);
+  // The per-level split sums to the headline hit counter.
+  int by_level_total = 0;
+  for (int hits : warm.checkpoint_hits_by_level) by_level_total += hits;
+  EXPECT_EQ(by_level_total, warm.checkpoint_hits);
+  // The chain-heavy SABRE grid must actually exercise the tree: at least
+  // one hit restored a faulty-prefix snapshot (level >= 1).
+  ASSERT_GE(warm.checkpoint_hits_by_level.size(), 2u);
+  int tree_hits = 0;
+  for (std::size_t level = 1; level < warm.checkpoint_hits_by_level.size(); ++level) {
+    tree_hits += warm.checkpoint_hits_by_level[level];
+  }
+  EXPECT_GT(tree_hits, 0);
 
-  // Everything but the checkpoint accounting must match bit for bit.
-  CheckerReport normalized = warm;
-  normalized.checkpoint_hits = cold.checkpoint_hits;
-  normalized.checkpoint_misses = cold.checkpoint_misses;
-  normalized.checkpoint_evicted = cold.checkpoint_evicted;
-  normalized.checkpoint_skipped_ms = cold.checkpoint_skipped_ms;
-  avis::testing::expect_reports_equal(cold, normalized);
+  avis::testing::expect_reports_equal(normalized(cold), normalized(root));
+  avis::testing::expect_reports_equal(normalized(cold), normalized(warm));
 }
 
 // The context pool's free list is capped at its high-water concurrent-

@@ -394,6 +394,11 @@ TEST(Distributed, ProtocolRoundTripsMessages) {
   assign.scenario.workload = "box-manual";
   assign.scenario.budget_ms = 20000;
   assign.scenario.seed = 100;
+  assign.checkpoints.enabled = true;
+  assign.checkpoints.trees = false;
+  assign.checkpoints.interval_ms = 2500;
+  assign.checkpoints.tree_transition_horizon = 3;
+  assign.checkpoints.byte_budget = 48u * 1024 * 1024;
   const net::Message decoded = net::decode(net::encode(net::Message{assign}));
   const net::AssignCell* round = std::get_if<net::AssignCell>(&decoded);
   ASSERT_NE(round, nullptr);
@@ -403,6 +408,11 @@ TEST(Distributed, ProtocolRoundTripsMessages) {
   EXPECT_EQ(round->label, "Avis");
   EXPECT_EQ(round->scenario.approach, "avis");
   EXPECT_EQ(round->scenario.budget_ms, 20000);
+  EXPECT_TRUE(round->checkpoints.enabled);
+  EXPECT_FALSE(round->checkpoints.trees);
+  EXPECT_EQ(round->checkpoints.interval_ms, 2500);
+  EXPECT_EQ(round->checkpoints.tree_transition_horizon, 3);
+  EXPECT_EQ(round->checkpoints.byte_budget, 48u * 1024 * 1024);
 
   net::CellReport failure;
   failure.cell = 7;

@@ -57,8 +57,11 @@ inline void expect_reports_equal(const core::CheckerReport& serial,
   // it is part of the determinism contract too.
   EXPECT_EQ(serial.checkpoint_hits, parallel.checkpoint_hits);
   EXPECT_EQ(serial.checkpoint_misses, parallel.checkpoint_misses);
+  EXPECT_EQ(serial.checkpoint_hits_by_level, parallel.checkpoint_hits_by_level);
   EXPECT_EQ(serial.checkpoint_evicted, parallel.checkpoint_evicted);
+  EXPECT_EQ(serial.checkpoint_tree_evicted, parallel.checkpoint_tree_evicted);
   EXPECT_EQ(serial.checkpoint_skipped_ms, parallel.checkpoint_skipped_ms);
+  EXPECT_EQ(serial.stalled_runs, parallel.stalled_runs);
   ASSERT_EQ(serial.unsafe.size(), parallel.unsafe.size());
   for (std::size_t i = 0; i < serial.unsafe.size(); ++i) {
     const core::UnsafeRecord& a = serial.unsafe[i];
@@ -103,7 +106,9 @@ inline void expect_campaign_results_equal(const core::CampaignResult& expected,
   EXPECT_EQ(expected.total_checkpoint_hits(), actual.total_checkpoint_hits());
   EXPECT_EQ(expected.total_checkpoint_misses(), actual.total_checkpoint_misses());
   EXPECT_EQ(expected.total_checkpoint_evicted(), actual.total_checkpoint_evicted());
+  EXPECT_EQ(expected.total_checkpoint_tree_evicted(), actual.total_checkpoint_tree_evicted());
   EXPECT_EQ(expected.total_checkpoint_skipped_ms(), actual.total_checkpoint_skipped_ms());
+  EXPECT_EQ(expected.total_stalled_runs(), actual.total_stalled_runs());
 }
 
 // Time of the first transition whose mode name matches, from the golden run.

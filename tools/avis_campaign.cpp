@@ -141,7 +141,12 @@ int usage(const char* argv0) {
       << "                           (default: auto; reports are identical at any width)\n"
       << "  --no-checkpoints         disable checkpointed prefix forking (A/B timing;\n"
       << "                           reports are bit-identical either way)\n"
+      << "  --no-checkpoint-trees    keep the fault-free root but disable faulty-prefix\n"
+      << "                           snapshots (A/B timing; reports identical modulo\n"
+      << "                           checkpoint counters)\n"
       << "  --checkpoint-interval-ms N  snapshot cadence for the prefix run (default 1000)\n"
+      << "  --checkpoint-budget-mb N retained snapshot budget, root + tree combined\n"
+      << "                           (default 64)\n"
       << "  --out FILE               write the JSON report to FILE ('-' = stdout)\n"
       << "  --list                   print every registry (names + descriptions) and exit\n"
       << "  --quiet                  suppress the text table (and coordinator/worker logs)\n"
@@ -264,6 +269,16 @@ int main(int argc, char** argv) {
       options.out = v;
     } else if (arg == "--no-checkpoints") {
       options.checkpoints.enabled = false;
+    } else if (arg == "--no-checkpoint-trees") {
+      options.checkpoints.trees = false;
+    } else if (arg == "--checkpoint-budget-mb") {
+      if (!number(n)) return usage(argv[0]);
+      if (n <= 0) {
+        std::cerr << "--checkpoint-budget-mb must be positive (got " << n << ")\n";
+        return usage(argv[0]);
+      }
+      options.checkpoints.byte_budget =
+          static_cast<std::size_t>(n) * std::size_t{1024} * std::size_t{1024};
     } else if (arg == "--checkpoint-interval-ms") {
       if (!number(n)) return usage(argv[0]);
       if (n <= 0) {
@@ -356,7 +371,6 @@ int main(int argc, char** argv) {
     worker_options.worker_id = options.worker_id;
     worker_options.experiment_workers = options.experiment_workers;
     worker_options.batch_width = options.batch_width;
-    worker_options.checkpoints = options.checkpoints;
     if (!options.quiet) worker_options.log = &std::cerr;
     try {
       return net::run_worker(worker_options) ? 0 : 1;
