@@ -5,6 +5,7 @@
 
 #include "core/checker.h"
 #include "core/sabre.h"
+#include "fuzz/fuzzer.h"
 #include "fw/estimator_batch.h"
 #include "fw/firmware.h"
 #include "sensors/suite_batch.h"
@@ -255,5 +256,28 @@ static void BM_CheckpointTree(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 3);
 }
 BENCHMARK(BM_CheckpointTree)->Arg(8)->Arg(64);
+
+// One fuzz generation end to end (docs/FUZZING.md): seed evaluation plus one
+// round of mutate -> evaluate -> admit over a single-cell grid. Dominated by
+// the mutant simulations; the gate catches regressions in the fuzz loop's
+// bookkeeping and in the campaign path it drives.
+static void BM_FuzzGeneration(benchmark::State& state) {
+  core::ScenarioGrid grid;
+  grid.approaches = {"avis"};
+  grid.personalities = {"ardupilot"};
+  grid.workloads = {"box-manual"};
+  grid.environments = {"calm"};
+  grid.budget_ms = 15000;
+  fuzz::FuzzOptions options;
+  options.generations = 1;
+  options.mutants_per_generation = 4;
+  options.seed = 21;
+  options.campaign.total_workers = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuzz::run_fuzz(grid, options));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 + options.mutants_per_generation));
+}
+BENCHMARK(BM_FuzzGeneration)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -17,18 +17,28 @@ namespace avis::baselines {
 
 class RandomInjection final : public core::InjectionStrategy {
  public:
+  // The optional window/type-mask arguments enforce FaultPlanConstraints
+  // (core/scenario.h): timestamps are drawn uniformly from the clamped
+  // window [window_start_ms, min(window_end_ms, duration)) (end 0 =
+  // unbounded) and failure sets only from allowed sensor types. The
+  // defaults reproduce the historical draw sequence bit for bit.
   RandomInjection(sensors::SuiteConfig suite, sim::SimTimeMs mission_duration_ms,
-                  std::uint64_t seed)
+                  std::uint64_t seed, sim::SimTimeMs window_start_ms = 0,
+                  sim::SimTimeMs window_end_ms = 0,
+                  std::uint32_t allowed_type_mask = 0xffffffffu)
       : suite_(suite), duration_ms_(mission_duration_ms), rng_(seed) {
     for (sensors::SensorType t : sensors::kAllSensorTypes) {
+      if ((allowed_type_mask & (std::uint32_t{1} << static_cast<unsigned>(t))) == 0) continue;
       for (int i = 0; i < suite_.count(t); ++i) {
         all_ids_.push_back({t, static_cast<std::uint8_t>(i)});
       }
     }
+    window_hi_ = window_end_ms > 0 ? std::min(window_end_ms, duration_ms_) : duration_ms_;
+    window_lo_ = std::min(window_start_ms, window_hi_ > 0 ? window_hi_ - 1 : 0);
   }
 
   std::optional<core::FaultPlan> next(core::BudgetClock& budget) override {
-    if (budget.exhausted()) return std::nullopt;
+    if (budget.exhausted() || all_ids_.empty()) return std::nullopt;
     for (int attempt = 0; attempt < 64; ++attempt) {
       core::FaultPlan plan;
       // Mostly single failures, sometimes multi — a geometric size pick.
@@ -40,7 +50,9 @@ class RandomInjection final : public core::InjectionStrategy {
       }
       for (std::size_t index : chosen) {
         const auto t = static_cast<sim::SimTimeMs>(
-            rng_.next_below(static_cast<std::uint64_t>(duration_ms_)));
+            window_lo_ +
+            static_cast<sim::SimTimeMs>(
+                rng_.next_below(static_cast<std::uint64_t>(window_hi_ - window_lo_))));
         plan.add(t, all_ids_[index]);
       }
       if (explored_.insert(plan.signature()).second) return plan;
@@ -54,6 +66,8 @@ class RandomInjection final : public core::InjectionStrategy {
  private:
   sensors::SuiteConfig suite_;
   sim::SimTimeMs duration_ms_;
+  sim::SimTimeMs window_lo_ = 0;
+  sim::SimTimeMs window_hi_ = 0;
   util::Rng rng_;
   std::vector<sensors::SensorId> all_ids_;
   std::unordered_set<std::string> explored_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <limits>
 #include <sstream>
 
 #include "util/checked.h"
@@ -111,6 +112,23 @@ CampaignResult CampaignRunner::run(const std::vector<CampaignCellSpec>& grid) co
   return result;
 }
 
+namespace {
+
+// {"12->34@w3": 2, ...} — one line, deterministic (CoverageMap iterates in
+// key order).
+void p_append_coverage_object(std::ostream& os, const CoverageMap& coverage) {
+  os << "{";
+  bool first = true;
+  for (const auto& [key, count] : coverage) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << coverage_key_string(key) << "\": " << count;
+  }
+  os << "}";
+}
+
+}  // namespace
+
 std::string campaign_report_json(const CampaignResult& result) {
   std::ostringstream os;
   os.precision(6);
@@ -133,6 +151,15 @@ std::string campaign_report_json(const CampaignResult& result) {
   os << "    \"wall_seconds\": " << result.wall_seconds << ",\n";
   os << "    \"total_experiments\": " << result.total_experiments() << ",\n";
   os << "    \"stalled_runs\": " << result.total_stalled_runs() << ",\n";
+  // Campaign-wide edge-coverage union (core/coverage.h). Derived from
+  // transitions, so — unlike the checkpoint block below — it is part of the
+  // report-identity contract across worker counts and checkpoint modes, and
+  // the fuzzer's "does this mutant reach anything new" reference.
+  const CoverageMap coverage_union = result.coverage_union();
+  os << "    \"edge_coverage_keys\": " << coverage_union.size() << ",\n";
+  os << "    \"edge_coverage\": ";
+  p_append_coverage_object(os, coverage_union);
+  os << ",\n";
   // Campaign-wide checkpoint totals: the merge path (distributed runs) must
   // reproduce the single-process sums exactly, so they are part of the
   // report-identity contract rather than derived downstream.
@@ -180,6 +207,10 @@ std::string campaign_report_json(const CampaignResult& result) {
     os << "},\n";
     // Checkpointed prefix forking: the bench-trajectory consumer should see
     // the hit rate and skipped sim time, not just wall time.
+    os << "      \"edge_coverage_keys\": " << report.edge_coverage.size() << ",\n";
+    os << "      \"edge_coverage\": ";
+    p_append_coverage_object(os, report.edge_coverage);
+    os << ",\n";
     os << "      \"checkpoint_hits\": " << report.checkpoint_hits << ",\n";
     os << "      \"checkpoint_misses\": " << report.checkpoint_misses << ",\n";
     os << "      \"checkpoint_hit_rate\": " << report.checkpoint_hit_rate() << ",\n";
@@ -273,6 +304,17 @@ std::string checker_report_json(const CheckerReport& report, int indent) {
   os << pad << "  \"checkpoint_tree_evicted\": " << report.checkpoint_tree_evicted << ",\n";
   os << pad << "  \"checkpoint_skipped_ms\": " << report.checkpoint_skipped_ms << ",\n";
   os << pad << "  \"stalled_runs\": " << report.stalled_runs << ",\n";
+  os << pad << "  \"edge_coverage\": [";
+  {
+    bool first = true;
+    for (const auto& [key, count] : report.edge_coverage) {
+      if (!first) os << ", ";
+      first = false;
+      os << "{\"from\": " << key.from_mode << ", \"to\": " << key.to_mode
+         << ", \"window\": " << key.window << ", \"count\": " << count << "}";
+    }
+  }
+  os << "],\n";
   os << pad << "  \"bug_first_found\": [";
   bool first = true;
   for (const auto& [bug, index] : report.bug_first_found) {
@@ -336,6 +378,18 @@ CheckerReport checker_report_from_json(const util::Json& json) {
       static_cast<int>(json.at("checkpoint_tree_evicted").as_int64());
   report.checkpoint_skipped_ms = json.at("checkpoint_skipped_ms").as_int64();
   report.stalled_runs = static_cast<int>(json.at("stalled_runs").as_int64());
+  for (const util::Json& entry : json.at("edge_coverage").as_array()) {
+    CoverageKey key;
+    key.from_mode =
+        static_cast<std::uint16_t>(p_wire_int(entry.at("from"), 0, 0xffff, "mode id"));
+    key.to_mode = static_cast<std::uint16_t>(p_wire_int(entry.at("to"), 0, 0xffff, "mode id"));
+    key.window = static_cast<std::int32_t>(
+        p_wire_int(entry.at("window"), -1, std::numeric_limits<std::int32_t>::max(),
+                   "coverage window"));
+    report.edge_coverage[key] =
+        static_cast<int>(p_wire_int(entry.at("count"), 0, std::numeric_limits<int>::max(),
+                                    "coverage count"));
+  }
   for (const util::Json& entry : json.at("bug_first_found").as_array()) {
     report.bug_first_found[p_bug_from_wire(entry.at("bug"))] =
         static_cast<int>(entry.at("experiment").as_int64());

@@ -130,6 +130,16 @@ struct CampaignResult {
     for (const auto& cell : cells) total += cell.report.stalled_runs;
     return total;
   }
+
+  // Campaign-wide (mode-graph edge x injection-window) coverage union, counts
+  // summed over cells in grid order (core/coverage.h). Deterministic like the
+  // per-cell maps it merges, so the distributed merge path must reproduce it
+  // exactly; the report header carries its key count.
+  CoverageMap coverage_union() const {
+    CoverageMap unioned;
+    for (const auto& cell : cells) merge_coverage(unioned, cell.report.edge_coverage);
+    return unioned;
+  }
 };
 
 // One cell, end to end, on the calling thread (plus the cell's experiment

@@ -13,6 +13,7 @@
 
 #include "core/batch_harness.h"
 #include "core/budget.h"
+#include "core/coverage.h"
 #include "core/harness.h"
 #include "core/invariant_monitor.h"
 #include "core/strategy.h"
@@ -37,6 +38,14 @@ struct CheckerReport {
   std::vector<UnsafeRecord> unsafe;
   // Simulation count at which each seeded bug first manifested.
   std::map<fw::BugId, int> bug_first_found;
+
+  // Mode-graph edge coverage over every applied experiment, keyed by
+  // (edge, injection-window bucket) — see core/coverage.h. Derived from the
+  // applied-result sequence like bug_first_found, and from transitions that
+  // are bit-identical across worker counts, batch widths and checkpoint
+  // modes, so it is part of report identity (NOT masked the way the
+  // checkpoint_* counters are).
+  CoverageMap edge_coverage;
 
   // Checkpointed prefix forking observability (docs/PERFORMANCE.md): how
   // many experiments restored a recorded prefix snapshot (hit) vs simulated
@@ -395,6 +404,9 @@ class Checker {
                std::vector<ExperimentSnapshot>* captured, std::vector<PendingMerge>* deferred) {
     budget.charge_experiment(result.duration_ms);
     ++report.experiments;
+    // Before the moves below: unsafe runs donate their transitions to the
+    // UnsafeRecord and bug-free captured runs to the tree merge.
+    accumulate_run_coverage(report.edge_coverage, plan, result.transitions);
     if (result.resumed_from_ms > 0) {
       ++report.checkpoint_hits;
       report.checkpoint_skipped_ms += result.resumed_from_ms;

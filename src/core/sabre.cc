@@ -115,7 +115,9 @@ void SabreScheduler::p_emit(sim::SimTimeMs timestamp, const FaultPlan& base,
 }
 
 void SabreScheduler::p_expand_primary(const QueueEntry& entry) {
-  if (entry.timestamp >= 0) {
+  // Out-of-window timestamps emit nothing but still crawl (below): an offset
+  // walk that started outside the constraint window may step into it.
+  if (entry.timestamp >= 0 && p_in_window(entry.timestamp)) {
     if (config_.full_powerset_batches) {
       // Fig. 5 / Algorithm-1-as-printed mode: the whole power set at this
       // timestamp, in size order.
@@ -124,6 +126,7 @@ void SabreScheduler::p_expand_primary(const QueueEntry& entry) {
         const auto sets = config_.symmetry_pruning ? canonical_sets_of_size(suite_, size)
                                                    : all_instance_sets_of_size(suite_, size);
         for (const auto& set : sets) {
+          if (!p_set_allowed(set)) continue;
           if (!p_can_prune(entry.timestamp, set, entry.base)) {
             p_emit(entry.timestamp, entry.base, set);
           }
@@ -135,6 +138,7 @@ void SabreScheduler::p_expand_primary(const QueueEntry& entry) {
       const auto sets = config_.symmetry_pruning ? canonical_sets_of_size(suite_, 1)
                                                  : all_instance_sets_of_size(suite_, 1);
       for (const auto& set : sets) {
+        if (!p_set_allowed(set)) continue;
         if (!p_can_prune(entry.timestamp, set, entry.base)) {
           p_emit(entry.timestamp, entry.base, set);
         }
@@ -179,6 +183,7 @@ void SabreScheduler::p_expand_pairs(PairEntry entry) {
   int emitted = 0;
   while (entry.cursor < sets.size() && emitted < config_.pair_chunk) {
     const auto& set = sets[entry.cursor++];
+    if (!p_set_allowed(set)) continue;
     if (!p_can_prune(entry.timestamp, set, entry.base)) {
       p_emit(entry.timestamp, entry.base, set);
       ++emitted;

@@ -30,6 +30,7 @@
 // reproduces the printed algorithm's order exactly.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <set>
@@ -59,6 +60,20 @@ struct SabreConfig {
                                         // completes within the 2 h budget
   bool full_powerset_batches = false;   // Fig. 5 mode: whole power set per dequeue
   int max_plan_events = 3;              // total concurrent failures per plan
+
+  // Injection-window restriction (FaultPlanConstraints): scenarios are only
+  // emitted at timestamps t >= window_start_ms and (when window_end_ms > 0)
+  // t <= window_end_ms. The queue still crawls through out-of-window
+  // timestamps — an offset walk may re-enter the window — it just emits
+  // nothing there. Defaults leave the schedule untouched.
+  sim::SimTimeMs window_start_ms = 0;
+  sim::SimTimeMs window_end_ms = 0;  // 0 = unbounded
+
+  // Sensor types the scheduler may fail, bit i = sensors::SensorType i
+  // (core::fault_type_mask builds this from constraint names). Failure sets
+  // containing a disallowed type are excluded from the enumeration — not
+  // counted as pruned, they were never part of the search space.
+  std::uint32_t allowed_type_mask = 0xffffffffu;
 };
 
 class SabreScheduler final : public InjectionStrategy {
@@ -102,6 +117,19 @@ class SabreScheduler final : public InjectionStrategy {
 
   void p_expand_primary(const QueueEntry& entry);
   void p_expand_pairs(PairEntry entry);
+  bool p_in_window(sim::SimTimeMs timestamp) const {
+    return timestamp >= config_.window_start_ms &&
+           (config_.window_end_ms <= 0 || timestamp <= config_.window_end_ms);
+  }
+  bool p_set_allowed(const std::vector<sensors::SensorId>& set) const {
+    for (const auto& id : set) {
+      if ((config_.allowed_type_mask &
+           (std::uint32_t{1} << static_cast<unsigned>(id.type))) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
   std::optional<FaultPlan> p_pop_batch();
   void p_emit(sim::SimTimeMs timestamp, const FaultPlan& base,
               const std::vector<sensors::SensorId>& set);

@@ -25,7 +25,30 @@ constexpr const char* kGridKeys[] = {"approaches",  "personalities", "workloads"
                                      "environments", "bugs",         "budget_ms",
                                      "seed",         "strategy_seed", "constraints",
                                      "scenarios"};
-constexpr const char* kConstraintKeys[] = {"max_set_size", "max_plan_events"};
+constexpr const char* kConstraintKeys[] = {"max_set_size", "max_plan_events",
+                                           "window_start_ms", "window_end_ms", "fault_types"};
+
+void p_append_string_array(std::ostream& os, const std::vector<std::string>& values);
+
+std::vector<std::string> p_fault_type_names() {
+  std::vector<std::string> names;
+  names.reserve(sensors::kAllSensorTypes.size());
+  for (sensors::SensorType type : sensors::kAllSensorTypes) {
+    names.push_back(sensors::to_string(type));
+  }
+  return names;
+}
+
+void p_validate_constraints(const FaultPlanConstraints& constraints) {
+  util::expects(constraints.max_set_size >= 1, "constraints.max_set_size must be >= 1");
+  util::expects(constraints.max_plan_events >= 1, "constraints.max_plan_events must be >= 1");
+  util::expects(constraints.window_start_ms >= 0,
+                "constraints.window_start_ms must be non-negative");
+  util::expects(constraints.window_end_ms == 0 ||
+                    constraints.window_end_ms > constraints.window_start_ms,
+                "constraints.window_end_ms must be 0 (unbounded) or after window_start_ms");
+  for (const std::string& name : constraints.fault_types) resolve_fault_type(name);
+}
 
 template <std::size_t N>
 void p_reject_unknown_keys(const util::Json& object, const char* const (&known)[N],
@@ -54,15 +77,26 @@ FaultPlanConstraints p_constraints_from_json(const util::Json* json) {
       static_cast<int>(json->get_int64("max_set_size", constraints.max_set_size));
   constraints.max_plan_events =
       static_cast<int>(json->get_int64("max_plan_events", constraints.max_plan_events));
-  util::expects(constraints.max_set_size >= 1, "constraints.max_set_size must be >= 1");
-  util::expects(constraints.max_plan_events >= 1, "constraints.max_plan_events must be >= 1");
+  constraints.window_start_ms = json->get_int64("window_start_ms", constraints.window_start_ms);
+  constraints.window_end_ms = json->get_int64("window_end_ms", constraints.window_end_ms);
+  constraints.fault_types = json->get_string_array("fault_types", constraints.fault_types);
+  p_validate_constraints(constraints);
   return constraints;
 }
 
 void p_append_constraints_json(std::ostream& os, const FaultPlanConstraints& constraints,
                                const std::string& pad) {
   os << pad << "\"constraints\": {\"max_set_size\": " << constraints.max_set_size
-     << ", \"max_plan_events\": " << constraints.max_plan_events << "}";
+     << ", \"max_plan_events\": " << constraints.max_plan_events
+     << ", \"window_start_ms\": " << constraints.window_start_ms
+     << ", \"window_end_ms\": " << constraints.window_end_ms;
+  // Emitted only when restricting: the empty list means "all types", and
+  // omitting it keeps the default round trip byte-stable.
+  if (!constraints.fault_types.empty()) {
+    os << ", \"fault_types\": ";
+    p_append_string_array(os, constraints.fault_types);
+  }
+  os << "}";
 }
 
 void p_append_string_array(std::ostream& os, const std::vector<std::string>& values) {
@@ -78,10 +112,32 @@ SabreConfig p_sabre_config(const FaultPlanConstraints& constraints) {
   SabreConfig config;
   config.max_set_size = constraints.max_set_size;
   config.max_plan_events = constraints.max_plan_events;
+  config.window_start_ms = constraints.window_start_ms;
+  config.window_end_ms = constraints.window_end_ms;
+  config.allowed_type_mask = fault_type_mask(constraints.fault_types);
   return config;
 }
 
 }  // namespace
+
+sensors::SensorType resolve_fault_type(std::string_view name) {
+  for (sensors::SensorType type : sensors::kAllSensorTypes) {
+    if (name == sensors::to_string(type)) return type;
+  }
+  throw util::UnknownNameError(
+      util::unknown_name_message("fault type", std::string(name), p_fault_type_names()));
+}
+
+std::uint32_t fault_type_mask(const std::vector<std::string>& fault_types) {
+  if (fault_types.empty()) {
+    return (std::uint32_t{1} << sensors::kAllSensorTypes.size()) - 1;
+  }
+  std::uint32_t mask = 0;
+  for (const std::string& name : fault_types) {
+    mask |= std::uint32_t{1} << static_cast<unsigned>(resolve_fault_type(name));
+  }
+  return mask;
+}
 
 // --- Registries -----------------------------------------------------------
 
@@ -119,7 +175,10 @@ util::Registry<ApproachInfo>& approach_registry() {
                          return std::unique_ptr<InjectionStrategy>(
                              std::make_unique<baselines::RandomInjection>(
                                  SimulationHarness::iris_suite(),
-                                 model.profiling_duration_ms(), spec.strategy_seed));
+                                 model.profiling_duration_ms(), spec.strategy_seed,
+                                 spec.constraints.window_start_ms,
+                                 spec.constraints.window_end_ms,
+                                 fault_type_mask(spec.constraints.fault_types)));
                        }});
     r.add("sbfi", "alias for stratified-bfi",
           ApproachInfo{"Strat. BFI", [](const MonitorModel& model, const ScenarioSpec& spec) {
@@ -209,8 +268,7 @@ void ScenarioSpec::validate() const {
   sim::environment_registry().at(environment);
   bug_selector_registry().at(bugs);
   util::expects(budget_ms > 0, "scenario budget_ms must be positive");
-  util::expects(constraints.max_set_size >= 1, "constraints.max_set_size must be >= 1");
-  util::expects(constraints.max_plan_events >= 1, "constraints.max_plan_events must be >= 1");
+  p_validate_constraints(constraints);
 }
 
 std::string ScenarioSpec::to_json(int indent) const {

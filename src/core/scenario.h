@@ -12,6 +12,7 @@
 // (tests/test_scenario.cc).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -31,15 +32,37 @@ class NaiveBayesModel;
 namespace avis::core {
 
 // Constraints every injected fault plan must respect. They parameterize the
-// search strategies at construction (SABRE's set enumeration and chain
-// growth, BFI's set enumeration); the defaults reproduce the paper's
-// configuration exactly.
+// search strategies at construction (SABRE's set enumeration, injection
+// window and chain growth, Random's sampling range and type pool, BFI's set
+// enumeration); the defaults reproduce the paper's configuration exactly.
+// BFI proposes from its Bayes model's training timeline and ignores the
+// window/type restrictions (documented in docs/FUZZING.md).
 struct FaultPlanConstraints {
   int max_set_size = 2;     // largest failure set added at one timestamp
   int max_plan_events = 3;  // total concurrent failures per plan
 
+  // Injection window: strategies only inject at timestamps t with
+  // window_start_ms <= t (and t <= window_end_ms when window_end_ms > 0;
+  // 0 = unbounded). The scenario fuzzer mutates these to steer coverage
+  // into specific (mode-graph edge x window) buckets.
+  sim::SimTimeMs window_start_ms = 0;
+  sim::SimTimeMs window_end_ms = 0;
+
+  // Sensor-type names ("GPS", "battery", ... — sensors::to_string) the
+  // strategies may fail; empty = all types. Validated against the known
+  // types (resolve_fault_type).
+  std::vector<std::string> fault_types;
+
   bool operator==(const FaultPlanConstraints&) const = default;
 };
+
+// The sensor type a constraints fault-type name refers to; throws
+// util::UnknownNameError (with the known-name listing) otherwise.
+sensors::SensorType resolve_fault_type(std::string_view name);
+
+// Bitmask over sensors::SensorType for a constraints type list (bit i =
+// type i allowed); the empty list means every type.
+std::uint32_t fault_type_mask(const std::vector<std::string>& fault_types);
 
 struct ScenarioSpec {
   std::string approach = "avis";          // approach_registry()

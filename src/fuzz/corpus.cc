@@ -1,0 +1,45 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace avis::fuzz {
+
+bool Corpus::consider(CorpusEntry entry) {
+  entry.new_keys.clear();
+  for (const auto& [key, count] : entry.coverage) {
+    if (!union_.contains(key)) entry.new_keys.push_back(key);
+  }
+  if (entry.new_keys.empty()) return false;
+
+  // Evict entries the newcomer dominates. Every evicted key set is a subset
+  // of the newcomer's, so the union's key set is unchanged by eviction; the
+  // counts are rebuilt below so they always sum over current entries.
+  const auto dominated = [&entry](const CorpusEntry& existing) {
+    return core::coverage_keys_subset(existing.coverage, entry.coverage);
+  };
+  evicted_ += static_cast<int>(std::count_if(entries_.begin(), entries_.end(), dominated));
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(), dominated), entries_.end());
+
+  entries_.push_back(std::move(entry));
+  union_.clear();
+  for (const CorpusEntry& kept : entries_) core::merge_coverage(union_, kept.coverage);
+  return true;
+}
+
+core::ScenarioGrid Corpus::to_scenario_grid() const {
+  core::ScenarioGrid grid;
+  grid.approaches.clear();
+  grid.personalities.clear();
+  grid.workloads.clear();
+  grid.environments.clear();
+  grid.scenarios.reserve(entries_.size());
+  for (const CorpusEntry& entry : entries_) grid.scenarios.push_back(entry.spec);
+  return grid;
+}
+
+std::vector<core::ScenarioSpec> Corpus::load_specs(std::string_view json) {
+  return core::ScenarioGrid::from_json(json).expand();
+}
+
+}  // namespace avis::fuzz

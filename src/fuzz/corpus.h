@@ -1,0 +1,76 @@
+// Coverage-keyed corpus manager (docs/FUZZING.md).
+//
+// The corpus holds the scenarios worth mutating further: an entry is
+// admitted iff its run reached at least one (mode-graph edge x
+// injection-window) coverage key no earlier entry reached — which also
+// dedups by coverage signature, since a mutant whose keys are all known
+// contributes nothing. Admission evicts entries the newcomer dominates
+// (their key set is a subset of the newcomer's), so the corpus stays a
+// frontier, not a history. No key is ever lost to eviction: an entry is only
+// evicted by a newcomer that covers all of its keys.
+//
+// The on-disk format is a plain ScenarioGrid document with empty cartesian
+// axes and the corpus specs as explicit `scenarios`, so a dumped corpus
+// replays through the existing `avis_campaign --scenario-file` path with no
+// fuzzer involved.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/coverage.h"
+#include "core/scenario.h"
+
+namespace avis::fuzz {
+
+struct CorpusEntry {
+  core::ScenarioSpec spec;
+  core::CoverageMap coverage;  // full (key -> run count) map of the entry's run
+
+  // Keys absent from the corpus union when this entry was admitted — the
+  // reason it is in the corpus. Sorted (CoverageMap iteration order).
+  std::vector<core::CoverageKey> new_keys;
+
+  int generation = 0;  // 0 = seed grid, n = produced in fuzz generation n
+
+  // The generation-0 ancestor spec, carried by value (eviction reorders the
+  // corpus, so an index would dangle). Minimization reverts mutated fields
+  // toward it.
+  core::ScenarioSpec root;
+
+  // The in-loop CheckerReport, kept for the replay-identity check
+  // (tests/test_fuzz.cc re-runs the dumped spec and compares). Not
+  // serialized — the corpus document holds specs only.
+  core::CheckerReport report;
+};
+
+class Corpus {
+ public:
+  // Admits `entry` iff it reaches a coverage key absent from the union;
+  // fills entry.new_keys, evicts dominated entries, and returns true. A
+  // rejected entry leaves the corpus untouched.
+  bool consider(CorpusEntry entry);
+
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+  const core::CoverageMap& coverage_union() const { return union_; }
+  int evicted() const { return evicted_; }
+
+  // The replayable document: a ScenarioGrid with empty axes and the corpus
+  // specs (in corpus order) as explicit scenarios. Deterministic — the same
+  // corpus always serializes byte-identically.
+  core::ScenarioGrid to_scenario_grid() const;
+  std::string to_scenario_grid_json() const { return to_scenario_grid().to_json(); }
+
+  // Loads the specs back out of a dumped corpus document (or any scenario
+  // grid — expansion order is the replay order the campaign runner uses).
+  static std::vector<core::ScenarioSpec> load_specs(std::string_view json);
+
+ private:
+  std::vector<CorpusEntry> entries_;
+  core::CoverageMap union_;  // counts summed over current entries
+  int evicted_ = 0;
+};
+
+}  // namespace avis::fuzz

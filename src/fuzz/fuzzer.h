@@ -1,0 +1,80 @@
+// Coverage-guided scenario fuzz loop (docs/FUZZING.md).
+//
+// The fuzzer closes the loop the rest of the system leaves open: SABRE
+// searches *within* a scenario, the campaign grid enumerates hand-curated
+// scenarios — the fuzzer invents new ones. It evaluates the seed grid
+// through the ordinary CampaignRunner, admits every cell into a
+// coverage-keyed corpus, then repeatedly mutates corpus entries
+// (fuzz/mutator.h) and keeps the mutants that reach (mode-graph edge x
+// injection-window) coverage keys nothing reached before. Scenarios that
+// manifest bugs no seed cell found are reported with a greedily minimized
+// spec (mutated fields reverted toward the generation-0 ancestor while the
+// bug keeps reproducing).
+//
+// Determinism: mutation draws come from one util::Rng seeded by
+// FuzzOptions::seed, mutants are evaluated through CampaignRunner (whose
+// cell reports are bit-identical at any worker count), and batches keep grid
+// order — so the same seed yields a byte-identical corpus document and an
+// equal coverage map on every run, at any parallelism (tests/test_fuzz.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/coverage.h"
+#include "core/scenario.h"
+#include "fuzz/corpus.h"
+#include "fuzz/mutator.h"
+#include "fw/bugs.h"
+
+namespace avis::fuzz {
+
+struct FuzzOptions {
+  int generations = 4;            // mutation rounds after the seed evaluation
+  int mutants_per_generation = 8;
+  std::uint64_t seed = 1;         // mutation rng seed (independent of scenario seeds)
+  MutationConfig mutation;
+  core::CampaignOptions campaign;  // how each evaluation batch runs
+  int minimize_budget = 8;         // extra evaluations spent minimizing one discovery
+};
+
+// One row of the coverage growth curve. Row 0 is the seed evaluation.
+struct FuzzGenerationStats {
+  int generation = 0;
+  int evaluated = 0;      // scenarios run this generation
+  int admitted = 0;       // corpus admissions
+  int corpus_size = 0;    // after this generation
+  int coverage_keys = 0;  // corpus union key count after this generation
+  int new_bugs = 0;       // bugs first found this generation
+};
+
+// A fuzz-found bug: a mutant manifested a bug no earlier scenario (seed or
+// mutant) manifested.
+struct FuzzDiscovery {
+  int generation = 0;
+  std::vector<fw::BugId> new_bugs;
+  core::ScenarioSpec spec;       // the mutant as drawn
+  core::ScenarioSpec minimized;  // reverted toward its root while the bugs reproduce
+};
+
+struct FuzzResult {
+  Corpus corpus;
+  std::vector<FuzzGenerationStats> curve;
+  std::vector<FuzzDiscovery> discoveries;
+  core::CoverageMap baseline_coverage;  // union over the seed grid alone
+  int evaluations = 0;                  // seeds + mutants + minimization probes
+  double wall_seconds = 0.0;
+};
+
+// Runs the loop: evaluate seeds, then `generations` rounds of mutate ->
+// evaluate -> admit/minimize. Throws util::UnknownNameError /
+// util::InvariantError before any simulation if the seed grid is invalid.
+FuzzResult run_fuzz(const core::ScenarioGrid& seed_grid, const FuzzOptions& options);
+
+// The fuzz report: options echo, coverage growth curve, corpus entries
+// (generation, novel keys, spec) and discoveries with minimized specs.
+std::string fuzz_report_json(const FuzzResult& result, const FuzzOptions& options);
+
+}  // namespace avis::fuzz

@@ -1,0 +1,103 @@
+#include "fuzz/mutator.h"
+
+#include <set>
+#include <string>
+
+#include "sensors/sensor_models.h"
+#include "sim/environment_presets.h"
+#include "util/checked.h"
+#include "workload/registry.h"
+
+namespace avis::fuzz {
+namespace {
+
+// Operator indices. The dispatch draw is uniform over these, so adding an
+// operator only appends a case — earlier seeds keep their meaning within a
+// release but are not stable across operator-set changes (documented in
+// docs/FUZZING.md).
+enum Op : int {
+  kSwapWorkload = 0,
+  kSwapEnvironment,
+  kSwapPersonality,
+  kPerturbSetSize,
+  kPerturbPlanEvents,
+  kSetWindow,
+  kClearWindow,
+  kRedrawFaultTypes,
+  kOpCount,
+};
+
+void p_apply(util::Rng& rng, core::ScenarioSpec& spec, const MutationConfig& config, int op) {
+  switch (op) {
+    case kSwapWorkload:
+      spec.workload = util::pick_other_name(rng, workload::workload_registry(), spec.workload);
+      break;
+    case kSwapEnvironment:
+      spec.environment =
+          util::pick_other_name(rng, sim::environment_registry(), spec.environment);
+      break;
+    case kSwapPersonality:
+      spec.personality =
+          util::pick_other_name(rng, core::personality_registry(), spec.personality);
+      break;
+    case kPerturbSetSize:
+      spec.constraints.max_set_size = static_cast<int>(
+          util::perturb(rng, spec.constraints.max_set_size, config.set_size, 1));
+      break;
+    case kPerturbPlanEvents:
+      spec.constraints.max_plan_events = static_cast<int>(
+          util::perturb(rng, spec.constraints.max_plan_events, config.plan_events, 1));
+      break;
+    case kSetWindow: {
+      // Snap to the coverage grid: the window mutation exists to move the
+      // spec across (edge x window-bucket) coverage keys.
+      const auto start_bucket = static_cast<sim::SimTimeMs>(
+          rng.next_below(static_cast<std::uint64_t>(config.max_window_buckets)));
+      const auto span = static_cast<sim::SimTimeMs>(
+          1 + rng.next_below(static_cast<std::uint64_t>(config.max_window_span)));
+      spec.constraints.window_start_ms = start_bucket * config.window_grid_ms;
+      spec.constraints.window_end_ms = (start_bucket + span) * config.window_grid_ms;
+      break;
+    }
+    case kClearWindow:
+      spec.constraints.window_start_ms = 0;
+      spec.constraints.window_end_ms = 0;
+      break;
+    case kRedrawFaultTypes: {
+      // Draw 1..max_fault_types+1; the top value clears back to "all types".
+      const auto size = static_cast<int>(
+          1 + rng.next_below(static_cast<std::uint64_t>(config.max_fault_types + 1)));
+      spec.constraints.fault_types.clear();
+      if (size > config.max_fault_types) break;
+      // `size` draws deduped through a std::set: the list stays sorted, so
+      // equal type sets serialize identically (corpus dedup keys on JSON).
+      std::set<std::string> names;
+      for (int i = 0; i < size; ++i) {
+        const auto index = rng.next_below(sensors::kAllSensorTypes.size());
+        names.insert(std::string(sensors::to_string(sensors::kAllSensorTypes[index])));
+      }
+      spec.constraints.fault_types.assign(names.begin(), names.end());
+      break;
+    }
+    default:
+      util::expects(false, "mutate: unknown operator");
+  }
+}
+
+}  // namespace
+
+core::ScenarioSpec mutate(util::Rng& rng, const core::ScenarioSpec& parent,
+                          const MutationConfig& config) {
+  util::expects(config.max_ops >= 1, "mutate: max_ops must be >= 1");
+  util::expects(config.max_window_buckets >= 1 && config.max_window_span >= 1,
+                "mutate: window bounds must be >= 1");
+  util::expects(config.max_fault_types >= 1, "mutate: max_fault_types must be >= 1");
+  core::ScenarioSpec mutant = parent;
+  const auto ops = 1 + rng.next_below(static_cast<std::uint64_t>(config.max_ops));
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    p_apply(rng, mutant, config, static_cast<int>(rng.next_below(kOpCount)));
+  }
+  return mutant;
+}
+
+}  // namespace avis::fuzz

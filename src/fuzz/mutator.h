@@ -1,0 +1,49 @@
+// Seeded mutation engine over ScenarioSpec (docs/FUZZING.md).
+//
+// A mutant is its parent with 1..max_ops mutation operators applied, every
+// operator drawing from registries or bounded integer ranges
+// (util/mutation.h) so the result is valid by construction — mutate() never
+// returns a spec that ScenarioSpec::validate() rejects. The engine only
+// touches the fields that move coverage: workload, environment, personality,
+// and the fault-plan constraints (set size, plan events, injection window,
+// fault types). Approach, bug population, budget and seeds are identity
+// fields of the fuzz campaign and stay fixed — the fuzzer compares mutants
+// against their ancestors, which only makes sense when those are shared.
+//
+// All randomness comes from the caller's util::Rng, so a mutation sequence
+// is a pure function of the fuzz seed (the determinism contract
+// tests/test_fuzz.cc pins).
+#pragma once
+
+#include "core/coverage.h"
+#include "core/scenario.h"
+#include "util/mutation.h"
+#include "util/rng.h"
+
+namespace avis::fuzz {
+
+struct MutationConfig {
+  int max_ops = 2;  // operators per mutant: 1 + next_below(max_ops)
+
+  // Bounds for the integer constraint perturbations.
+  util::IntRange set_size = {1, 3};
+  util::IntRange plan_events = {1, 4};
+
+  // Injection-window mutation: windows snap to the coverage quantum so a
+  // window mutation moves the spec across coverage buckets, not within one.
+  sim::SimTimeMs window_grid_ms = core::kCoverageWindowMs;
+  int max_window_buckets = 30;  // start bucket drawn from [0, max)
+  int max_window_span = 4;      // window length, in buckets
+
+  // Fault-type list redraw: how many names one redraw keeps (a draw of
+  // `clear_size` clears the list back to "all types").
+  int max_fault_types = 2;
+};
+
+// One mutant: `parent` with 1 + rng.next_below(config.max_ops) operators
+// applied. May return a spec equal to the parent (e.g. a perturbation
+// clamped back onto a bound); the corpus dedups those by spec identity.
+core::ScenarioSpec mutate(util::Rng& rng, const core::ScenarioSpec& parent,
+                          const MutationConfig& config = {});
+
+}  // namespace avis::fuzz

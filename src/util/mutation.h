@@ -1,0 +1,67 @@
+// Bounded mutation helpers over registries and integer ranges.
+//
+// The scenario fuzzer (src/fuzz/) perturbs declarative specs whose fields
+// are registry names and bounded integers. These helpers keep every draw
+// inside the registered/configured bounds so mutants are valid by
+// construction — the mutation engine never produces a spec that validate()
+// rejects — and they draw exclusively from a caller-owned util::Rng, so a
+// mutation sequence is a pure function of the fuzz seed.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+
+#include "util/checked.h"
+#include "util/registry.h"
+#include "util/rng.h"
+
+namespace avis::util {
+
+// Closed integer range [lo, hi].
+struct IntRange {
+  long long lo = 0;
+  long long hi = 0;
+};
+
+inline long long clamp_to(const IntRange& range, long long value) {
+  return std::clamp(value, range.lo, range.hi);
+}
+
+// `value` plus a uniform non-zero step in [-max_step, +max_step], clamped
+// into `range`. The draw is symmetric and never zero, so an interior value
+// always moves; a value pinned at a bound may clamp back onto it (the caller
+// dedups no-op mutants by spec identity, not here).
+inline long long perturb(Rng& rng, long long value, const IntRange& range,
+                         long long max_step) {
+  expects(range.lo <= range.hi, "perturb: empty range");
+  expects(max_step >= 1, "perturb: max_step must be >= 1");
+  const auto raw = static_cast<long long>(
+      rng.next_below(static_cast<std::uint64_t>(2 * max_step)));  // 0 .. 2*max_step-1
+  const long long step = raw < max_step ? raw + 1 : -(raw - max_step + 1);
+  return clamp_to(range, value + step);
+}
+
+// A uniformly random registered name.
+template <typename Factory>
+const std::string& pick_name(Rng& rng, const Registry<Factory>& registry) {
+  const auto& entries = registry.entries();
+  expects(!entries.empty(), "pick_name: empty registry");
+  return entries[rng.next_below(entries.size())].name;
+}
+
+// A registered name different from `current` whenever the registry has one;
+// a single-entry registry returns its only name. One draw: on a self-hit the
+// next entry (cyclically) is taken, which keeps the distribution uniform
+// over the other entries.
+template <typename Factory>
+const std::string& pick_other_name(Rng& rng, const Registry<Factory>& registry,
+                                   std::string_view current) {
+  const auto& entries = registry.entries();
+  expects(!entries.empty(), "pick_other_name: empty registry");
+  const std::size_t index = static_cast<std::size_t>(rng.next_below(entries.size()));
+  if (entries[index].name != current || entries.size() == 1) return entries[index].name;
+  return entries[(index + 1) % entries.size()].name;
+}
+
+}  // namespace avis::util

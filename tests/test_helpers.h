@@ -62,6 +62,15 @@ inline void expect_reports_equal(const core::CheckerReport& serial,
   EXPECT_EQ(serial.checkpoint_tree_evicted, parallel.checkpoint_tree_evicted);
   EXPECT_EQ(serial.checkpoint_skipped_ms, parallel.checkpoint_skipped_ms);
   EXPECT_EQ(serial.stalled_runs, parallel.stalled_runs);
+  // Edge coverage is derived from transitions, which are bit-identical
+  // across worker counts and checkpoint modes — so unlike the checkpoint
+  // counters above it has no masking escape hatch.
+  ASSERT_EQ(serial.edge_coverage.size(), parallel.edge_coverage.size());
+  for (auto a = serial.edge_coverage.begin(), b = parallel.edge_coverage.begin();
+       a != serial.edge_coverage.end(); ++a, ++b) {
+    EXPECT_EQ(core::coverage_key_string(a->first), core::coverage_key_string(b->first));
+    EXPECT_EQ(a->second, b->second) << core::coverage_key_string(a->first);
+  }
   ASSERT_EQ(serial.unsafe.size(), parallel.unsafe.size());
   for (std::size_t i = 0; i < serial.unsafe.size(); ++i) {
     const core::UnsafeRecord& a = serial.unsafe[i];
@@ -109,6 +118,7 @@ inline void expect_campaign_results_equal(const core::CampaignResult& expected,
   EXPECT_EQ(expected.total_checkpoint_tree_evicted(), actual.total_checkpoint_tree_evicted());
   EXPECT_EQ(expected.total_checkpoint_skipped_ms(), actual.total_checkpoint_skipped_ms());
   EXPECT_EQ(expected.total_stalled_runs(), actual.total_stalled_runs());
+  EXPECT_EQ(expected.coverage_union(), actual.coverage_union());
 }
 
 // Time of the first transition whose mode name matches, from the golden run.

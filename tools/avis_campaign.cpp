@@ -35,6 +35,7 @@
 #include "../bench/common.h"
 #include "core/campaign.h"
 #include "core/scenario.h"
+#include "fuzz/fuzzer.h"
 #include "net/coordinator.h"
 #include "net/protocol.h"
 #include "net/worker.h"
@@ -59,6 +60,16 @@ struct Options {
   core::CheckpointConfig checkpoints;
   bool quiet = false;
   bool list = false;
+
+  // Coverage-guided scenario fuzzing (docs/FUZZING.md). --fuzz N treats the
+  // grid as the seed corpus and runs N mutation generations instead of a
+  // plain campaign.
+  long long fuzz_generations = 0;  // 0 = fuzzing off
+  long long fuzz_mutants = 8;
+  long long fuzz_seed = 1;
+  bool fuzz_flag_seen = false;  // any --fuzz-* satellite flag present
+  std::string fuzz_corpus;      // corpus document path ('-' = stdout)
+  std::string fuzz_report;      // fuzz report path ('-' = stdout)
 
   // Distributed modes (docs/DISTRIBUTED.md). --serve shards the grid across
   // connected workers; --worker joins a coordinator's pool.
@@ -148,6 +159,16 @@ int usage(const char* argv0) {
       << "  --checkpoint-budget-mb N retained snapshot budget, root + tree combined\n"
       << "                           (default 64)\n"
       << "  --out FILE               write the JSON report to FILE ('-' = stdout)\n"
+      << "fuzz mode (docs/FUZZING.md):\n"
+      << "  --fuzz N                 run N coverage-guided mutation generations seeded\n"
+      << "                           from the grid instead of a plain campaign\n"
+      << "  --fuzz-mutants N         mutants evaluated per generation (default 8)\n"
+      << "  --fuzz-seed N            mutation rng seed (default 1; same seed =>\n"
+      << "                           byte-identical corpus)\n"
+      << "  --fuzz-corpus FILE       write the corpus as a replayable ScenarioGrid\n"
+      << "                           document ('-' = stdout; rerun via --scenario-file)\n"
+      << "  --fuzz-report FILE       write the fuzz report (coverage growth curve,\n"
+      << "                           corpus, discoveries) as JSON ('-' = stdout)\n"
       << "  --list                   print every registry (names + descriptions) and exit\n"
       << "  --quiet                  suppress the text table (and coordinator/worker logs)\n"
       << "  --version                print build and protocol version and exit\n"
@@ -286,6 +307,35 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       options.checkpoints.interval_ms = n;
+    } else if (arg == "--fuzz") {
+      if (!number(n)) return usage(argv[0]);
+      if (n < 1) {
+        std::cerr << "--fuzz must run at least 1 generation (got " << n << ")\n";
+        return usage(argv[0]);
+      }
+      options.fuzz_generations = n;
+    } else if (arg == "--fuzz-mutants") {
+      if (!number(n)) return usage(argv[0]);
+      if (n < 1) {
+        std::cerr << "--fuzz-mutants must be at least 1 (got " << n << ")\n";
+        return usage(argv[0]);
+      }
+      options.fuzz_mutants = n;
+      options.fuzz_flag_seen = true;
+    } else if (arg == "--fuzz-seed") {
+      if (!number(n)) return usage(argv[0]);
+      options.fuzz_seed = n;
+      options.fuzz_flag_seen = true;
+    } else if (arg == "--fuzz-corpus") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.fuzz_corpus = v;
+      options.fuzz_flag_seen = true;
+    } else if (arg == "--fuzz-report") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.fuzz_report = v;
+      options.fuzz_flag_seen = true;
     } else if (arg == "--list") {
       options.list = true;
     } else if (arg == "--quiet") {
@@ -349,6 +399,26 @@ int main(int argc, char** argv) {
     print_registry(std::cout, sim::environment_registry());
     print_registry(std::cout, core::bug_selector_registry());
     return 0;
+  }
+
+  // Fuzz flag combinations are rejected here, before any simulation budget
+  // burns: the check needs nothing but the parsed flags.
+  if (options.fuzz_generations == 0 && options.fuzz_flag_seen) {
+    std::cerr << "--fuzz-mutants/--fuzz-seed/--fuzz-corpus/--fuzz-report only apply in "
+                 "fuzz mode; add --fuzz N (docs/FUZZING.md)\n";
+    return 2;
+  }
+  if (options.fuzz_generations > 0) {
+    if (options.serve || !options.worker_endpoint.empty()) {
+      std::cerr << "--fuzz runs in-process; the distributed modes (--serve/--worker) do "
+                   "not apply\n";
+      return 2;
+    }
+    if (!options.out.empty() || !options.dump_scenario.empty()) {
+      std::cerr << "--fuzz writes --fuzz-corpus/--fuzz-report documents; --out and "
+                   "--dump-scenario do not apply\n";
+      return 2;
+    }
   }
 
   if (!options.worker_endpoint.empty()) {
@@ -428,6 +498,70 @@ int main(int argc, char** argv) {
         std::cout << "scenario grid (" << grid.size() << " cells) written to "
                   << options.dump_scenario << "\n";
       }
+    }
+    return 0;
+  }
+
+  if (options.fuzz_generations > 0) {
+    fuzz::FuzzOptions fuzz_options;
+    fuzz_options.generations = static_cast<int>(options.fuzz_generations);
+    fuzz_options.mutants_per_generation = static_cast<int>(options.fuzz_mutants);
+    fuzz_options.seed = static_cast<std::uint64_t>(options.fuzz_seed);
+    fuzz_options.campaign.total_workers = options.total_workers;
+    fuzz_options.campaign.cell_workers = options.cell_workers;
+    fuzz_options.campaign.experiment_workers = options.experiment_workers;
+    fuzz_options.campaign.batch_width = options.batch_width;
+    fuzz_options.campaign.checkpoints = options.checkpoints;
+    fuzz::FuzzResult fuzz_result;
+    try {
+      fuzz_result = fuzz::run_fuzz(options.grid, fuzz_options);
+    } catch (const std::exception& err) {
+      std::cerr << "fuzz failed: " << err.what() << "\n";
+      return 1;
+    }
+    if (!options.quiet) {
+      util::TextTable t({"gen", "evaluated", "admitted", "corpus", "cov keys", "new bugs"});
+      for (const auto& row : fuzz_result.curve) {
+        t.add(row.generation, row.evaluated, row.admitted, row.corpus_size,
+              row.coverage_keys, row.new_bugs);
+      }
+      t.render(std::cout);
+      std::cout << "coverage keys: " << fuzz_result.baseline_coverage.size()
+                << " (seed grid) -> " << fuzz_result.corpus.coverage_union().size()
+                << " (corpus), " << fuzz_result.evaluations << " evaluations\n";
+      for (const auto& discovery : fuzz_result.discoveries) {
+        std::cout << "new bug (gen " << discovery.generation << "):";
+        for (fw::BugId bug : discovery.new_bugs) {
+          std::cout << " " << fw::bug_info(bug).report_name;
+        }
+        std::cout << " via " << discovery.minimized.personality << "/"
+                  << discovery.minimized.workload << "/" << discovery.minimized.environment
+                  << "\n";
+      }
+    }
+    const auto write_document = [&](const std::string& path, const std::string& json,
+                                    const char* what) {
+      if (path.empty()) return true;
+      if (path == "-") {
+        std::cout << json;
+        return true;
+      }
+      std::ofstream file(path);
+      if (!file) {
+        std::cerr << "cannot open " << path << " for writing\n";
+        return false;
+      }
+      file << json;
+      if (!options.quiet) std::cout << what << " written to " << path << "\n";
+      return true;
+    };
+    if (!write_document(options.fuzz_corpus, fuzz_result.corpus.to_scenario_grid_json(),
+                        "fuzz corpus")) {
+      return 1;
+    }
+    if (!write_document(options.fuzz_report, fuzz::fuzz_report_json(fuzz_result, fuzz_options),
+                        "fuzz report")) {
+      return 1;
     }
     return 0;
   }
