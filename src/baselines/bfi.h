@@ -9,6 +9,7 @@
 // inside the first moments of the flight.
 #pragma once
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "baselines/bayes_model.h"
@@ -54,6 +55,14 @@ struct BfiConfig {
   sim::SimTimeMs granularity_ms = 1;  // DFS step: the sensor sampling period
   sim::SimTimeMs start_ms = 0;   // DFS origin (mission start)
   int max_set_size = 2;
+  // FaultPlanConstraints (core/scenario.h), matching RandomInjection's
+  // contract: injection times land in [window_start_ms, min(window_end_ms,
+  // duration)) (end 0 = unbounded) and failure sets draw only from allowed
+  // sensor types. The defaults reproduce the historical DFS walk and
+  // exploratory draw sequence bit for bit.
+  sim::SimTimeMs window_start_ms = 0;
+  sim::SimTimeMs window_end_ms = 0;
+  std::uint32_t allowed_type_mask = 0xffffffffu;
 };
 
 class BfiChecker final : public core::InjectionStrategy {
@@ -61,23 +70,31 @@ class BfiChecker final : public core::InjectionStrategy {
   BfiChecker(sensors::SuiteConfig suite, const NaiveBayesModel& model, ModeTimeline timeline,
              std::uint64_t seed, BfiConfig config = {})
       : suite_(suite), model_(&model), timeline_(std::move(timeline)), rng_(seed),
-        config_(config), current_time_(config.start_ms) {
+        config_(config),
+        current_time_(std::max(config.start_ms, config.window_start_ms)) {
     for (sensors::SensorType t : sensors::kAllSensorTypes) {
+      if (!p_type_allowed(t)) continue;
       for (int i = 0; i < suite_.count(t); ++i) {
         all_ids_.push_back({t, static_cast<std::uint8_t>(i)});
       }
     }
+    // Same clamp rule as RandomInjection: end 0 = mission duration, and the
+    // start is pulled inside the window so the draw range is never empty.
+    window_hi_ = config_.window_end_ms > 0
+                     ? std::min(config_.window_end_ms, timeline_.duration_hint())
+                     : timeline_.duration_hint();
+    window_lo_ = std::min(config_.window_start_ms, window_hi_ > 0 ? window_hi_ - 1 : 0);
   }
 
   std::optional<core::FaultPlan> next(core::BudgetClock& budget) override {
     while (!budget.exhausted()) {
       // Occasional exploratory site off the DFS path (BFI samples candidate
       // sites for labeling; a few land outside the frontier).
-      if (rng_.chance(config_.epsilon)) {
+      if (!all_ids_.empty() && rng_.chance(config_.epsilon)) {
         budget.charge_label();
         core::FaultPlan plan;
-        plan.add(static_cast<sim::SimTimeMs>(rng_.next_below(
-                     static_cast<std::uint64_t>(timeline_.duration_hint()))),
+        plan.add(window_lo_ + static_cast<sim::SimTimeMs>(rng_.next_below(
+                                  static_cast<std::uint64_t>(window_hi_ - window_lo_))),
                  all_ids_[rng_.next_below(all_ids_.size())]);
         return plan;
       }
@@ -115,13 +132,20 @@ class BfiChecker final : public core::InjectionStrategy {
     std::vector<sensors::SensorId> sensors;
   };
 
-  // Depth-first enumeration: all subsets (size order) at the current
-  // timestamp, then the next sampling instant.
+  bool p_type_allowed(sensors::SensorType t) const {
+    return (config_.allowed_type_mask & (std::uint32_t{1} << static_cast<unsigned>(t))) != 0;
+  }
+
+  // Depth-first enumeration: all allowed subsets (size order) at the
+  // current timestamp, then the next sampling instant — stopping at the
+  // injection window's end when one is set.
   std::optional<Candidate> p_advance() {
+    if (p_subsets().empty()) return std::nullopt;
     if (subset_cursor_ >= p_subsets().size()) {
       subset_cursor_ = 0;
       current_time_ += config_.granularity_ms;
     }
+    if (config_.window_end_ms > 0 && current_time_ >= window_hi_) return std::nullopt;
     Candidate c;
     c.time_ms = current_time_;
     c.sensors = p_subsets()[subset_cursor_++];
@@ -129,10 +153,15 @@ class BfiChecker final : public core::InjectionStrategy {
   }
 
   const std::vector<std::vector<sensors::SensorId>>& p_subsets() {
-    if (subsets_.empty()) {
+    if (!subsets_ready_) {
+      subsets_ready_ = true;
       for (int size = 1; size <= config_.max_set_size; ++size) {
-        auto sets = core::all_instance_sets_of_size(suite_, size);
-        subsets_.insert(subsets_.end(), sets.begin(), sets.end());
+        for (auto& set : core::all_instance_sets_of_size(suite_, size)) {
+          const bool allowed = std::all_of(
+              set.begin(), set.end(),
+              [this](const sensors::SensorId& id) { return p_type_allowed(id.type); });
+          if (allowed) subsets_.push_back(std::move(set));
+        }
       }
     }
     return subsets_;
@@ -145,7 +174,10 @@ class BfiChecker final : public core::InjectionStrategy {
   BfiConfig config_;
   std::vector<sensors::SensorId> all_ids_;
   std::vector<std::vector<sensors::SensorId>> subsets_;
+  bool subsets_ready_ = false;
   sim::SimTimeMs current_time_;
+  sim::SimTimeMs window_lo_ = 0;
+  sim::SimTimeMs window_hi_ = 0;
   std::size_t subset_cursor_ = 0;
 };
 

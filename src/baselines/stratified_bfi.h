@@ -20,6 +20,11 @@ namespace avis::baselines {
 
 class StratifiedBfi final : public core::InjectionStrategy {
  public:
+  // FaultPlanConstraints (injection window, fault-type mask, set sizes) are
+  // enforced by the embedded SabreScheduler: every candidate plan comes out
+  // of sabre_, so passing a constraint-carrying sabre_config (the registry
+  // factory does, via p_sabre_config) constrains this strategy too — the
+  // model gate only ever *rejects* plans, never widens them.
   StratifiedBfi(sensors::SuiteConfig suite,
                 std::vector<core::ModeTransition> golden_transitions,
                 const NaiveBayesModel& model, double run_threshold = 0.45,

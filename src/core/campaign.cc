@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "core/journal.h"
 #include "util/checked.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
@@ -87,25 +88,98 @@ CampaignResult CampaignRunner::run(const std::vector<CampaignCellSpec>& grid) co
   result.checkpoint_budget_bytes = options_.checkpoints.byte_budget;
   result.cells.reserve(grid.size());
   const auto start = std::chrono::steady_clock::now();
+
+  // Resume bookkeeping: a journaled cell is merged at its grid position
+  // instead of re-running (cells are pure functions of their spec, so the
+  // journaled report equals what the re-run would have produced).
+  std::vector<const JournalCellRecord*> resumed(grid.size(), nullptr);
+  if (options_.resume != nullptr) {
+    for (const JournalCellRecord& record : *options_.resume) {
+      if (record.index >= 0 && static_cast<std::size_t>(record.index) < grid.size()) {
+        resumed[static_cast<std::size_t>(record.index)] = &record;
+      }
+    }
+  }
+  const auto from_journal = [&grid](const JournalCellRecord& record) {
+    CampaignCellResult cell;
+    cell.spec = grid[static_cast<std::size_t>(record.index)];
+    cell.report = record.report;
+    cell.attempts = record.attempts;
+    cell.completed_by = record.completed_by;
+    cell.reassigned_from = record.reassigned_from;
+    cell.wall_seconds = record.wall_seconds;
+    cell.grid_index = record.index;
+    return cell;
+  };
+  const auto stopped = [this] { return options_.should_stop && options_.should_stop(); };
+  // Journal at collection time: the calling thread collects in grid order,
+  // so the journal is written in grid order and fsync'd before the result
+  // becomes visible to the caller.
+  const auto journal_cell = [this, &grid](const CampaignCellResult& cell, std::size_t index) {
+    if (options_.journal == nullptr) return;
+    JournalCellRecord record;
+    record.index = static_cast<int>(index);
+    record.spec_hash = cell_identity_hash(grid[index]);
+    record.attempts = cell.attempts;
+    record.completed_by = cell.completed_by;
+    record.reassigned_from = cell.reassigned_from;
+    record.wall_seconds = cell.wall_seconds;
+    record.report = cell.report;
+    options_.journal->append(record);
+  };
+
   if (result.split.campaign_workers <= 1 || grid.size() <= 1) {
-    for (const auto& spec : grid) {
-      result.cells.push_back(run_cell(spec, result.split.experiment_workers,
-                                      options_.checkpoints, options_.batch_width));
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (resumed[i] != nullptr) {
+        result.cells.push_back(from_journal(*resumed[i]));
+        continue;
+      }
+      if (stopped()) {
+        result.interrupted = true;
+        break;
+      }
+      CampaignCellResult cell = run_cell(grid[i], result.split.experiment_workers,
+                                         options_.checkpoints, options_.batch_width);
+      cell.grid_index = static_cast<int>(i);
+      journal_cell(cell, i);
+      result.cells.push_back(std::move(cell));
     }
   } else {
     util::ThreadPool pool(result.split.campaign_workers);
-    std::vector<std::future<CampaignCellResult>> in_flight;
+    // One future per *fresh* cell, keyed by grid index. A task that finds
+    // the stop flag raised before it starts returns nullopt — that is the
+    // "stop assigning new cells" semantics; cells already simulating run to
+    // completion (and get journaled).
+    std::vector<std::pair<std::size_t, std::future<std::optional<CampaignCellResult>>>> in_flight;
     in_flight.reserve(grid.size());
-    for (const auto& spec : grid) {
-      in_flight.push_back(pool.submit([&spec, workers = result.split.experiment_workers,
-                                       checkpoints = options_.checkpoints,
-                                       batch_width = options_.batch_width] {
-        return run_cell(spec, workers, checkpoints, batch_width);
-      }));
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (resumed[i] != nullptr) continue;
+      in_flight.emplace_back(
+          i, pool.submit([&spec = grid[i], workers = result.split.experiment_workers,
+                          checkpoints = options_.checkpoints,
+                          batch_width = options_.batch_width,
+                          &stopped]() -> std::optional<CampaignCellResult> {
+            if (stopped()) return std::nullopt;
+            return run_cell(spec, workers, checkpoints, batch_width);
+          }));
     }
     // Collection in submission order keeps the result vector in grid order
     // no matter which cell finishes first.
-    for (auto& future : in_flight) result.cells.push_back(future.get());
+    std::size_t next_fresh = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (resumed[i] != nullptr) {
+        result.cells.push_back(from_journal(*resumed[i]));
+        continue;
+      }
+      std::optional<CampaignCellResult> cell = in_flight[next_fresh++].second.get();
+      if (!cell) {
+        result.interrupted = true;
+        continue;
+      }
+      cell->grid_index = static_cast<int>(i);
+      journal_cell(*cell, i);
+      result.cells.push_back(std::move(*cell));
+    }
   }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -136,6 +210,9 @@ std::string campaign_report_json(const CampaignResult& result) {
   os << "{\n";
   os << "  \"campaign\": {\n";
   os << "    \"cells\": " << result.cells.size() << ",\n";
+  // Emitted only for partial reports so complete runs — resumed or not —
+  // stay byte-identical to the pre-journal format.
+  if (result.interrupted) os << "    \"interrupted\": true,\n";
   os << "    \"cell_workers\": " << result.split.campaign_workers << ",\n";
   os << "    \"experiment_workers\": " << result.split.experiment_workers << ",\n";
   os << "    \"batch_width\": " << result.batch_width << ",\n";
@@ -175,7 +252,11 @@ std::string campaign_report_json(const CampaignResult& result) {
     const CheckerReport& report = cell.report;
     const ScenarioSpec& scenario = cell.spec.scenario;
     os << "    {\n";
-    os << "      \"index\": " << i << ",\n";
+    // grid_index keeps cell identity stable when the result is a partial
+    // (interrupted) subset of the grid; -1 (single-process full runs)
+    // falls back to the vector position, which is the grid position.
+    os << "      \"index\": " << (cell.grid_index >= 0 ? cell.grid_index : static_cast<int>(i))
+       << ",\n";
     os << "      \"approach\": \"" << util::json_escape(cell.spec.display_label()) << "\",\n";
     os << "      \"approach_key\": \"" << util::json_escape(scenario.approach) << "\",\n";
     os << "      \"strategy\": \"" << util::json_escape(report.strategy_name) << "\",\n";

@@ -25,6 +25,11 @@
 
 namespace avis::core {
 
+// Write-ahead journal (core/journal.h); forward-declared because journal.h
+// includes this header for the cell/report types.
+class CampaignJournal;
+struct JournalCellRecord;
+
 // Compatibility/extension hook: builds a cell's strategy once its monitor
 // model is calibrated. The second argument is the cell's strategy seed.
 using StrategyFactory =
@@ -74,6 +79,12 @@ struct CampaignCellResult {
   std::string completed_by = "local";
   std::vector<std::string> reassigned_from;
 
+  // Position in the requested grid (-1 = "my position in the results
+  // vector", the single-process default). A resumed or interrupted campaign
+  // reports a subset or reordering of the grid, so the report writer needs
+  // the original index to keep cell identity stable across runs.
+  int grid_index = -1;
+
   double experiments_per_sec() const {
     return wall_seconds > 0.0 ? report.experiments / wall_seconds : 0.0;
   }
@@ -88,6 +99,10 @@ struct CampaignResult {
   bool checkpoint_trees = true;
   std::size_t checkpoint_budget_bytes = 0;
   double wall_seconds = 0.0;      // whole-campaign wall time
+  // True when the campaign was stopped early (SIGINT/SIGTERM): cells holds
+  // only what completed, and the report is a valid partial — the journal
+  // plus --resume turns it into the full report later.
+  bool interrupted = false;
   std::vector<CampaignCellResult> cells;  // deterministic grid order
 
   int total_experiments() const {
@@ -167,6 +182,21 @@ struct CampaignOptions {
   // (Checker::kAutoBatchWidth). Like the worker split, a wall-clock-only
   // knob: reports are bit-identical at any width.
   int batch_width = 0;
+
+  // Crash safety (core/journal.h; docs/DISTRIBUTED.md). When `journal` is
+  // set, every completed cell is appended (write + fsync) as soon as it is
+  // collected, in grid order. When `resume` is set, the listed cells are
+  // not re-run: their journaled reports are merged into the result at their
+  // grid positions. Both are borrowed, not owned; the caller (the CLI)
+  // keeps them alive across run().
+  CampaignJournal* journal = nullptr;
+  const std::vector<JournalCellRecord>* resume = nullptr;
+
+  // Cooperative interrupt (SIGINT/SIGTERM): polled between cells. When it
+  // returns true the runner stops starting new cells, finishes (and
+  // journals) the ones already running, and returns a partial result with
+  // interrupted = true.
+  std::function<bool()> should_stop;
 };
 
 class CampaignRunner {

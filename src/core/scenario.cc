@@ -164,6 +164,10 @@ util::Registry<ApproachInfo>& approach_registry() {
           ApproachInfo{"BFI", [](const MonitorModel& model, const ScenarioSpec& spec) {
                          baselines::BfiConfig config;
                          config.max_set_size = spec.constraints.max_set_size;
+                         config.window_start_ms = spec.constraints.window_start_ms;
+                         config.window_end_ms = spec.constraints.window_end_ms;
+                         config.allowed_type_mask =
+                             fault_type_mask(spec.constraints.fault_types);
                          baselines::ModeTimeline timeline(model.golden_transitions());
                          return std::unique_ptr<InjectionStrategy>(
                              std::make_unique<baselines::BfiChecker>(

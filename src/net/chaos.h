@@ -1,0 +1,143 @@
+// Deterministic network fault injection for the campaign protocol
+// (docs/DISTRIBUTED.md, "Chaos testing").
+//
+// The same in-situ discipline the checker applies to firmware sensors is
+// applied to our own transport: a ChaosPolicy sits in front of a
+// FrameChannel's sends and decides, per outbound frame, whether the frame
+// passes, is dropped, delayed, truncated mid-write, duplicated, or whether
+// the connection is severed outright. Decisions are a pure function of
+// (seed, stream, frame ordinal) — each frame draws from its own derived
+// RNG, so the schedule for frame k of connection s never depends on what
+// the peer did or how many bytes earlier frames carried. Same seed, same
+// event trace; that determinism is what lets tests sweep the
+// coordinator/worker pair through scripted fault schedules instead of
+// relying on SIGKILL timing.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace avis::net {
+
+enum class ChaosAction { kPass, kDrop, kDelay, kTruncate, kDuplicate, kSever };
+
+inline const char* chaos_action_name(ChaosAction action) {
+  switch (action) {
+    case ChaosAction::kPass: return "pass";
+    case ChaosAction::kDrop: return "drop";
+    case ChaosAction::kDelay: return "delay";
+    case ChaosAction::kTruncate: return "truncate";
+    case ChaosAction::kDuplicate: return "duplicate";
+    case ChaosAction::kSever: return "sever";
+  }
+  return "?";
+}
+
+// One decision. frame is the 0-based outbound frame ordinal on this stream.
+struct ChaosEvent {
+  std::uint64_t frame = 0;
+  ChaosAction action = ChaosAction::kPass;
+  int delay_ms = 0;           // kDelay: how long the frame sits "in flight"
+  std::size_t keep_bytes = 0; // kTruncate: framed bytes shipped before the cut
+
+  bool operator==(const ChaosEvent&) const = default;
+};
+
+// Event mix. seed 0 means chaos is off (the CLI default); the probabilities
+// are per-frame and deliberately mild so a seeded campaign still completes —
+// the robustness machinery (reassignment, reconnection, degraded mode) is
+// what absorbs the injected faults.
+struct ChaosConfig {
+  std::uint64_t seed = 0;
+  double drop = 0.05;
+  double delay = 0.05;
+  double truncate = 0.02;
+  double duplicate = 0.05;
+  int delay_max_ms = 25;
+  // Cut the connection once this many frames have been sent (0 = never).
+  // The scripted analogue of SIGKILLing a worker mid-cell.
+  std::uint64_t sever_after_frames = 0;
+
+  bool enabled() const { return seed != 0; }
+};
+
+class ChaosPolicy {
+ public:
+  // Seeded mode: decisions derive from (config.seed, stream, frame). The
+  // stream distinguishes connections of one process (reconnect attempts,
+  // multiple accepted workers) so they do not replay each other's schedule.
+  ChaosPolicy(const ChaosConfig& config, std::uint64_t stream)
+      : config_(config), stream_(stream) {}
+
+  // Scripted mode (tests): the k-th send executes script[k] verbatim;
+  // frames past the script pass untouched.
+  explicit ChaosPolicy(std::vector<ChaosEvent> script)
+      : scripted_(true), script_(std::move(script)) {}
+
+  // Decision for the next outbound frame of framed_bytes total wire bytes
+  // (4-byte length prefix + payload). Appends the decision to trace().
+  ChaosEvent next(std::size_t framed_bytes) {
+    ChaosEvent event;
+    event.frame = frame_;
+    if (scripted_) {
+      if (frame_ < script_.size()) {
+        event = script_[frame_];
+        event.frame = frame_;
+      }
+    } else if (config_.sever_after_frames > 0 && frame_ >= config_.sever_after_frames) {
+      event.action = ChaosAction::kSever;
+    } else {
+      // A fresh RNG per frame keeps the decision a pure function of
+      // (seed, stream, frame): no draw-count coupling between frames.
+      util::Rng rng(p_mix(config_.seed, stream_, frame_));
+      const double roll = rng.next_double();
+      double edge = config_.drop;
+      if (roll < edge) {
+        event.action = ChaosAction::kDrop;
+      } else if (roll < (edge += config_.delay)) {
+        event.action = ChaosAction::kDelay;
+        event.delay_ms =
+            1 + static_cast<int>(rng.next_below(
+                    static_cast<std::uint64_t>(std::max(config_.delay_max_ms, 1))));
+      } else if (roll < (edge += config_.truncate)) {
+        event.action = ChaosAction::kTruncate;
+        // Always strictly short of the full frame: the peer sees a torn
+        // write, exactly what a crash mid-send looks like on the wire.
+        event.keep_bytes = static_cast<std::size_t>(
+            rng.next_below(static_cast<std::uint64_t>(std::max<std::size_t>(framed_bytes, 1))));
+      } else if (roll < (edge += config_.duplicate)) {
+        event.action = ChaosAction::kDuplicate;
+      }
+    }
+    ++frame_;
+    trace_.push_back(event);
+    return event;
+  }
+
+  // Every decision made so far, in frame order: the "event trace" the
+  // determinism contract is stated over.
+  const std::vector<ChaosEvent>& trace() const { return trace_; }
+
+ private:
+  static std::uint64_t p_mix(std::uint64_t seed, std::uint64_t stream, std::uint64_t frame) {
+    // SplitMix-style finalizer over the three coordinates; matches the
+    // quality bar of util::Rng's own generator.
+    std::uint64_t z = seed ^ (stream * 0x9e3779b97f4a7c15ULL) ^ (frame * 0xbf58476d1ce4e5b9ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  ChaosConfig config_;
+  std::uint64_t stream_ = 0;
+  bool scripted_ = false;
+  std::vector<ChaosEvent> script_;
+  std::uint64_t frame_ = 0;
+  std::vector<ChaosEvent> trace_;
+};
+
+}  // namespace avis::net

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <variant>
 
+#include "core/journal.h"
 #include "net/frame.h"
 #include "net/protocol.h"
 #include "util/checked.h"
@@ -77,9 +78,50 @@ core::CampaignResult CampaignCoordinator::run() {
   auto last_worker_seen = start;  // degraded-mode grace reference
   int peak_workers = 0;
   int anon_counter = 0;
+  std::uint64_t chaos_stream = 0;  // accept ordinal; keys each conn's schedule
+  bool interrupted = false;
 
   const auto log = [&](const std::string& line) {
     if (options_.log != nullptr) *options_.log << "[coordinator] " << line << std::endl;
+  };
+
+  // Resume: journaled cells are already done. Their reports merge at their
+  // grid positions and the scheduler never assigns them.
+  if (options_.resume != nullptr) {
+    std::size_t merged = 0;
+    for (const core::JournalCellRecord& record : *options_.resume) {
+      if (record.index < 0 || static_cast<std::size_t>(record.index) >= cells.size()) continue;
+      CellState& cell = cells[static_cast<std::size_t>(record.index)];
+      if (cell.done) continue;
+      cell.done = true;
+      cell.report = record.report;
+      cell.wall_seconds = record.wall_seconds;
+      cell.attempts = record.attempts;
+      cell.completed_by = record.completed_by;
+      cell.reassigned_from = record.reassigned_from;
+      ++merged;
+    }
+    log("resumed " + std::to_string(merged) + "/" + std::to_string(cells.size()) +
+        " cells from journal");
+  }
+
+  // Write-ahead: append + fsync the completed cell before the coordinator
+  // acts on the completion (marks it done, assigns the next cell). A
+  // JournalError is deliberately not caught here — losing durability
+  // mid-campaign must fail loudly, not degrade silently.
+  const auto journal_cell = [&](std::size_t index, const CellState& cell,
+                                const core::CheckerReport& report, double wall_seconds,
+                                const std::string& completed_by) {
+    if (options_.journal == nullptr) return;
+    core::JournalCellRecord record;
+    record.index = static_cast<int>(index);
+    record.spec_hash = core::cell_identity_hash(grid_[index]);
+    record.attempts = cell.attempts;
+    record.completed_by = completed_by;
+    record.reassigned_from = cell.reassigned_from;
+    record.wall_seconds = wall_seconds;
+    record.report = report;
+    options_.journal->append(record);
   };
 
   const auto liveness_window =
@@ -176,6 +218,20 @@ core::CampaignResult CampaignCoordinator::run() {
         w.channel->close();
         return;
       }
+      if (!constant_time_equal(hello->auth, options_.auth_token)) {
+        // The nack names the failure but never echoes either token.
+        HelloAck nack;
+        nack.ok = false;
+        nack.reason = "auth token mismatch";
+        try {
+          w.channel->send(encode(Message{nack}));
+        } catch (const NetError&) {
+        }
+        log("refused worker '" + hello->worker_id + "': " + nack.reason);
+        w.dead = true;
+        w.channel->close();
+        return;
+      }
       w.registered = true;
       w.id = hello->worker_id.empty() ? "worker-" + std::to_string(++anon_counter)
                                       : hello->worker_id;
@@ -202,6 +258,11 @@ core::CampaignResult CampaignCoordinator::run() {
         requeue(index, w.id, "failed on worker: " + report->error);
         return;
       }
+      // Journal on receipt, before the completion takes effect: if we die
+      // between the fsync and marking the cell done, the resume re-merges
+      // the journaled copy and at worst re-journals a duplicate (load()
+      // keeps the first).
+      journal_cell(index, cell, report->report, report->wall_seconds, w.id);
       cell.in_flight = false;
       cell.done = true;
       cell.report = std::move(report->report);
@@ -218,6 +279,16 @@ core::CampaignResult CampaignCoordinator::run() {
     if (std::all_of(cells.begin(), cells.end(), [](const CellState& c) { return c.done; })) {
       break;
     }
+    if (options_.should_stop && options_.should_stop()) {
+      // Graceful interrupt: everything journaled so far is durable; stop
+      // assigning and return the partial merge below.
+      interrupted = true;
+      log("interrupted: stopping with " +
+          std::to_string(std::count_if(cells.begin(), cells.end(),
+                                       [](const CellState& c) { return c.done; })) +
+          "/" + std::to_string(cells.size()) + " cells complete");
+      break;
+    }
 
     // Wait for traffic on the listener or any live connection, bounded by
     // the tick so timers (liveness, deadlines, backoff, degraded grace)
@@ -232,6 +303,10 @@ core::CampaignResult CampaignCoordinator::run() {
     while (auto accepted = listener_.accept(0)) {
       auto conn = std::make_unique<WorkerConn>();
       conn->channel = std::make_unique<FrameChannel>(std::move(*accepted));
+      if (options_.chaos.enabled()) {
+        conn->channel->set_chaos(std::make_unique<ChaosPolicy>(options_.chaos, chaos_stream));
+      }
+      ++chaos_stream;
       conn->last_seen = Clock::now();
       workers.push_back(std::move(conn));
     }
@@ -321,11 +396,16 @@ core::CampaignResult CampaignCoordinator::run() {
       for (std::size_t i = 0; i < cells.size(); ++i) {
         CellState& cell = cells[i];
         if (cell.done) continue;
+        if (options_.should_stop && options_.should_stop()) {
+          interrupted = true;
+          break;
+        }
         if (cell.attempts >= options_.max_attempts) abort_campaign(i);
         cell.attempts += 1;
         core::CampaignCellResult local =
             core::run_cell(grid_[i], experiment_workers, options_.checkpoints,
                            options_.batch_width);
+        journal_cell(i, cell, local.report, local.wall_seconds, "local");
         cell.done = true;
         cell.report = std::move(local.report);
         cell.wall_seconds = local.wall_seconds;
@@ -333,14 +413,16 @@ core::CampaignResult CampaignCoordinator::run() {
         log(cell_name(i) + " completed in-process (attempt " + std::to_string(cell.attempts) +
             ")");
       }
+      if (interrupted) break;
     }
   }
 
-  // Campaign complete: release the fleet and stop accepting.
+  // Campaign complete (or interrupted): release the fleet, stop accepting.
   for (auto& w : workers) {
     if (!w->registered || w->dead) continue;
     try {
-      w->channel->send(encode(Message{Shutdown{"campaign complete"}}));
+      w->channel->send(encode(
+          Message{Shutdown{interrupted ? "campaign interrupted" : "campaign complete"}}));
     } catch (const NetError&) {
     }
   }
@@ -348,14 +430,24 @@ core::CampaignResult CampaignCoordinator::run() {
   listener_.close();
 
   // Deterministic merge: cell i of the result is grid cell i, whichever
-  // worker produced it and in whatever order reports arrived.
+  // worker produced it and in whatever order reports arrived. On interrupt
+  // only completed cells merge (grid_index keeps their identity).
   core::CampaignResult result;
   result.split.campaign_workers = std::max(1, peak_workers);
   result.split.experiment_workers = experiment_workers;
   result.batch_width = options_.batch_width > 0 ? options_.batch_width
                                                 : core::Checker::kAutoBatchWidth;
+  // Echo the checkpoint config the cells ran with, exactly as the
+  // single-process runner does — a merged report must describe its own
+  // provenance identically or the masked-diff identity breaks on the
+  // checkpoint keys (which the distributed mask deliberately keeps).
+  result.checkpoints_enabled = options_.checkpoints.enabled;
+  result.checkpoint_trees = options_.checkpoints.enabled && options_.checkpoints.trees;
+  result.checkpoint_budget_bytes = options_.checkpoints.byte_budget;
+  result.interrupted = interrupted;
   result.cells.reserve(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!cells[i].done) continue;
     core::CampaignCellResult out;
     out.spec = grid_[i];
     out.report = std::move(cells[i].report);
@@ -363,6 +455,7 @@ core::CampaignResult CampaignCoordinator::run() {
     out.attempts = cells[i].attempts;
     out.completed_by = cells[i].completed_by;
     out.reassigned_from = std::move(cells[i].reassigned_from);
+    out.grid_index = static_cast<int>(i);
     result.cells.push_back(std::move(out));
   }
   result.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();

@@ -26,12 +26,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/campaign.h"
+#include "net/chaos.h"
 #include "net/socket.h"
 
 namespace avis::net {
@@ -87,6 +89,28 @@ struct CoordinatorOptions {
   int experiment_workers = 0;  // 0 = util::default_worker_count()
   int batch_width = 0;         // lockstep simulation width; 0 = auto
   core::CheckpointConfig checkpoints;
+
+  // Shared-secret auth (docs/DISTRIBUTED.md "Trust model"): a worker whose
+  // Hello.auth does not match (constant-time compare) is refused at the
+  // handshake. Empty (the default) matches only workers sending no token.
+  std::string auth_token;
+
+  // Crash safety (core/journal.h): with `journal` set, every completed cell
+  // is appended + fsync'd on CellReport receipt — before the coordinator
+  // acts on the completion. Cells listed in `resume` are pre-marked done
+  // with their journaled reports and never assigned. Borrowed, not owned.
+  core::CampaignJournal* journal = nullptr;
+  const std::vector<core::JournalCellRecord>* resume = nullptr;
+
+  // Cooperative interrupt (SIGINT/SIGTERM), polled once per event-loop
+  // tick: stop assigning, shut the fleet down, return a partial result with
+  // interrupted = true.
+  std::function<bool()> should_stop;
+
+  // Deterministic fault injection on every accepted connection's send path
+  // (net/chaos.h; stream = accept ordinal). Coordinator-side outbound
+  // chaos; workers take their own ChaosConfig for the other direction.
+  ChaosConfig chaos;
 
   std::ostream* log = nullptr;  // progress/diagnostic lines; nullptr = quiet
 };

@@ -7,13 +7,18 @@
 // length prefix cannot drive an unbounded allocation.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "net/chaos.h"
 #include "net/socket.h"
 #include "util/bytes.h"
 
@@ -36,14 +41,44 @@ class FrameChannel {
   bool valid() const { return socket_.valid(); }
   void close() { socket_.close(); }
 
+  // Deterministic fault injection on the send path (net/chaos.h). Install
+  // before the channel is shared across threads; every subsequent send()
+  // consults the policy. nullptr (the default) is the zero-cost clean path.
+  void set_chaos(std::unique_ptr<ChaosPolicy> chaos) { chaos_ = std::move(chaos); }
+  ChaosPolicy* chaos() const { return chaos_.get(); }
+
   // Sends one frame. Throws PeerClosed/NetError on a dead connection.
   void send(std::string_view payload) {
     if (payload.size() > kMaxFrameBytes) throw NetError("frame payload too large");
     const std::lock_guard<std::mutex> lock(send_mutex_);
     writer_.clear();
     writer_.u32(static_cast<std::uint32_t>(payload.size()));
-    socket_.send_all(writer_.span());
-    socket_.send_all({reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size()});
+    if (chaos_ != nullptr) {
+      const ChaosEvent event = chaos_->next(4 + payload.size());
+      switch (event.action) {
+        case ChaosAction::kPass:
+          break;
+        case ChaosAction::kDrop:
+          return;  // the network ate the frame; the sender never learns
+        case ChaosAction::kDelay:
+          std::this_thread::sleep_for(std::chrono::milliseconds(event.delay_ms));
+          break;
+        case ChaosAction::kDuplicate:
+          p_send_framed(payload);  // first copy; the normal path below sends the second
+          break;
+        case ChaosAction::kTruncate:
+          // Torn write: ship a strict prefix of the framed bytes, then cut
+          // the link — what a crash mid-send looks like from the peer.
+          p_send_prefix(payload, event.keep_bytes);
+          socket_.shutdown_both();
+          throw PeerClosed("chaos: frame truncated after " +
+                           std::to_string(event.keep_bytes) + " bytes");
+        case ChaosAction::kSever:
+          socket_.shutdown_both();
+          throw PeerClosed("chaos: connection severed");
+      }
+    }
+    p_send_framed(payload);
   }
 
   // Returns the next complete frame's payload, or nullopt if none became
@@ -71,6 +106,22 @@ class FrameChannel {
   }
 
  private:
+  // The clean wire format: 4-byte little-endian length, then the payload.
+  // writer_ already holds the prefix when these run (send() fills it).
+  void p_send_framed(std::string_view payload) {
+    socket_.send_all(writer_.span());
+    socket_.send_all({reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size()});
+  }
+
+  // First keep_bytes of the framed message (prefix + payload), nothing more.
+  void p_send_prefix(std::string_view payload, std::size_t keep_bytes) {
+    const std::span<const std::uint8_t> prefix = writer_.span();
+    const std::size_t head = std::min(keep_bytes, prefix.size());
+    socket_.send_all(prefix.subspan(0, head));
+    const std::size_t tail = std::min(payload.size(), keep_bytes - head);
+    socket_.send_all({reinterpret_cast<const std::uint8_t*>(payload.data()), tail});
+  }
+
   // Extracts the next complete frame from the reassembly buffer, advancing
   // consumed_ instead of erasing from the front — repeated O(n) moves on a
   // large buffered frame would dominate reassembly otherwise. The consumed
@@ -95,6 +146,7 @@ class FrameChannel {
   }
 
   Socket socket_;
+  std::unique_ptr<ChaosPolicy> chaos_;  // nullptr = clean transport
   util::ByteWriter writer_;      // retained-capacity length prefix scratch
   std::vector<std::uint8_t> buffer_;  // receive reassembly buffer
   std::size_t consumed_ = 0;          // bytes of buffer_ already handed out

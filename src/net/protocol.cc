@@ -12,7 +12,7 @@ std::string p_encode_hello(const Hello& m) {
   std::ostringstream os;
   os << "{\"type\": \"hello\", \"protocol\": " << m.protocol << ", \"build\": \""
      << util::json_escape(m.build) << "\", \"worker_id\": \"" << util::json_escape(m.worker_id)
-     << "\"}";
+     << "\", \"auth\": \"" << util::json_escape(m.auth) << "\"}";
   return os.str();
 }
 
@@ -57,6 +57,9 @@ Hello p_decode_hello(const util::Json& json) {
   m.protocol = static_cast<int>(json.at("protocol").as_int64());
   m.build = json.at("build").as_string();
   m.worker_id = json.at("worker_id").as_string();
+  // Optional so a v2 Hello still decodes far enough for the version-refusal
+  // nack to name the mismatch instead of dying on a missing key.
+  m.auth = json.get_string("auth", "");
   return m;
 }
 

@@ -34,7 +34,9 @@ namespace avis::net {
 // --no-checkpoint-trees, --checkpoint-budget-mb) instead of local defaults,
 // and CellReport's CheckerReport gained checkpoint_hits_by_level /
 // checkpoint_tree_evicted / stalled_runs.
-inline constexpr int kProtocolVersion = 2;
+// v3: Hello carries the shared-secret auth token (--auth-token); the
+// coordinator refuses registration on mismatch.
+inline constexpr int kProtocolVersion = 3;
 // Human-readable build identity, shown by --version and carried in Hello.
 inline constexpr const char* kBuildVersion = "avis-campaign 0.6";
 
@@ -47,6 +49,10 @@ struct Hello {
   int protocol = kProtocolVersion;
   std::string build = kBuildVersion;
   std::string worker_id;
+  // Shared-secret auth token (docs/DISTRIBUTED.md "Trust model"). Both
+  // sides default to empty, which still compares equal — the token is
+  // opt-in for non-loopback deployments, not a mandatory credential.
+  std::string auth;
 };
 
 struct HelloAck {
@@ -84,6 +90,21 @@ struct Shutdown {
 };
 
 using Message = std::variant<Hello, HelloAck, AssignCell, CellReport, Heartbeat, Shutdown>;
+
+// Constant-time equality for the Hello auth token: the comparison cost must
+// not depend on how many leading bytes match, or the handshake becomes a
+// timing oracle that leaks the token byte by byte. Length still leaks (it
+// always does with variable-length secrets); the scan length depends only
+// on the attacker-supplied side.
+inline bool constant_time_equal(std::string_view candidate, std::string_view secret) {
+  unsigned char diff = candidate.size() == secret.size() ? 0 : 1;
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    const unsigned char expected =
+        secret.empty() ? 0 : static_cast<unsigned char>(secret[i % secret.size()]);
+    diff |= static_cast<unsigned char>(candidate[i]) ^ expected;
+  }
+  return diff == 0;
+}
 
 // JSON round trip for one frame payload. decode throws ProtocolError on
 // anything malformed (including JSON errors from a truncated or hostile

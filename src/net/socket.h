@@ -70,6 +70,14 @@ class Socket {
     }
   }
 
+  // Half-close both directions but keep the fd open. The chaos layer
+  // (net/chaos.h) uses this to simulate a severed link: unlike close(),
+  // the fd stays valid so an event loop polling it sees EOF (-> PeerClosed)
+  // instead of silently skipping a negative fd forever.
+  void shutdown_both() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+
   // Small frames should not sit in Nagle's buffer: heartbeats and cell
   // assignments are latency-sensitive next to multi-second cell runs.
   void set_nodelay() {

@@ -32,6 +32,7 @@ SessionEnd p_run_session(const WorkerOptions& options, FrameChannel& channel,
                          const std::function<void(const std::string&)>& log) {
   Hello hello;
   hello.worker_id = options.worker_id;
+  hello.auth = options.auth_token;
   channel.send(encode(Message{hello}));
 
   // The ack must be the first frame; anything else is a protocol breach.
@@ -140,9 +141,14 @@ bool run_worker(const WorkerOptions& options) {
   };
 
   int consecutive_failures = 0;
+  std::uint64_t connection_ordinal = 0;
   while (true) {
     try {
       FrameChannel channel(connect_to(options.host, options.port));
+      if (options.chaos.enabled()) {
+        channel.set_chaos(std::make_unique<ChaosPolicy>(options.chaos, connection_ordinal));
+      }
+      ++connection_ordinal;
       const SessionEnd end = p_run_session(options, channel, log);
       if (end == SessionEnd::kShutdown) return true;
       consecutive_failures = 0;  // the session registered; the fleet lives

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/campaign.h"
+#include "net/chaos.h"
 
 namespace avis::net {
 
@@ -40,6 +41,16 @@ struct WorkerOptions {
   // the coordinator's knobs.
   int experiment_workers = 0;  // 0 = util::default_worker_count()
   int batch_width = 0;         // lockstep simulation width; 0 = auto
+
+  // Shared-secret auth token carried in Hello (docs/DISTRIBUTED.md "Trust
+  // model"). Must match the coordinator's --auth-token or registration is
+  // refused (fatal, like a protocol-version mismatch).
+  std::string auth_token;
+
+  // Deterministic fault injection on this worker's send path (net/chaos.h;
+  // stream = connection ordinal, so reconnects do not replay the first
+  // connection's schedule).
+  ChaosConfig chaos;
 
   std::ostream* log = nullptr;
 };

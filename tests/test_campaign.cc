@@ -4,9 +4,15 @@
 // worker split (docs/PERFORMANCE.md, "Campaign-level parallelism").
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+
 #include "baselines/random_injection.h"
 #include "core/campaign.h"
+#include "core/journal.h"
 #include "core/sabre.h"
+#include "core/scenario.h"
 #include "test_helpers.h"
 #include "util/checked.h"
 #include "util/concurrency.h"
@@ -196,6 +202,145 @@ TEST(Campaign, JsonReportCarriesPerCellMetrics) {
   EXPECT_EQ(campaign.at("checkpoint_hits").as_int64(), result.total_checkpoint_hits());
   EXPECT_EQ(campaign.at("checkpoint_skipped_ms").as_int64(),
             result.total_checkpoint_skipped_ms());
+}
+
+// Registry-named grid for the crash-safety tests: journal records identify
+// cells by their serialized ScenarioSpec, so custom factories do not apply.
+std::vector<core::CampaignCellSpec> journal_grid() {
+  core::ScenarioGrid grid;
+  grid.approaches = {"avis", "random"};
+  grid.personalities = {"ardupilot"};
+  grid.workloads = {"box-manual"};
+  grid.environments = {"calm"};
+  grid.budget_ms = 20000;
+  grid.seed = 100;
+  return core::expand_to_cells(grid);
+}
+
+// The tentpole contract: interrupt a journaled campaign partway, resume it
+// from the journal, and the merged report is identical to an uninterrupted
+// run — wall-clock fields aside (expect_campaign_results_equal masks them).
+TEST(Campaign, ResumeFromJournalMatchesUninterruptedRun) {
+  const auto grid = journal_grid();
+  core::CampaignOptions base;
+  base.cell_workers = 1;  // serial: should_stop cuts at a deterministic cell
+  base.experiment_workers = 2;
+  const core::CampaignResult reference = core::CampaignRunner(base).run(grid);
+
+  const std::string path = ::testing::TempDir() + "avis_campaign_resume_" +
+                           std::to_string(::getpid()) + ".jsonl";
+
+  // First run: journal every completion, "SIGINT" after the first cell (the
+  // stop callback is polled between cells; the first poll admits cell 0).
+  {
+    core::CampaignJournal journal = core::CampaignJournal::start(
+        path, core::CampaignJournal::bind(grid, base.checkpoints, base.batch_width));
+    core::CampaignOptions first = base;
+    first.journal = &journal;
+    int polls = 0;
+    first.should_stop = [&polls] { return polls++ >= 1; };
+    const core::CampaignResult partial = core::CampaignRunner(first).run(grid);
+
+    EXPECT_TRUE(partial.interrupted);
+    ASSERT_EQ(partial.cells.size(), 1u);
+    EXPECT_EQ(partial.cells[0].grid_index, 0);
+    // The partial report says so, and keeps honest grid indices; the full
+    // reference report carries no interrupted marker at all.
+    const std::string partial_json = core::campaign_report_json(partial);
+    EXPECT_NE(partial_json.find("\"interrupted\": true"), std::string::npos);
+    EXPECT_NE(partial_json.find("\"index\": 0"), std::string::npos);
+    EXPECT_EQ(core::campaign_report_json(reference).find("\"interrupted\""),
+              std::string::npos);
+  }
+
+  // Resume: the journal binds this exact campaign, cell 0 is merged from the
+  // journal (not re-run), and the rest complete.
+  const auto loaded = core::CampaignJournal::load(path);
+  EXPECT_FALSE(loaded.dropped_torn_record);
+  ASSERT_EQ(loaded.cells.size(), 1u);
+  EXPECT_EQ(core::CampaignJournal::header_diff(
+                loaded.header,
+                core::CampaignJournal::bind(grid, base.checkpoints, base.batch_width), grid),
+            "");
+
+  core::CampaignJournal journal = core::CampaignJournal::append_to(path);
+  core::CampaignOptions second = base;
+  second.journal = &journal;
+  second.resume = &loaded.cells;
+  const core::CampaignResult resumed = core::CampaignRunner(second).run(grid);
+
+  EXPECT_FALSE(resumed.interrupted);
+  avis::testing::expect_campaign_results_equal(reference, resumed);
+  ASSERT_EQ(resumed.cells.size(), grid.size());
+  for (std::size_t i = 0; i < resumed.cells.size(); ++i) {
+    EXPECT_EQ(resumed.cells[i].grid_index, static_cast<int>(i));
+  }
+
+  // After the resumed run the journal holds the whole campaign: resuming
+  // again would re-run nothing.
+  const auto complete = core::CampaignJournal::load(path);
+  EXPECT_EQ(complete.cells.size(), grid.size());
+  std::filesystem::remove(path);
+}
+
+// A resume against a drifted grid must be refused before any simulation:
+// merging cells from two different campaigns would be silent corruption.
+TEST(Campaign, ResumeRefusesDriftedGrid) {
+  const auto grid = journal_grid();
+  const std::string path = ::testing::TempDir() + "avis_campaign_drift_" +
+                           std::to_string(::getpid()) + ".jsonl";
+  {
+    core::CampaignJournal journal =
+        core::CampaignJournal::start(path, core::CampaignJournal::bind(grid, {}, 0));
+  }
+  auto drifted_grid = journal_grid();
+  drifted_grid[0].scenario.seed = 999;
+  const auto loaded = core::CampaignJournal::load(path);
+  const std::string diff = core::CampaignJournal::header_diff(
+      loaded.header, core::CampaignJournal::bind(drifted_grid, {}, 0), drifted_grid);
+  EXPECT_NE(diff, "");
+  EXPECT_NE(diff.find("cell 0"), std::string::npos) << diff;
+
+  core::CheckpointConfig no_trees;
+  no_trees.trees = false;
+  EXPECT_NE(core::CampaignJournal::header_diff(
+                loaded.header, core::CampaignJournal::bind(grid, no_trees, 0), grid),
+            "");
+  std::filesystem::remove(path);
+}
+
+// Pooled path: with concurrent cell workers, a stop request still yields a
+// valid partial (in-flight cells finish and are journaled; unstarted cells
+// are skipped) that a resumed run completes to the identical full report.
+TEST(Campaign, PooledInterruptThenResumeCompletesIdentically) {
+  const auto grid = journal_grid();
+  core::CampaignOptions base;
+  base.cell_workers = 2;
+  base.experiment_workers = 1;
+  const core::CampaignResult reference = core::CampaignRunner(base).run(grid);
+
+  const std::string path = ::testing::TempDir() + "avis_campaign_pooled_" +
+                           std::to_string(::getpid()) + ".jsonl";
+  {
+    core::CampaignJournal journal = core::CampaignJournal::start(
+        path, core::CampaignJournal::bind(grid, base.checkpoints, base.batch_width));
+    core::CampaignOptions first = base;
+    first.journal = &journal;
+    first.should_stop = [] { return true; };  // stop before anything starts
+    const core::CampaignResult partial = core::CampaignRunner(first).run(grid);
+    EXPECT_TRUE(partial.interrupted);
+    EXPECT_TRUE(partial.cells.empty());
+  }
+
+  const auto loaded = core::CampaignJournal::load(path);
+  core::CampaignJournal journal = core::CampaignJournal::append_to(path);
+  core::CampaignOptions second = base;
+  second.journal = &journal;
+  second.resume = &loaded.cells;
+  const core::CampaignResult resumed = core::CampaignRunner(second).run(grid);
+  EXPECT_FALSE(resumed.interrupted);
+  avis::testing::expect_campaign_results_equal(reference, resumed);
+  std::filesystem::remove(path);
 }
 
 TEST(Campaign, UnknownApproachFailsLoudly) {

@@ -16,8 +16,11 @@
 // cannot be talked into dying mid-cell, so the tests speak wire frames
 // directly where the failure requires it.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <cstdint>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -25,6 +28,7 @@
 #include <vector>
 
 #include "core/campaign.h"
+#include "core/journal.h"
 #include "core/scenario.h"
 #include "net/coordinator.h"
 #include "net/frame.h"
@@ -86,11 +90,12 @@ struct FakeWorker {
   net::FrameChannel channel;
 
   FakeWorker(std::uint16_t port, const std::string& id,
-             int protocol = net::kProtocolVersion)
+             int protocol = net::kProtocolVersion, const std::string& auth = "")
       : channel(net::connect_to("127.0.0.1", port)) {
     net::Hello hello;
     hello.protocol = protocol;
     hello.worker_id = id;
+    hello.auth = auth;
     channel.send(net::encode(net::Message{hello}));
   }
 
@@ -379,6 +384,177 @@ TEST(Distributed, ProtocolVersionMismatchRefusesToPair) {
   ASSERT_EQ(result.cells.size(), 1u);
   EXPECT_EQ(result.cells[0].completed_by, "local");
   EXPECT_EQ(result.cells[0].attempts, 1);  // the refused worker never held it
+}
+
+// Crash-safe resume across execution paths: a journal written by an
+// interrupted in-process run (what a crashed coordinator leaves on disk) is
+// resumed by a coordinator, which merges the journaled cell and ships only
+// the remainder to the fleet — and the merged report is identical to the
+// uninterrupted single-process reference.
+TEST(Distributed, CoordinatorResumesFromJournalAndMergesIdentically) {
+  const auto cells = test_cells(2);
+  const core::CampaignResult reference = single_process_reference(cells);
+  const std::string path = ::testing::TempDir() + "avis_dist_resume_" +
+                           std::to_string(::getpid()) + ".jsonl";
+
+  // Phase 1: journal cell 0, then stop — the stop callback is polled
+  // between cells, so exactly one completion lands in the journal.
+  {
+    core::CampaignJournal journal =
+        core::CampaignJournal::start(path, core::CampaignJournal::bind(cells, {}, 0));
+    core::CampaignOptions options;
+    options.cell_workers = 1;
+    options.experiment_workers = 2;
+    options.journal = &journal;
+    int polls = 0;
+    options.should_stop = [&polls] { return polls++ >= 1; };
+    const core::CampaignResult partial = core::CampaignRunner(options).run(cells);
+    ASSERT_TRUE(partial.interrupted);
+    ASSERT_EQ(partial.cells.size(), 1u);
+  }
+
+  // Phase 2: the coordinator resumes. Cell 0 merges from the journal, cell
+  // 1 goes to the only worker.
+  const auto loaded = core::CampaignJournal::load(path);
+  ASSERT_EQ(loaded.cells.size(), 1u);
+  EXPECT_FALSE(loaded.dropped_torn_record);
+  core::CampaignJournal journal = core::CampaignJournal::append_to(path);
+
+  auto options = quick_options();
+  options.allow_degraded = false;
+  options.journal = &journal;
+  options.resume = &loaded.cells;
+  net::CampaignCoordinator coordinator(cells, options);
+  const std::uint16_t port = coordinator.port();
+
+  core::CampaignResult result;
+  std::thread serve([&] { result = coordinator.run(); });
+  bool ok = false;
+  std::thread finisher([&] { ok = net::run_worker(worker_options(port, "finisher")); });
+  serve.join();
+  finisher.join();
+
+  EXPECT_TRUE(ok);
+  avis::testing::expect_campaign_results_equal(reference, result);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].completed_by, "local");     // journaled provenance
+  EXPECT_EQ(result.cells[1].completed_by, "finisher");  // freshly run
+  // The journal now binds the complete campaign: a second resume would
+  // re-run nothing.
+  EXPECT_EQ(core::CampaignJournal::load(path).cells.size(), 2u);
+  std::filesystem::remove(path);
+}
+
+// Auth: a worker whose Hello carries the wrong shared secret is refused at
+// the handshake with a reason that names the mismatch — never the secret —
+// and the campaign completes without it.
+TEST(Distributed, AuthTokenMismatchRefusesRegistration) {
+  const auto cells = test_cells(1);
+
+  auto options = quick_options();
+  options.auth_token = "open-sesame";
+  options.allow_degraded = true;  // nobody legitimate is coming
+  options.degraded_after_ms = 100;
+  net::CampaignCoordinator coordinator(cells, options);
+  const std::uint16_t port = coordinator.port();
+
+  core::CampaignResult result;
+  std::thread serve([&] { result = coordinator.run(); });
+
+  {
+    FakeWorker impostor(port, "impostor", net::kProtocolVersion, "guess");
+    const net::Message reply = impostor.next();
+    const net::HelloAck* ack = std::get_if<net::HelloAck>(&reply);
+    ASSERT_NE(ack, nullptr);
+    EXPECT_FALSE(ack->ok);
+    EXPECT_NE(ack->reason.find("auth token mismatch"), std::string::npos) << ack->reason;
+    EXPECT_EQ(ack->reason.find("open-sesame"), std::string::npos) << ack->reason;
+  }
+  serve.join();
+
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0].completed_by, "local");
+  EXPECT_EQ(result.cells[0].attempts, 1);  // the impostor never held the cell
+}
+
+// Auth, both directions through the real worker loop: the wrong token is a
+// fatal ProtocolError (reconnecting cannot fix it), the right token runs
+// the campaign to the identical report.
+TEST(Distributed, MatchingAuthTokenRunsCampaign) {
+  const auto cells = test_cells(1);
+  const core::CampaignResult reference = single_process_reference(cells);
+
+  auto options = quick_options();
+  options.auth_token = "open-sesame";
+  options.allow_degraded = false;
+  net::CampaignCoordinator coordinator(cells, options);
+  const std::uint16_t port = coordinator.port();
+
+  core::CampaignResult result;
+  std::thread serve([&] { result = coordinator.run(); });
+
+  std::thread impostor([&] {
+    auto bad = worker_options(port, "impostor");
+    bad.auth_token = "wrong";
+    EXPECT_THROW(net::run_worker(bad), net::ProtocolError);
+  });
+  impostor.join();
+
+  bool ok = false;
+  std::thread legit([&] {
+    auto good = worker_options(port, "legit");
+    good.auth_token = "open-sesame";
+    ok = net::run_worker(good);
+  });
+  serve.join();
+  legit.join();
+
+  EXPECT_TRUE(ok);
+  avis::testing::expect_campaign_results_equal(reference, result);
+}
+
+TEST(Distributed, ConstantTimeEqualSemantics) {
+  EXPECT_TRUE(net::constant_time_equal("", ""));
+  EXPECT_TRUE(net::constant_time_equal("abc", "abc"));
+  EXPECT_FALSE(net::constant_time_equal("abc", "abd"));
+  EXPECT_FALSE(net::constant_time_equal("", "abc"));
+  EXPECT_FALSE(net::constant_time_equal("abc", ""));
+  EXPECT_FALSE(net::constant_time_equal("abcabc", "abc"));
+}
+
+// Chaos sweep: with deterministic wire faults injected on BOTH sides of the
+// connection, every seeded schedule still converges to the identical report
+// — the reassignment/reconnection/degraded machinery absorbs whatever the
+// chaos layer throws, by construction of the determinism contract.
+TEST(Distributed, ChaosSweepPreservesReportIdentity) {
+  const auto cells = test_cells(1);
+  const core::CampaignResult reference = single_process_reference(cells);
+
+  for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{3}}) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    auto options = quick_options();
+    options.allow_degraded = true;  // the last-resort safety net stays armed
+    options.degraded_after_ms = 1000;
+    options.max_attempts = 10;
+    options.cell_deadline_ms = 4000;  // bound the dropped-AssignCell stall
+    options.chaos.seed = seed;
+    net::CampaignCoordinator coordinator(cells, options);
+    const std::uint16_t port = coordinator.port();
+
+    core::CampaignResult result;
+    std::thread serve([&] { result = coordinator.run(); });
+    std::thread worker([&] {
+      auto chaotic = worker_options(port, "chaotic");
+      chaotic.chaos.seed = seed;
+      // Outcome deliberately ignored: chaos may eat the Shutdown frame, in
+      // which case the worker exhausts reconnects against a closed listener.
+      net::run_worker(chaotic);
+    });
+    serve.join();
+    worker.join();
+
+    avis::testing::expect_campaign_results_equal(reference, result);
+  }
 }
 
 // The wire round trip is lossless for every message type (spot checks; the

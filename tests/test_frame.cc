@@ -1,0 +1,311 @@
+// Frame transport under hostile and chaotic conditions (src/net/frame.h,
+// src/net/chaos.h).
+//
+// The robustness contract, in the spirit of the JSON-parser corruption
+// tests: no sequence of wire bytes — torn writes, bit flips, duplicated
+// frames, hostile length prefixes — may produce undefined behaviour or a
+// hang. Every corruption class lands in a typed exception (NetError /
+// PeerClosed / ProtocolError) within a bounded number of polls.
+//
+// The chaos layer's own contract is determinism: the event trace is a pure
+// function of (seed, stream, frame ordinal), which is what makes chaos
+// sweeps reproducible (docs/DISTRIBUTED.md, "Chaos testing").
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/chaos.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace {
+
+using namespace avis;
+using Clock = std::chrono::steady_clock;
+
+net::Socket must_accept(net::Listener& listener) {
+  auto socket = listener.accept(5000);
+  if (!socket) throw std::runtime_error("accept timed out");
+  return std::move(*socket);
+}
+
+// A loopback connection with a FrameChannel on both ends: client sends,
+// server receives.
+class ChannelPair {
+ public:
+  ChannelPair()
+      : listener_(0),
+        client_(net::connect_to("127.0.0.1", listener_.port())),
+        server_(must_accept(listener_)) {}
+
+  net::FrameChannel& client() { return client_; }
+  net::FrameChannel& server() { return server_; }
+
+ private:
+  net::Listener listener_;
+  net::FrameChannel client_;
+  net::FrameChannel server_;
+};
+
+net::ChaosEvent scripted(net::ChaosAction action, int delay_ms = 0,
+                         std::size_t keep_bytes = 0) {
+  net::ChaosEvent event;
+  event.action = action;
+  event.delay_ms = delay_ms;
+  event.keep_bytes = keep_bytes;
+  return event;
+}
+
+void install_script(net::FrameChannel& channel, std::vector<net::ChaosEvent> script) {
+  channel.set_chaos(std::make_unique<net::ChaosPolicy>(std::move(script)));
+}
+
+// Bounded receive: a frame within deadline_ms, nullopt on timeout — never
+// an unbounded wait.
+std::optional<std::string> recv_within(net::FrameChannel& channel, int deadline_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (Clock::now() < deadline) {
+    if (auto frame = channel.poll_frame(20)) return frame;
+  }
+  return std::nullopt;
+}
+
+// Polls until the channel throws PeerClosed; fails the test if anything
+// else happens first (a decoded frame, a different exception, the deadline).
+void expect_peer_closed_within(net::FrameChannel& channel, int deadline_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (Clock::now() < deadline) {
+    try {
+      if (auto frame = channel.poll_frame(20)) {
+        FAIL() << "received a complete frame from a torn write: " << *frame;
+      }
+    } catch (const net::PeerClosed&) {
+      return;  // the corruption surfaced as the typed, expected outcome
+    }
+  }
+  FAIL() << "no PeerClosed within " << deadline_ms << " ms";
+}
+
+std::vector<std::uint8_t> le32(std::uint32_t value) {
+  return {static_cast<std::uint8_t>(value & 0xff),
+          static_cast<std::uint8_t>((value >> 8) & 0xff),
+          static_cast<std::uint8_t>((value >> 16) & 0xff),
+          static_cast<std::uint8_t>((value >> 24) & 0xff)};
+}
+
+// --- Corruption table -------------------------------------------------
+
+// A length prefix past the frame ceiling is a hostile or mis-framed stream:
+// typed NetError, no 4 GiB allocation attempt.
+TEST(FrameCorruption, OversizedLengthPrefixIsNetError) {
+  ChannelPair pair;
+  pair.client().socket().send_all(le32(net::kMaxFrameBytes + 1));
+  EXPECT_THROW(
+      {
+        const auto deadline = Clock::now() + std::chrono::seconds(5);
+        while (Clock::now() < deadline) pair.server().poll_frame(20);
+      },
+      net::NetError);
+}
+
+// Truncation at every interesting prefix class: inside the length prefix
+// (0..3), exactly the prefix (4), one payload byte (5), and one byte short
+// of complete. The peer must see PeerClosed — never a frame, never a hang.
+TEST(FrameCorruption, TruncationAtEveryPrefixClassIsPeerClosedNotHang) {
+  const std::string payload = net::encode(net::Message{net::Heartbeat{}});
+  const std::size_t framed = 4 + payload.size();
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4},
+        std::size_t{5}, framed - 1}) {
+    SCOPED_TRACE("keep_bytes=" + std::to_string(keep));
+    ChannelPair pair;
+    install_script(pair.client(), {scripted(net::ChaosAction::kTruncate, 0, keep)});
+    EXPECT_THROW(pair.client().send(payload), net::PeerClosed);
+    expect_peer_closed_within(pair.server(), 5000);
+  }
+}
+
+// A duplicated frame arrives twice, byte-identical — the receiver sees two
+// valid copies, not a corrupted stream.
+TEST(FrameCorruption, DuplicatedFrameArrivesTwiceIdentically) {
+  ChannelPair pair;
+  install_script(pair.client(), {scripted(net::ChaosAction::kDuplicate)});
+  const std::string payload = net::encode(net::Message{net::Heartbeat{}});
+  pair.client().send(payload);
+  const auto first = recv_within(pair.server(), 3000);
+  const auto second = recv_within(pair.server(), 3000);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, payload);
+  EXPECT_EQ(*second, payload);
+}
+
+// A dropped frame vanishes without a trace but the link survives: the next
+// frame arrives intact and in order.
+TEST(FrameCorruption, DroppedFrameVanishesButLinkSurvives) {
+  ChannelPair pair;
+  install_script(pair.client(), {scripted(net::ChaosAction::kDrop)});
+  pair.client().send("swallowed by the network");
+  const std::string payload = net::encode(net::Message{net::Heartbeat{}});
+  pair.client().send(payload);
+  const auto received = recv_within(pair.server(), 3000);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, payload);  // the dropped frame, not a torn prefix of it
+}
+
+// A delayed frame still arrives whole; delay affects timing only, never
+// content.
+TEST(FrameCorruption, DelayedFrameArrivesIntact) {
+  ChannelPair pair;
+  install_script(pair.client(), {scripted(net::ChaosAction::kDelay, 30)});
+  const std::string payload = net::encode(net::Message{net::Heartbeat{}});
+  const auto start = Clock::now();
+  pair.client().send(payload);
+  EXPECT_GE(Clock::now() - start, std::chrono::milliseconds(30));
+  const auto received = recv_within(pair.server(), 3000);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, payload);
+}
+
+// Severing cuts both directions: the sender gets PeerClosed immediately,
+// the receiver on its next poll.
+TEST(FrameCorruption, SeveredConnectionIsPeerClosedOnBothEnds) {
+  ChannelPair pair;
+  install_script(pair.client(), {scripted(net::ChaosAction::kSever)});
+  EXPECT_THROW(pair.client().send("never leaves the host"), net::PeerClosed);
+  expect_peer_closed_within(pair.server(), 5000);
+}
+
+// Bit flips inside a delivered payload reach the decoder, which must answer
+// with ProtocolError or a decoded (possibly different) message — never UB,
+// never a raw JsonError escaping the net layer.
+TEST(FrameCorruption, BitFlippedPayloadDecodesToProtocolErrorNotUb) {
+  net::Hello hello;
+  hello.worker_id = "w1";
+  hello.auth = "secret";
+  const std::string payload = net::encode(net::Message{hello});
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    for (const std::uint8_t mask : {0x01, 0x20, 0x80}) {
+      std::string corrupt = payload;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ mask);
+      try {
+        (void)net::decode(corrupt);
+      } catch (const net::ProtocolError&) {
+        // The expected typed failure.
+      }
+    }
+  }
+  // And a whole-cloth garbage payload (embedded NUL included), shipped over
+  // a real channel.
+  ChannelPair pair;
+  const std::string garbage("\x00\xff not json at all", 18);
+  pair.client().send(garbage);
+  const auto received = recv_within(pair.server(), 3000);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_THROW(net::decode(*received), net::ProtocolError);
+}
+
+// --- Chaos determinism ------------------------------------------------
+
+// The event trace is a pure function of (seed, stream, frame): same seed
+// and stream reproduce it exactly; changing either changes the schedule.
+TEST(Chaos, TraceIsPureFunctionOfSeedStreamAndFrame) {
+  net::ChaosConfig config;
+  config.seed = 42;
+  config.drop = 0.2;
+  config.delay = 0.2;
+  config.truncate = 0.1;
+  config.duplicate = 0.2;
+
+  net::ChaosPolicy a(config, 1);
+  net::ChaosPolicy b(config, 1);
+  for (int frame = 0; frame < 200; ++frame) {
+    const std::size_t framed_bytes = 32 + static_cast<std::size_t>(frame % 7) * 100;
+    ASSERT_EQ(a.next(framed_bytes), b.next(framed_bytes)) << "frame " << frame;
+  }
+  EXPECT_EQ(a.trace(), b.trace());
+
+  net::ChaosConfig reseeded = config;
+  reseeded.seed = 43;
+  net::ChaosPolicy c(reseeded, 1);
+  net::ChaosPolicy d(config, 2);  // same seed, different stream
+  bool c_differs = false, d_differs = false;
+  for (int frame = 0; frame < 200; ++frame) {
+    const std::size_t framed_bytes = 32 + static_cast<std::size_t>(frame % 7) * 100;
+    if (c.next(framed_bytes) != a.trace()[static_cast<std::size_t>(frame)]) c_differs = true;
+    if (d.next(framed_bytes) != a.trace()[static_cast<std::size_t>(frame)]) d_differs = true;
+  }
+  EXPECT_TRUE(c_differs);  // different seed, different schedule
+  EXPECT_TRUE(d_differs);  // different connection, different schedule
+}
+
+// Decisions never depend on what earlier frames carried: two policies fed
+// different byte sizes still pick the same actions (sizes only scale the
+// truncation point).
+TEST(Chaos, ActionsIndependentOfPayloadHistory) {
+  net::ChaosConfig config;
+  config.seed = 7;
+  net::ChaosPolicy a(config, 0);
+  net::ChaosPolicy b(config, 0);
+  for (int frame = 0; frame < 200; ++frame) {
+    const net::ChaosEvent ea = a.next(64);
+    const net::ChaosEvent eb = b.next(64 + static_cast<std::size_t>(frame) * 31);
+    EXPECT_EQ(ea.action, eb.action) << "frame " << frame;
+  }
+}
+
+// Truncation always keeps a strict prefix: keep_bytes < framed bytes, so
+// the peer is guaranteed a torn frame, never an accidental complete one.
+TEST(Chaos, TruncationKeepsStrictPrefix) {
+  net::ChaosConfig config;
+  config.seed = 11;
+  config.drop = 0;
+  config.delay = 0;
+  config.duplicate = 0;
+  config.truncate = 1.0;  // every frame truncates
+  net::ChaosPolicy policy(config, 0);
+  for (int frame = 0; frame < 100; ++frame) {
+    const std::size_t framed_bytes = 5 + static_cast<std::size_t>(frame % 50);
+    const net::ChaosEvent event = policy.next(framed_bytes);
+    ASSERT_EQ(event.action, net::ChaosAction::kTruncate);
+    EXPECT_LT(event.keep_bytes, framed_bytes) << "frame " << frame;
+  }
+}
+
+// sever_after_frames is the scripted analogue of SIGKILLing a peer: N clean
+// frames, then the cut, deterministically.
+TEST(Chaos, SeverAfterNFramesCutsExactlyThere) {
+  net::ChaosConfig config;
+  config.seed = 5;
+  config.drop = config.delay = config.truncate = config.duplicate = 0;
+  config.sever_after_frames = 3;
+  net::ChaosPolicy policy(config, 0);
+  for (int frame = 0; frame < 3; ++frame) {
+    EXPECT_EQ(policy.next(64).action, net::ChaosAction::kPass) << "frame " << frame;
+  }
+  EXPECT_EQ(policy.next(64).action, net::ChaosAction::kSever);
+  EXPECT_EQ(policy.next(64).action, net::ChaosAction::kSever);  // stays severed
+}
+
+// Scripted mode replays the script verbatim and passes beyond it — the
+// fixture contract the corruption table above rests on.
+TEST(Chaos, ScriptedModeReplaysVerbatimThenPasses) {
+  net::ChaosPolicy policy({scripted(net::ChaosAction::kDrop),
+                           scripted(net::ChaosAction::kDelay, 10)});
+  EXPECT_EQ(policy.next(64).action, net::ChaosAction::kDrop);
+  const net::ChaosEvent second = policy.next(64);
+  EXPECT_EQ(second.action, net::ChaosAction::kDelay);
+  EXPECT_EQ(second.delay_ms, 10);
+  EXPECT_EQ(policy.next(64).action, net::ChaosAction::kPass);
+  ASSERT_EQ(policy.trace().size(), 3u);
+  EXPECT_EQ(policy.trace()[2].frame, 2u);
+}
+
+}  // namespace

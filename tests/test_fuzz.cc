@@ -23,11 +23,15 @@
 #include <string>
 #include <vector>
 
+#include "baselines/bayes_model.h"
+#include "baselines/bfi.h"
+#include "baselines/random_injection.h"
+#include "baselines/stratified_bfi.h"
 #include "core/budget.h"
 #include "core/coverage.h"
+#include "core/harness.h"
 #include "core/sabre.h"
 #include "core/scenario.h"
-#include "baselines/random_injection.h"
 #include "fuzz/corpus.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/mutator.h"
@@ -208,6 +212,91 @@ TEST(Constraints, SabreEmitsOnlyInsideWindowAndTypeMask) {
   core::BudgetClock budget(10000000);
   int plans = 0;
   while (auto plan = strategy.next(budget)) {
+    for (const core::FaultEvent& event : plan->events) {
+      EXPECT_GE(event.time_ms, 30000) << plan->signature();
+      EXPECT_LE(event.time_ms, 60000) << plan->signature();
+      EXPECT_TRUE(event.sensor.type == sensors::SensorType::kGps ||
+                  event.sensor.type == sensors::SensorType::kCompass)
+          << plan->signature();
+    }
+    if (++plans >= 500) break;
+  }
+  EXPECT_GT(plans, 0);
+}
+
+// BFI honours the same FaultPlanConstraints contract as RandomInjection:
+// both the DFS enumeration and the occasional exploratory draw stay inside
+// [window_start, min(window_end, duration)) and touch only allowed sensor
+// types. run_threshold 0 removes the model gate so plans actually flow.
+TEST(Constraints, BfiEnumeratesOnlyInsideWindowFromAllowedTypes) {
+  const baselines::NaiveBayesModel model(baselines::default_training_corpus());
+  std::vector<core::ModeTransition> golden = {
+      {0, 1, "preflight"}, {10000, 2, "takeoff"}, {40000, 3, "cruise"}, {90000, 4, "land"},
+  };
+  baselines::BfiConfig config;
+  config.run_threshold = 0.0;  // every labeled candidate becomes a plan
+  config.epsilon = 0.3;        // exercise the exploratory path too
+  config.window_start_ms = 30000;
+  config.window_end_ms = 60000;
+  config.allowed_type_mask = core::fault_type_mask({"GPS"});
+  baselines::BfiChecker bfi(core::SimulationHarness::iris_suite(), model,
+                            baselines::ModeTimeline(golden), 9, config);
+  core::BudgetClock budget(1000000);
+  int plans = 0;
+  while (auto plan = bfi.next(budget)) {
+    for (const core::FaultEvent& event : plan->events) {
+      EXPECT_GE(event.time_ms, 30000) << plan->signature();
+      EXPECT_LT(event.time_ms, 60000) << plan->signature();
+      EXPECT_EQ(event.sensor.type, sensors::SensorType::kGps) << plan->signature();
+    }
+    if (++plans >= 200) break;
+  }
+  EXPECT_GT(plans, 0);
+}
+
+// With the defaults (no window, all types) the constrained BFI reproduces
+// the historical plan sequence bit for bit — the constraint machinery must
+// be invisible when unused.
+TEST(Constraints, BfiDefaultsReproduceUnconstrainedSequence) {
+  const baselines::NaiveBayesModel model(baselines::default_training_corpus());
+  std::vector<core::ModeTransition> golden = {{0, 1, "preflight"}, {3540, 2, "takeoff"}};
+  baselines::BfiConfig permissive;
+  permissive.run_threshold = 0.0;
+  baselines::BfiConfig spelled_out = permissive;
+  spelled_out.window_start_ms = 0;
+  spelled_out.window_end_ms = 0;
+  spelled_out.allowed_type_mask = 0xffffffffu;
+  baselines::BfiChecker a(core::SimulationHarness::iris_suite(), model,
+                          baselines::ModeTimeline(golden), 9, permissive);
+  baselines::BfiChecker b(core::SimulationHarness::iris_suite(), model,
+                          baselines::ModeTimeline(golden), 9, spelled_out);
+  core::BudgetClock budget_a(500000), budget_b(500000);
+  for (int i = 0; i < 40; ++i) {
+    auto pa = a.next(budget_a);
+    auto pb = b.next(budget_b);
+    ASSERT_EQ(pa.has_value(), pb.has_value());
+    if (!pa) break;
+    EXPECT_EQ(pa->signature(), pb->signature()) << "plan " << i;
+  }
+}
+
+// Stratified BFI inherits the constraints through its embedded SABRE
+// scheduler: every candidate the model gates came from a constraint-
+// respecting proposer, so nothing outside the window or mask can leak out.
+TEST(Constraints, StratifiedBfiInheritsSabreConstraints) {
+  const baselines::NaiveBayesModel model(baselines::default_training_corpus());
+  std::vector<core::ModeTransition> golden = {
+      {0, 1, "preflight"}, {10000, 2, "takeoff"}, {40000, 3, "cruise"}, {90000, 4, "land"},
+  };
+  core::SabreConfig sabre_config;
+  sabre_config.window_start_ms = 30000;
+  sabre_config.window_end_ms = 60000;
+  sabre_config.allowed_type_mask = core::fault_type_mask({"GPS", "compass"});
+  baselines::StratifiedBfi sbfi(core::SimulationHarness::iris_suite(), golden, model,
+                                /*run_threshold=*/0.0, sabre_config);
+  core::BudgetClock budget(10000000);
+  int plans = 0;
+  while (auto plan = sbfi.next(budget)) {
     for (const core::FaultEvent& event : plan->events) {
       EXPECT_GE(event.time_ms, 30000) << plan->signature();
       EXPECT_LE(event.time_ms, 60000) << plan->signature();

@@ -1,0 +1,261 @@
+// Write-ahead cell journal (core/journal.h).
+//
+// The journal's contract is narrow and strict: after SIGKILL at any instant
+// the file holds every acknowledged cell plus at most one torn final line.
+// These tests pin the pieces the crash-safety argument rests on:
+//   - the header binds the campaign (grid identity hashes + report-affecting
+//     config), and header_diff names every field that drifted;
+//   - records round-trip losslessly (the resumed report is built from them);
+//   - a torn FINAL line is dropped, not fatal — the cell simply re-runs;
+//   - corruption anywhere else cannot be produced by a crash and is fatal;
+//   - duplicate indices keep the first copy (determinism makes them equal).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/journal.h"
+#include "core/scenario.h"
+#include "test_helpers.h"
+
+namespace {
+
+using namespace avis;
+
+std::vector<core::CampaignCellSpec> small_grid(std::uint64_t seed = 100) {
+  core::ScenarioGrid grid;
+  grid.approaches = {"avis", "random"};
+  grid.personalities = {"ardupilot"};
+  grid.workloads = {"box-manual"};
+  grid.environments = {"calm"};
+  grid.budget_ms = 20000;
+  grid.seed = seed;
+  return core::expand_to_cells(grid);
+}
+
+// A report with enough non-default structure to catch lossy encoding; the
+// full CheckerReport round trip (unsafe records, coverage, transitions) is
+// pinned by checker_report_json's own tests.
+core::CheckerReport synthetic_report(int salt) {
+  core::CheckerReport report;
+  report.strategy_name = "Avis";
+  report.experiments = 40 + salt;
+  report.labels = 3 + salt;
+  report.budget_used_ms = 20000;
+  report.checkpoint_hits = 5;
+  report.checkpoint_misses = 2;
+  report.checkpoint_hits_by_level = {4, 1};
+  report.checkpoint_skipped_ms = 1234;
+  report.stalled_runs = salt % 2;
+  return report;
+}
+
+core::JournalCellRecord record_for(const std::vector<core::CampaignCellSpec>& grid,
+                                   int index, int salt) {
+  core::JournalCellRecord record;
+  record.index = index;
+  record.spec_hash = core::cell_identity_hash(grid[static_cast<std::size_t>(index)]);
+  record.attempts = 1 + salt % 2;
+  record.completed_by = salt % 2 ? "worker-a" : "local";
+  if (salt % 2) record.reassigned_from = {"worker-b"};
+  record.wall_seconds = 1.5 + salt;
+  record.report = synthetic_report(salt);
+  return record;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "avis_journal_" + name + "_" +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+TEST(Journal, CellIdentityHashIsStableAndSpecSensitive) {
+  const auto grid = small_grid();
+  const std::string hash = core::cell_identity_hash(grid[0]);
+  EXPECT_EQ(hash.size(), 16u);  // 64 bits as hex
+  EXPECT_EQ(hash, core::cell_identity_hash(grid[0]));   // deterministic
+  EXPECT_NE(hash, core::cell_identity_hash(grid[1]));   // approach differs
+
+  // Any report-affecting knob changes the hash: a journal can never resume
+  // a cell whose spec drifted.
+  EXPECT_NE(core::cell_identity_hash(small_grid(100)[0]),
+            core::cell_identity_hash(small_grid(101)[0]));
+}
+
+TEST(Journal, RoundTripsHeaderAndRecords) {
+  const auto grid = small_grid();
+  core::CheckpointConfig checkpoints;
+  checkpoints.interval_ms = 2500;
+  const auto header = core::CampaignJournal::bind(grid, checkpoints, 4);
+
+  const std::string path = temp_path("roundtrip");
+  {
+    core::CampaignJournal journal = core::CampaignJournal::start(path, header);
+    journal.append(record_for(grid, 0, 0));
+    journal.append(record_for(grid, 1, 1));
+  }
+
+  const auto loaded = core::CampaignJournal::load(path);
+  EXPECT_FALSE(loaded.dropped_torn_record);
+  EXPECT_EQ(loaded.header.version, core::CampaignJournal::kVersion);
+  EXPECT_EQ(loaded.header.cells, grid.size());
+  EXPECT_TRUE(loaded.header.checkpoints_enabled);
+  EXPECT_TRUE(loaded.header.checkpoint_trees);
+  EXPECT_EQ(loaded.header.checkpoint_interval_ms, 2500);
+  EXPECT_EQ(loaded.header.checkpoint_budget_bytes, checkpoints.byte_budget);
+  EXPECT_EQ(loaded.header.batch_width, 4);
+  ASSERT_EQ(loaded.header.cell_hashes.size(), grid.size());
+  EXPECT_EQ(loaded.header.cell_hashes[0], core::cell_identity_hash(grid[0]));
+
+  ASSERT_EQ(loaded.cells.size(), 2u);
+  const core::JournalCellRecord& second = loaded.cells[1];
+  EXPECT_EQ(second.index, 1);
+  EXPECT_EQ(second.spec_hash, core::cell_identity_hash(grid[1]));
+  EXPECT_EQ(second.attempts, 2);
+  EXPECT_EQ(second.completed_by, "worker-a");
+  ASSERT_EQ(second.reassigned_from.size(), 1u);
+  EXPECT_EQ(second.reassigned_from[0], "worker-b");
+  EXPECT_DOUBLE_EQ(second.wall_seconds, 2.5);
+  avis::testing::expect_reports_equal(synthetic_report(1), second.report);
+  std::filesystem::remove(path);
+}
+
+TEST(Journal, HeaderDiffIsEmptyForTheSameCampaign) {
+  const auto grid = small_grid();
+  const auto header = core::CampaignJournal::bind(grid, {}, 0);
+  EXPECT_EQ(core::CampaignJournal::header_diff(
+                header, core::CampaignJournal::bind(small_grid(), {}, 0), grid),
+            "");
+}
+
+TEST(Journal, HeaderDiffNamesEveryDriftedField) {
+  const auto grid = small_grid();
+  const auto header = core::CampaignJournal::bind(grid, {}, 0);
+
+  core::CheckpointConfig no_checkpoints;
+  no_checkpoints.enabled = false;
+  const auto config_drift = core::CampaignJournal::bind(grid, no_checkpoints, 8);
+  const std::string config_diff =
+      core::CampaignJournal::header_diff(header, config_drift, grid);
+  EXPECT_NE(config_diff.find("checkpoints_enabled"), std::string::npos) << config_diff;
+  EXPECT_NE(config_diff.find("batch_width"), std::string::npos) << config_diff;
+
+  // A different grid seed keeps the shape but changes every cell hash; the
+  // diff names the cells (with their registry coordinates), not just "hash".
+  const auto reseeded = small_grid(777);
+  const auto grid_drift = core::CampaignJournal::bind(reseeded, {}, 0);
+  const std::string grid_diff =
+      core::CampaignJournal::header_diff(header, grid_drift, reseeded);
+  EXPECT_NE(grid_diff.find("cell 0"), std::string::npos) << grid_diff;
+  EXPECT_NE(grid_diff.find("ardupilot"), std::string::npos) << grid_diff;
+}
+
+TEST(Journal, TornFinalRecordIsDroppedNotFatal) {
+  const auto grid = small_grid();
+  const std::string path = temp_path("torn");
+  {
+    core::CampaignJournal journal =
+        core::CampaignJournal::start(path, core::CampaignJournal::bind(grid, {}, 0));
+    journal.append(record_for(grid, 0, 0));
+    journal.append(record_for(grid, 1, 1));
+  }
+
+  // Cut into the final line: what SIGKILL between write() and completion
+  // looks like. The surviving prefix must load; the torn cell re-runs.
+  const std::string contents = read_file(path);
+  write_file(path, contents.substr(0, contents.size() - 10));
+
+  const auto loaded = core::CampaignJournal::load(path);
+  EXPECT_TRUE(loaded.dropped_torn_record);
+  ASSERT_EQ(loaded.cells.size(), 1u);
+  EXPECT_EQ(loaded.cells[0].index, 0);
+  std::filesystem::remove(path);
+}
+
+TEST(Journal, CorruptNonFinalRecordIsFatal) {
+  const auto grid = small_grid();
+  const std::string path = temp_path("corrupt");
+  {
+    core::CampaignJournal journal =
+        core::CampaignJournal::start(path, core::CampaignJournal::bind(grid, {}, 0));
+    journal.append(record_for(grid, 0, 0));
+    journal.append(record_for(grid, 1, 1));
+  }
+
+  // Mangle the FIRST record while the second stays intact. A crash cannot
+  // produce this shape (appends are ordered, fsync'd writes), so load must
+  // refuse loudly rather than silently resume from half a journal.
+  std::istringstream in(read_file(path));
+  std::string header_line, first, second;
+  std::getline(in, header_line);
+  std::getline(in, first);
+  std::getline(in, second);
+  write_file(path, header_line + "\n" + first.substr(0, first.size() / 2) + "\n" +
+                       second + "\n");
+  EXPECT_THROW(core::CampaignJournal::load(path), core::JournalError);
+  std::filesystem::remove(path);
+}
+
+TEST(Journal, RecordDisagreeingWithHeaderIsCorruption) {
+  const auto grid = small_grid();
+  const std::string path = temp_path("hash_mismatch");
+  {
+    core::CampaignJournal journal =
+        core::CampaignJournal::start(path, core::CampaignJournal::bind(grid, {}, 0));
+    // Wrong hash for index 0: the record claims a cell this campaign never
+    // had. Followed by a valid record so the lie is not on the final line.
+    core::JournalCellRecord lie = record_for(grid, 0, 0);
+    lie.spec_hash = std::string(16, 'f');
+    journal.append(lie);
+    journal.append(record_for(grid, 1, 1));
+  }
+  EXPECT_THROW(core::CampaignJournal::load(path), core::JournalError);
+  std::filesystem::remove(path);
+}
+
+TEST(Journal, DuplicateIndexKeepsFirstRecord) {
+  const auto grid = small_grid();
+  const std::string path = temp_path("duplicate");
+  {
+    core::CampaignJournal journal =
+        core::CampaignJournal::start(path, core::CampaignJournal::bind(grid, {}, 0));
+    journal.append(record_for(grid, 0, 0));
+    // A crash between fsync and "cell done" can journal the same completion
+    // twice after resume; determinism makes the copies equal, so keeping the
+    // first is sound. Salt the second copy to prove which one wins.
+    core::JournalCellRecord again = record_for(grid, 0, 0);
+    again.report.experiments = 9999;
+    journal.append(again);
+  }
+  const auto loaded = core::CampaignJournal::load(path);
+  ASSERT_EQ(loaded.cells.size(), 1u);
+  EXPECT_EQ(loaded.cells[0].report.experiments, synthetic_report(0).experiments);
+  std::filesystem::remove(path);
+}
+
+TEST(Journal, LoadRejectsMissingAndHeaderlessFiles) {
+  EXPECT_THROW(core::CampaignJournal::load(temp_path("never_written")),
+               core::JournalError);
+
+  const std::string path = temp_path("bad_header");
+  write_file(path, "this is not a journal\n");
+  EXPECT_THROW(core::CampaignJournal::load(path), core::JournalError);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

@@ -22,18 +22,21 @@
 // Unknown approach/personality/workload/environment/bug names (and unknown
 // flags) exit non-zero with a "did you mean ...? registered ... are: ..."
 // diagnostic sourced from the registries.
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "../bench/common.h"
 #include "core/campaign.h"
+#include "core/journal.h"
 #include "core/scenario.h"
 #include "fuzz/fuzzer.h"
 #include "net/coordinator.h"
@@ -82,7 +85,19 @@ struct Options {
   long long cell_deadline_ms = 0;  // 0 = derive from the cell budget
   long long degraded_after_ms = 2000;
   bool no_degraded = false;
+  std::string auth_token;          // shared secret for Hello (both sides)
+  long long net_chaos_seed = 0;    // 0 = chaos off
+
+  // Crash-safe campaigns (docs/DISTRIBUTED.md "Journaling & resume").
+  std::string journal_path;  // write-ahead cell journal for a fresh run
+  std::string resume_path;   // continue a journaled run, skipping done cells
 };
+
+// SIGINT/SIGTERM request a graceful stop: finish in-flight cells, flush the
+// journal, write a partial report, exit 3. Only a flag is set here — all the
+// work happens on the normal paths via the should_stop callbacks.
+volatile std::sig_atomic_t g_stop_signal = 0;
+void handle_stop_signal(int sig) { g_stop_signal = sig; }
 
 std::vector<std::string> split_csv(const std::string& arg) {
   std::vector<std::string> parts;
@@ -186,7 +201,22 @@ int usage(const char* argv0) {
       << "                           from the cell budget, max(30s, budget/10))\n"
       << "  --degraded-after-ms N    with no live workers for N ms, finish remaining\n"
       << "                           cells in-process (default 2000)\n"
-      << "  --no-degraded            fail instead of completing in-process\n";
+      << "  --no-degraded            fail instead of completing in-process\n"
+      << "  --auth-token TOKEN       shared secret for the Hello handshake; both sides\n"
+      << "                           must pass the same value or registration is refused\n"
+      << "  --net-chaos-seed N       deterministic wire-fault injection (drop/delay/\n"
+      << "                           truncate/duplicate frames); same seed = same\n"
+      << "                           schedule; needs --serve or --worker (0 = off)\n"
+      << "crash safety (docs/DISTRIBUTED.md):\n"
+      << "  --journal FILE           write-ahead cell journal: one fsync'd record per\n"
+      << "                           completed cell, so a crash loses at most the\n"
+      << "                           in-flight cells\n"
+      << "  --resume FILE            continue the campaign journaled in FILE: verify the\n"
+      << "                           grid matches, skip journaled cells, run the rest,\n"
+      << "                           and emit the same merged report an uninterrupted\n"
+      << "                           run would have (modulo wall-clock fields)\n"
+      << "exit codes: 0 complete, 1 runtime failure, 2 bad flags or --resume grid\n"
+      << "mismatch, 3 interrupted by SIGINT/SIGTERM (partial report written)\n";
   return 2;
 }
 
@@ -386,6 +416,25 @@ int main(int argc, char** argv) {
       options.degraded_after_ms = n;
     } else if (arg == "--no-degraded") {
       options.no_degraded = true;
+    } else if (arg == "--auth-token") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.auth_token = v;
+    } else if (arg == "--net-chaos-seed") {
+      if (!number(n)) return usage(argv[0]);
+      if (n < 0) {
+        std::cerr << "--net-chaos-seed must be non-negative (got " << n << ")\n";
+        return usage(argv[0]);
+      }
+      options.net_chaos_seed = n;
+    } else if (arg == "--journal") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.journal_path = v;
+    } else if (arg == "--resume") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      options.resume_path = v;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       return usage(argv[0]);
@@ -421,6 +470,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!options.journal_path.empty() && !options.resume_path.empty()) {
+    std::cerr << "--journal starts a fresh journal and --resume continues one; pass "
+                 "exactly one\n";
+    return 2;
+  }
+  if ((!options.journal_path.empty() || !options.resume_path.empty()) &&
+      (options.fuzz_generations > 0 || !options.dump_scenario.empty() ||
+       !options.worker_endpoint.empty())) {
+    std::cerr << "--journal/--resume apply to campaign runs (in-process or --serve); "
+                 "they do not combine with --fuzz, --dump-scenario or --worker\n";
+    return 2;
+  }
+  if (options.net_chaos_seed != 0 && !options.serve && options.worker_endpoint.empty()) {
+    std::cerr << "--net-chaos-seed injects faults on the wire; it needs --serve or "
+                 "--worker\n";
+    return 2;
+  }
+  if (!options.auth_token.empty() && !options.serve && options.worker_endpoint.empty()) {
+    std::cerr << "--auth-token guards the distributed handshake; it needs --serve or "
+                 "--worker\n";
+    return 2;
+  }
+
   if (!options.worker_endpoint.empty()) {
     if (options.serve || options.grid_flag_seen || !options.scenario_file.empty()) {
       std::cerr << "--worker takes its cells from the coordinator; --serve, --scenario-file "
@@ -441,6 +513,8 @@ int main(int argc, char** argv) {
     worker_options.worker_id = options.worker_id;
     worker_options.experiment_workers = options.experiment_workers;
     worker_options.batch_width = options.batch_width;
+    worker_options.auth_token = options.auth_token;
+    worker_options.chaos.seed = static_cast<std::uint64_t>(options.net_chaos_seed);
     if (!options.quiet) worker_options.log = &std::cerr;
     try {
       return net::run_worker(worker_options) ? 0 : 1;
@@ -566,6 +640,63 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const std::size_t grid_cells = grid.size();
+
+  // Journal / resume setup. On --resume the loaded header must bind the
+  // exact campaign the flags describe — any drift (different grid, different
+  // checkpoint knobs) would merge reports from two different campaigns, so
+  // a mismatch is a usage error (exit 2) with a field-by-field diff.
+  std::optional<core::CampaignJournal> journal;
+  core::CampaignJournal::Loaded loaded;
+  const bool resuming = !options.resume_path.empty();
+  if (resuming) {
+    try {
+      loaded = core::CampaignJournal::load(options.resume_path);
+    } catch (const core::JournalError& err) {
+      std::cerr << "--resume: " << err.what() << "\n";
+      return 2;
+    }
+    const core::CampaignJournal::Header requested =
+        core::CampaignJournal::bind(grid, options.checkpoints, options.batch_width);
+    const std::string diff =
+        core::CampaignJournal::header_diff(loaded.header, requested, grid);
+    if (!diff.empty()) {
+      std::cerr << "--resume: journal " << options.resume_path
+                << " was written by a different campaign:\n"
+                << diff;
+      return 2;
+    }
+    if (!options.quiet) {
+      if (loaded.dropped_torn_record) {
+        std::cerr << "[journal] dropped a torn final record (crash mid-append); "
+                     "that cell re-runs\n";
+      }
+      std::cerr << "[journal] " << loaded.cells.size() << "/" << grid_cells
+                << " cells already journaled in " << options.resume_path << "\n";
+    }
+    try {
+      journal.emplace(core::CampaignJournal::append_to(options.resume_path));
+    } catch (const core::JournalError& err) {
+      std::cerr << "--resume: " << err.what() << "\n";
+      return 2;
+    }
+  } else if (!options.journal_path.empty()) {
+    try {
+      journal.emplace(core::CampaignJournal::start(
+          options.journal_path,
+          core::CampaignJournal::bind(grid, options.checkpoints, options.batch_width)));
+    } catch (const core::JournalError& err) {
+      std::cerr << "--journal: " << err.what() << "\n";
+      return 1;
+    }
+  }
+
+  // Graceful interruption (campaign modes only — a worker's lifetime belongs
+  // to its coordinator). The handlers feed the should_stop callbacks below.
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  const auto should_stop = [] { return g_stop_signal != 0; };
+
   core::CampaignResult result;
   if (options.serve) {
     net::CoordinatorOptions serve_options;
@@ -578,6 +709,11 @@ int main(int argc, char** argv) {
     serve_options.experiment_workers = options.experiment_workers;
     serve_options.batch_width = options.batch_width;
     serve_options.checkpoints = options.checkpoints;
+    serve_options.auth_token = options.auth_token;
+    serve_options.chaos.seed = static_cast<std::uint64_t>(options.net_chaos_seed);
+    serve_options.journal = journal ? &*journal : nullptr;
+    serve_options.resume = resuming ? &loaded.cells : nullptr;
+    serve_options.should_stop = should_stop;
     if (!options.quiet) serve_options.log = &std::cerr;
     try {
       net::CampaignCoordinator coordinator(std::move(grid), serve_options);
@@ -599,8 +735,25 @@ int main(int argc, char** argv) {
     campaign_options.experiment_workers = options.experiment_workers;
     campaign_options.batch_width = options.batch_width;
     campaign_options.checkpoints = options.checkpoints;
+    campaign_options.journal = journal ? &*journal : nullptr;
+    campaign_options.resume = resuming ? &loaded.cells : nullptr;
+    campaign_options.should_stop = should_stop;
     const core::CampaignRunner runner(campaign_options);
-    result = runner.run(grid);
+    try {
+      result = runner.run(grid);
+    } catch (const core::JournalError& err) {
+      std::cerr << "journal write failed: " << err.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (result.interrupted && !options.quiet) {
+    std::cerr << "campaign interrupted (signal " << static_cast<int>(g_stop_signal)
+              << "): " << result.cells.size() << "/" << grid_cells
+              << " cells completed; partial report written"
+              << (journal ? " and journaled — finish with --resume " + journal->path()
+                          : "")
+              << "\n";
   }
 
   if (!options.quiet) {
@@ -636,5 +789,5 @@ int main(int argc, char** argv) {
       if (!options.quiet) std::cout << "JSON report written to " << options.out << "\n";
     }
   }
-  return 0;
+  return result.interrupted ? 3 : 0;
 }
